@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestMakeGraphFamilies(t *testing.T) {
+	for _, fam := range []string{"cycle", "torus", "complete", "candy", "regular", "er", "rgg"} {
+		g, desc, err := makeGraph(fam, 26, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if g.N() < 2 || desc == "" {
+			t.Fatalf("%s: n=%d desc=%q", fam, g.N(), desc)
+		}
+	}
+	if _, _, err := makeGraph("moebius", 10, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestCycleForcedOdd(t *testing.T) {
+	// Even n must be bumped: bipartite cycles have no mixing time.
+	g, _, err := makeGraph("cycle", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N()%2 == 0 {
+		t.Fatalf("cycle family produced even n=%d", g.N())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-family", "regular", "-n", "24"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoExact(t *testing.T) {
+	if err := run([]string{"-family", "complete", "-n", "10", "-exact=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFamily(t *testing.T) {
+	if err := run([]string{"-family", "moebius"}); err == nil {
+		t.Fatal("bad family accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command rstgen samples a uniformly random spanning tree of a generated
+// graph with the distributed Aldous-Broder driver (Section 4.1 of the
+// paper) and prints the tree edges plus the simulated round cost.
+//
+// Usage:
+//
+//	rstgen -family torus -n 64 -seed 1
+//	rstgen -family rgg -n 200 -edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distwalk"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rstgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rstgen", flag.ContinueOnError)
+	var (
+		family = fs.String("family", "torus", "graph family: torus|grid|cycle|complete|candy|regular|er|rgg|hypercube")
+		n      = fs.Int("n", 64, "approximate node count")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		root   = fs.Int("root", 0, "tree root")
+		edges  = fs.Bool("edges", false, "print every tree edge")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, desc, err := makeGraph(*family, *n, *seed)
+	if err != nil {
+		return err
+	}
+	w, err := distwalk.NewWalker(g, *seed, distwalk.DefaultParams())
+	if err != nil {
+		return err
+	}
+	res, err := distwalk.RandomSpanningTree(w, distwalk.NodeID(*root), distwalk.RSTOptions{})
+	if err != nil {
+		return err
+	}
+	if err := distwalk.ValidateSpanningTree(g, res.Root, res.Parent); err != nil {
+		return fmt.Errorf("sampled tree failed validation: %w", err)
+	}
+	fmt.Printf("graph: %s (n=%d, m=%d)\n", desc, g.N(), g.M())
+	fmt.Printf("root: %d\n", res.Root)
+	fmt.Printf("covering walk length: %d (phases=%d, attempts=%d)\n",
+		res.WalkLength, res.Phases, res.Attempts)
+	fmt.Printf("simulated cost: %d rounds, %d messages\n",
+		res.Cost.Rounds, res.Cost.Messages)
+	if *edges {
+		for v, p := range res.Parent {
+			if p != distwalk.None {
+				fmt.Printf("edge %d - %d\n", p, v)
+			}
+		}
+	}
+	return nil
+}
+
+func makeGraph(family string, n int, seed uint64) (*distwalk.Graph, string, error) {
+	side := intSqrt(n)
+	switch family {
+	case "torus":
+		g, err := distwalk.Torus(side, side)
+		return g, fmt.Sprintf("torus %dx%d", side, side), err
+	case "grid":
+		g, err := distwalk.Grid(side, side)
+		return g, fmt.Sprintf("grid %dx%d", side, side), err
+	case "cycle":
+		g, err := distwalk.Cycle(n)
+		return g, fmt.Sprintf("cycle(%d)", n), err
+	case "complete":
+		g, err := distwalk.Complete(n)
+		return g, fmt.Sprintf("K%d", n), err
+	case "candy":
+		g, err := distwalk.Candy(n/2, n/2)
+		return g, fmt.Sprintf("candy(%d,%d)", n/2, n/2), err
+	case "regular":
+		g, err := distwalk.RandomRegular(n-n%2, 4, seed)
+		return g, fmt.Sprintf("4-regular(%d)", n-n%2), err
+	case "er":
+		g, err := distwalk.ErdosRenyi(n, 8/float64(n), seed)
+		return g, fmt.Sprintf("G(%d, 8/n)", n), err
+	case "rgg":
+		g, err := distwalk.GeometricRandom(n, 0, seed)
+		return g, fmt.Sprintf("RGG(%d)", n), err
+	case "hypercube":
+		d := 1
+		for 1<<(d+1) <= n {
+			d++
+		}
+		g, err := distwalk.Hypercube(d)
+		return g, fmt.Sprintf("hypercube(%d)", d), err
+	}
+	return nil, "", fmt.Errorf("unknown family %q", family)
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	if s < 3 {
+		s = 3
+	}
+	return s
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestMakeGraphFamilies(t *testing.T) {
+	for _, fam := range []string{
+		"torus", "grid", "cycle", "complete", "candy", "regular", "er", "rgg", "hypercube",
+	} {
+		g, desc, err := makeGraph(fam, 36, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if g.N() < 2 || desc == "" {
+			t.Fatalf("%s: n=%d desc=%q", fam, g.N(), desc)
+		}
+		if !g.Connected() {
+			t.Fatalf("%s produced a disconnected graph", fam)
+		}
+	}
+	if _, _, err := makeGraph("moebius", 10, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-family", "complete", "-n", "8", "-edges"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFamily(t *testing.T) {
+	if err := run([]string{"-family", "moebius"}); err == nil {
+		t.Fatal("bad family accepted")
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	cases := map[int]int{0: 3, 9: 3, 35: 5, 36: 6, 100: 10}
+	for in, want := range cases {
+		if got := intSqrt(in); got != want {
+			t.Fatalf("intSqrt(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

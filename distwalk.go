@@ -1,0 +1,180 @@
+// Package distwalk implements the algorithms of "Efficient Distributed
+// Random Walks with Applications" (Das Sarma, Nanongkai, Pandurangan,
+// Tetali; PODC 2010) on a simulated CONGEST network, together with the
+// paper's two applications: uniform random spanning trees and
+// decentralized mixing-time estimation.
+//
+// The headline algorithm samples the endpoint of an ℓ-step random walk in
+// Õ(√(ℓD)) communication rounds — sublinear in ℓ — by preparing many short
+// walks in parallel and stitching them together (Theorem 2.5):
+//
+//	g, _ := distwalk.Torus(32, 32)
+//	w, _ := distwalk.NewWalker(g, 42, distwalk.DefaultParams())
+//	res, _ := w.SingleRandomWalk(0, 100_000)
+//	fmt.Println(res.Destination, res.Cost.Rounds) // ≪ 100000 rounds
+//
+// Everything is deterministic given the seed, and every operation reports
+// its exact simulated round/message cost, which is what the experiment
+// harness (cmd/walkbench) uses to reproduce the paper's claims.
+package distwalk
+
+import (
+	"distwalk/internal/congest"
+	"distwalk/internal/core"
+	"distwalk/internal/dist"
+	"distwalk/internal/graph"
+	"distwalk/internal/mixing"
+	"distwalk/internal/rng"
+	"distwalk/internal/spanning"
+	"distwalk/internal/spectral"
+)
+
+// Re-exported core types. The implementations live in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Graph is an undirected (optionally weighted) multigraph.
+	Graph = graph.G
+	// NodeID identifies a vertex (0..n-1).
+	NodeID = graph.NodeID
+	// Params tunes the walk algorithms; see DefaultParams.
+	Params = core.Params
+	// Walker runs the paper's walk algorithms over one simulated network.
+	Walker = core.Walker
+	// WalkResult describes one completed walk and its simulated cost.
+	WalkResult = core.WalkResult
+	// ManyResult describes a MANY-RANDOM-WALKS batch.
+	ManyResult = core.ManyResult
+	// Trace is a regenerated walk: per-node positions and first visits.
+	Trace = core.Trace
+	// Cost aggregates rounds, messages and queueing of simulated runs.
+	Cost = congest.Result
+	// RSTOptions tunes the random-spanning-tree driver.
+	RSTOptions = spanning.Options
+	// RSTResult is a sampled spanning tree plus its cost.
+	RSTResult = spanning.Result
+	// MixingOptions tunes the mixing-time estimator.
+	MixingOptions = mixing.Options
+	// MixingEstimate is the decentralized mixing-time estimate.
+	MixingEstimate = mixing.Estimate
+)
+
+// None is the sentinel "no node" value.
+const None = graph.None
+
+// NewGraph returns an empty graph on n vertices; add edges with AddEdge /
+// AddWeightedEdge.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewWalker builds a Walker over g; seed drives all randomness.
+func NewWalker(g *Graph, seed uint64, p Params) (*Walker, error) {
+	return core.NewWalker(g, seed, p)
+}
+
+// DefaultParams returns the practical parameterization (λ = √(ℓD), η = 1).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// DNP09Params returns the PODC 2009 baseline parameterization
+// (Õ(ℓ^{2/3}D^{1/3}) rounds).
+func DNP09Params(ell, diam int) Params { return core.DNP09Params(ell, diam) }
+
+// Generators for the graph families used in the paper's setting. All
+// randomized generators are deterministic in the seed and retry until the
+// sample is connected.
+
+// Path returns the path graph on n nodes.
+func Path(n int) (*Graph, error) { return graph.Path(n) }
+
+// Cycle returns the cycle on n >= 3 nodes.
+func Cycle(n int) (*Graph, error) { return graph.Cycle(n) }
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*Graph, error) { return graph.Complete(n) }
+
+// Star returns the star with center 0.
+func Star(n int) (*Graph, error) { return graph.Star(n) }
+
+// Grid returns the rows x cols grid.
+func Grid(rows, cols int) (*Graph, error) { return graph.Grid(rows, cols) }
+
+// Torus returns the rows x cols torus (dims >= 3).
+func Torus(rows, cols int) (*Graph, error) { return graph.Torus(rows, cols) }
+
+// Hypercube returns the dim-dimensional hypercube.
+func Hypercube(dim int) (*Graph, error) { return graph.Hypercube(dim) }
+
+// Candy returns a clique with a path tail — a diameter-vs-density knob.
+func Candy(cliqueSize, pathLen int) (*Graph, error) { return graph.Candy(cliqueSize, pathLen) }
+
+// Barbell returns two cliques joined by a path.
+func Barbell(cliqueSize, pathLen int) (*Graph, error) { return graph.Barbell(cliqueSize, pathLen) }
+
+// RandomRegular returns a connected random d-regular graph.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return graph.ConnectedRandomRegular(n, d, rng.New(seed), 1000)
+}
+
+// ErdosRenyi returns a connected G(n, p) sample.
+func ErdosRenyi(n int, p float64, seed uint64) (*Graph, error) {
+	return graph.ConnectedER(n, p, rng.New(seed), 1000)
+}
+
+// GeometricRandom returns a connected random geometric graph — the
+// paper's ad-hoc-network model. Pass radius <= 0 for a radius just above
+// the connectivity threshold.
+func GeometricRandom(n int, radius float64, seed uint64) (*Graph, error) {
+	if radius <= 0 {
+		radius = graph.RGGThresholdRadius(n)
+	}
+	return graph.ConnectedRGG(n, radius, rng.New(seed), 1000)
+}
+
+// RandomSpanningTree samples a uniformly random spanning tree rooted at
+// root in Õ(√(mD)) rounds (Theorem 4.1).
+func RandomSpanningTree(w *Walker, root NodeID, opt RSTOptions) (*RSTResult, error) {
+	return spanning.RandomSpanningTree(w, root, opt)
+}
+
+// ValidateSpanningTree checks a parent array against g.
+func ValidateSpanningTree(g *Graph, root NodeID, parent []NodeID) error {
+	return spanning.ValidateTree(g, root, parent)
+}
+
+// EstimateMixingTime estimates τ^x_mix decentralized, in
+// Õ(n^{1/2} + n^{1/4}√(Dτ)) rounds (Theorem 4.6).
+func EstimateMixingTime(w *Walker, x NodeID, opt MixingOptions) (*MixingEstimate, error) {
+	return mixing.EstimateTau(w, x, opt)
+}
+
+// Reference (centralized) quantities used for validation.
+
+// WalkDistribution returns the exact t-step walk distribution from src.
+func WalkDistribution(g *Graph, src NodeID, t int) ([]float64, error) {
+	v, err := dist.WalkDist(g, src, t)
+	return []float64(v), err
+}
+
+// MHWalkDistribution returns the exact t-step distribution of the
+// Metropolis-Hastings walk with uniform target (enable sampling of it
+// with Params.Metropolis).
+func MHWalkDistribution(g *Graph, src NodeID, t int) ([]float64, error) {
+	v, err := dist.MHWalkDist(g, src, t)
+	return []float64(v), err
+}
+
+// StationaryDistribution returns π(v) = deg(v)/2m.
+func StationaryDistribution(g *Graph) ([]float64, error) {
+	v, err := dist.Stationary(g)
+	return []float64(v), err
+}
+
+// ExactMixingTime returns τ^x(ε) computed by exact iteration.
+func ExactMixingTime(g *Graph, x NodeID, eps float64, tMax int) (int, error) {
+	return spectral.MixingTimeFrom(g, x, eps, tMax)
+}
+
+// SpectralGap returns 1 − λ₂ of the walk's transition matrix (dense
+// eigensolver; small graphs).
+func SpectralGap(g *Graph) (float64, error) { return spectral.SpectralGap(g) }
+
+// EpsMix is the ε in the paper's mixing-time definition, 1/(2e).
+const EpsMix = spectral.EpsMix

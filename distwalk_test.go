@@ -1,0 +1,137 @@
+package distwalk_test
+
+import (
+	"math"
+	"testing"
+
+	"distwalk"
+)
+
+// These tests exercise the public facade end to end, the way a downstream
+// user would.
+
+func TestQuickstartFlow(t *testing.T) {
+	g, err := distwalk.Torus(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := distwalk.NewWalker(g, 42, distwalk.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 10000
+	res, err := w.SingleRandomWalk(0, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Rounds >= ell {
+		t.Fatalf("fast walk took %d rounds for ℓ=%d — not sublinear", res.Cost.Rounds, ell)
+	}
+	if res.Destination < 0 || int(res.Destination) >= g.N() {
+		t.Fatalf("bad destination %d", res.Destination)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() (*distwalk.Graph, error)
+	}{
+		{"path", func() (*distwalk.Graph, error) { return distwalk.Path(5) }},
+		{"cycle", func() (*distwalk.Graph, error) { return distwalk.Cycle(5) }},
+		{"complete", func() (*distwalk.Graph, error) { return distwalk.Complete(5) }},
+		{"star", func() (*distwalk.Graph, error) { return distwalk.Star(5) }},
+		{"grid", func() (*distwalk.Graph, error) { return distwalk.Grid(3, 4) }},
+		{"torus", func() (*distwalk.Graph, error) { return distwalk.Torus(4, 4) }},
+		{"hypercube", func() (*distwalk.Graph, error) { return distwalk.Hypercube(4) }},
+		{"candy", func() (*distwalk.Graph, error) { return distwalk.Candy(4, 3) }},
+		{"barbell", func() (*distwalk.Graph, error) { return distwalk.Barbell(4, 2) }},
+		{"regular", func() (*distwalk.Graph, error) { return distwalk.RandomRegular(16, 3, 1) }},
+		{"er", func() (*distwalk.Graph, error) { return distwalk.ErdosRenyi(24, 0.2, 1) }},
+		{"rgg", func() (*distwalk.Graph, error) { return distwalk.GeometricRandom(48, 0, 1) }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.f()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() == 0 {
+				t.Fatal("empty graph")
+			}
+			if g.N() > 1 && !g.Connected() {
+				t.Fatal("disconnected sample from facade generator")
+			}
+		})
+	}
+}
+
+func TestFacadeSpanningTree(t *testing.T) {
+	g, err := distwalk.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := distwalk.NewWalker(g, 7, distwalk.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := distwalk.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := distwalk.ValidateSpanningTree(g, 0, res.Parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMixingTime(t *testing.T) {
+	g, err := distwalk.RandomRegular(36, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := distwalk.NewWalker(g, 9, distwalk.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := distwalk.ExactMixingTime(g, 0, distwalk.EpsMix, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Tau < 1 || est.Tau > 50*exact+50 {
+		t.Fatalf("estimate τ̃=%d wildly off exact %d", est.Tau, exact)
+	}
+}
+
+func TestFacadeReferenceQuantities(t *testing.T) {
+	g, err := distwalk.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := distwalk.StationaryDistribution(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pi {
+		if math.Abs(p-0.2) > 1e-12 {
+			t.Fatalf("K5 stationary %v", pi)
+		}
+	}
+	d, err := distwalk.WalkDistribution(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0 || math.Abs(d[1]-0.25) > 1e-12 {
+		t.Fatalf("K5 one-step %v", d)
+	}
+	gap, err := distwalk.SpectralGap(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gap-1.25) > 1e-9 {
+		t.Fatalf("K5 gap = %v, want 1.25", gap)
+	}
+}

@@ -1,0 +1,54 @@
+// Mixing-time example: the decentralized estimator of Section 4.2 lets a
+// network measure its own mixing time — a building block for
+// topologically-aware networks. A slow-mixing ring and a fast-mixing
+// expander of the same size are told apart without any global computation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distwalk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	families := []struct {
+		name string
+		make func() (*distwalk.Graph, error)
+	}{
+		{"ring (cycle 65)", func() (*distwalk.Graph, error) { return distwalk.Cycle(65) }},
+		{"expander (4-regular, 64)", func() (*distwalk.Graph, error) { return distwalk.RandomRegular(64, 4, 3) }},
+	}
+	for _, fam := range families {
+		g, err := fam.make()
+		if err != nil {
+			return err
+		}
+		w, err := distwalk.NewWalker(g, 11, distwalk.DefaultParams())
+		if err != nil {
+			return err
+		}
+		est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+		if err != nil {
+			return err
+		}
+		exact, err := distwalk.ExactMixingTime(g, 0, distwalk.EpsMix, 10_000_000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", fam.name)
+		fmt.Printf("  decentralized τ̃ = %d   (exact τ^x(1/2e) = %d)\n", est.Tau, exact)
+		fmt.Printf("  spectral gap bracket [%.4f, %.4f], conductance bracket [%.4f, %.4f]\n",
+			est.GapLo, est.GapHi, est.CondLo, est.CondHi)
+		fmt.Printf("  cost: %d rounds with K=%d walks per test\n\n", est.Cost.Rounds, est.Samples)
+	}
+	fmt.Println("the ring's estimate is an order of magnitude above the expander's —")
+	fmt.Println("the network can observe its own poor expansion and react.")
+	return nil
+}

@@ -1,0 +1,52 @@
+// Quickstart: sample the endpoint of a long random walk on a torus with
+// the Õ(√(ℓD))-round algorithm of Das Sarma et al. (PODC 2010) and compare
+// against the naive ℓ-round token walk.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distwalk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, err := distwalk.Torus(24, 24)
+	if err != nil {
+		return err
+	}
+	const (
+		source = distwalk.NodeID(0)
+		ell    = 50_000
+	)
+
+	fast, err := distwalk.NewWalker(g, 42, distwalk.DefaultParams())
+	if err != nil {
+		return err
+	}
+	res, err := fast.SingleRandomWalk(source, ell)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fast walk:  ℓ=%d from node %d landed on node %d\n", ell, source, res.Destination)
+	fmt.Printf("            %d rounds (λ=%d, %d stitched segments)\n",
+		res.Cost.Rounds, res.Lambda, len(res.Segments))
+
+	slow, err := distwalk.NewWalker(g, 42, distwalk.DefaultParams())
+	if err != nil {
+		return err
+	}
+	naive, err := slow.NaiveWalk(source, ell)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("naive walk: %d rounds (one hop per round)\n", naive.Cost.Rounds)
+	fmt.Printf("speedup:    %.1fx\n", float64(naive.Cost.Rounds)/float64(res.Cost.Rounds))
+	return nil
+}

@@ -1,0 +1,462 @@
+// Package congest simulates the CONGEST model of distributed computing used
+// throughout the paper (Section 1.1): a synchronous network where, in each
+// round, every node may send one O(log n)-bit message through each incident
+// edge.
+//
+// The simulator is a deterministic discrete-event engine:
+//
+//   - Every undirected edge is two directed channels with a FIFO queue each.
+//   - In each round, at most Cap messages (default 1) are delivered from
+//     every directed queue; everything else waits. Congestion therefore
+//     costs extra rounds exactly as in the paper's analysis (e.g. Lemma 2.1
+//     charges Phase 1 O(λη log n) rounds because ~η log n tokens cross an
+//     edge per walk step w.h.p.).
+//   - Messages sent in round r are deliverable from round r+1 on.
+//   - Nodes execute in increasing ID order within a round and draw
+//     randomness from per-node streams derived from the network seed, so a
+//     whole execution is reproducible.
+//
+// Protocols implement Proto and are run to quiescence (no queued messages,
+// no active nodes) or until an optional Halter says the goal is reached.
+// Node state persists wherever the protocol keeps it; the engine itself is
+// stateless between runs except for per-node RNG streams, which continue
+// across phases so that multi-phase algorithms remain reproducible.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"distwalk/internal/graph"
+	"distwalk/internal/rng"
+)
+
+// Payload is the content of a message. Words reports its size in O(log n)-
+// bit units and must be >= 1; the engine uses it for traffic metrics. Every
+// payload in this module is O(1) words, matching the CONGEST bound.
+type Payload interface {
+	Words() int
+}
+
+// Message is a payload in flight on a directed edge.
+type Message struct {
+	From, To graph.NodeID
+	Payload  Payload
+}
+
+// Proto is a distributed protocol: per-node logic invoked by the engine.
+// Init runs once for every node before round 1 (it may send and set
+// activity); Step runs each round for every node that received messages or
+// marked itself active.
+type Proto interface {
+	Init(ctx *Ctx)
+	Step(ctx *Ctx)
+}
+
+// Halter is an optional interface for protocols whose goal is observable
+// before quiescence (e.g. "some node verified the whole path"). The engine
+// checks Halted after every round and stops the run when it returns true.
+// This is a simulation-level observer: it consumes no rounds or messages.
+type Halter interface {
+	Halted() bool
+}
+
+// Result aggregates the cost of one or more protocol runs.
+type Result struct {
+	// Rounds is the number of synchronous rounds consumed.
+	Rounds int
+	// Messages is the number of messages delivered.
+	Messages int64
+	// Words is the total size of delivered messages in O(log n)-bit units.
+	Words int64
+	// MaxQueue is the deepest any directed-edge queue got.
+	MaxQueue int
+	// Dropped counts messages lost to crashed receivers (WithCrash).
+	Dropped int64
+}
+
+// Add accumulates other into r (for summing across sequential phases).
+func (r *Result) Add(other Result) {
+	r.Rounds += other.Rounds
+	r.Messages += other.Messages
+	r.Words += other.Words
+	r.Dropped += other.Dropped
+	if other.MaxQueue > r.MaxQueue {
+		r.MaxQueue = other.MaxQueue
+	}
+}
+
+// ErrRoundLimit is returned when a protocol does not reach quiescence
+// within the configured round budget.
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// Network is a simulated CONGEST network over a fixed graph.
+type Network struct {
+	g       *graph.G
+	cap     int
+	capOf   []int32 // optional per-directed-edge capacity (overrides cap)
+	nodeRNG []*rng.RNG
+
+	// Directed-edge machinery: the j-th half-edge of node u has directed
+	// index off[u]+j and carries messages u -> adj[u][j].To.
+	off     []int32
+	halfIdx []map[graph.NodeID][]int32 // per node: neighbor -> half positions
+
+	queues   [][]Message
+	active   []int32 // directed edges with queued messages (deduped via inActive)
+	inActive []bool
+	scratch  []int32 // reusable snapshot of active for delivery iteration
+
+	inbox      [][]Message
+	stepSet    []graph.NodeID
+	inStep     []bool
+	crashAt    []int          // per node: round from which it is crashed (-1 = never)
+	awake      []bool         // nodes that requested Step without messages
+	awakeNodes []graph.NodeID // lazily-compacted list of awake nodes
+	awakeCount int
+
+	round    int
+	res      Result
+	runErr   error
+	maxRound int
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithEdgeCap sets the number of messages each directed edge delivers per
+// round (default 1, the CONGEST bound). Values > 1 model the large-capacity
+// variant used in Theorem 3.8.
+func WithEdgeCap(c int) Option {
+	return func(n *Network) {
+		if c >= 1 {
+			n.cap = c
+		}
+	}
+}
+
+// WithEdgeCapFunc sets a per-edge capacity: capOf(from, to) messages per
+// round on the directed edge from→to (minimum 1). This models Theorem
+// 3.8's hard instance exactly: the path edges of G'_n get (arbitrarily)
+// large capacity while the tree edges keep the CONGEST budget — and the
+// lower bound still holds because the tree is the bottleneck.
+func WithEdgeCapFunc(capOf func(from, to graph.NodeID) int) Option {
+	return func(n *Network) {
+		if capOf == nil {
+			return
+		}
+		n.capOf = make([]int32, len(n.queues))
+		for v := 0; v < n.g.N(); v++ {
+			for j, h := range n.g.Neighbors(graph.NodeID(v)) {
+				c := capOf(graph.NodeID(v), h.To)
+				if c < 1 {
+					c = 1
+				}
+				n.capOf[n.off[v]+int32(j)] = int32(c)
+			}
+		}
+	}
+}
+
+// WithMaxRounds sets the per-run round budget (default 50,000,000).
+func WithMaxRounds(r int) Option {
+	return func(n *Network) {
+		if r >= 1 {
+			n.maxRound = r
+		}
+	}
+}
+
+// WithCrash schedules a crash-stop fault: from the given round of every
+// run onward, node v neither executes nor receives — messages addressed
+// to it are dropped (counted in Result.Dropped). The paper lists failure
+// robustness as future work (Section 5); this hook provides the fault
+// model for experimenting with it (see the failure-injection tests: the
+// Las Vegas drivers detect token loss rather than returning a wrong
+// sample).
+func WithCrash(v graph.NodeID, round int) Option {
+	return func(n *Network) {
+		if v < 0 || int(v) >= len(n.crashAt) || round < 0 {
+			return
+		}
+		n.crashAt[v] = round
+	}
+}
+
+// NewNetwork builds a simulator over g, with per-node RNG streams derived
+// from seed.
+func NewNetwork(g *graph.G, seed uint64, opts ...Option) *Network {
+	n := g.N()
+	net := &Network{
+		g:        g,
+		cap:      1,
+		maxRound: 50_000_000,
+		nodeRNG:  make([]*rng.RNG, n),
+		off:      make([]int32, n+1),
+		halfIdx:  make([]map[graph.NodeID][]int32, n),
+		inbox:    make([][]Message, n),
+		inStep:   make([]bool, n),
+		awake:    make([]bool, n),
+		crashAt:  make([]int, n),
+	}
+	for v := range net.crashAt {
+		net.crashAt[v] = -1
+	}
+	base := rng.New(seed)
+	for v := 0; v < n; v++ {
+		net.nodeRNG[v] = base.Stream(uint64(v))
+		net.off[v+1] = net.off[v] + int32(g.Degree(graph.NodeID(v)))
+		idx := make(map[graph.NodeID][]int32, g.Degree(graph.NodeID(v)))
+		for j, h := range g.Neighbors(graph.NodeID(v)) {
+			idx[h.To] = append(idx[h.To], net.off[v]+int32(j))
+		}
+		net.halfIdx[v] = idx
+	}
+	total := net.off[n]
+	net.queues = make([][]Message, total)
+	net.inActive = make([]bool, total)
+	for _, opt := range opts {
+		opt(net)
+	}
+	return net
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.G { return n.g }
+
+// NodeRNG returns node v's persistent random stream. Protocol code uses it
+// through Ctx; tests may use it directly.
+func (n *Network) NodeRNG(v graph.NodeID) *rng.RNG { return n.nodeRNG[v] }
+
+// Run executes p until quiescence, a Halter stop, or the round budget.
+// It returns the cost of this run; the Result is also retained so drivers
+// can sum sequential phases.
+func (n *Network) Run(p Proto) (Result, error) {
+	n.reset()
+	ctx := &Ctx{net: n}
+	for v := 0; v < n.g.N(); v++ {
+		ctx.node = graph.NodeID(v)
+		ctx.inbox = nil
+		p.Init(ctx)
+		if n.runErr != nil {
+			return n.res, n.runErr
+		}
+	}
+	halter, _ := p.(Halter)
+	if halter != nil && halter.Halted() {
+		return n.res, nil
+	}
+	for !n.quiescent() {
+		if n.round >= n.maxRound {
+			return n.res, fmt.Errorf("%w after %d rounds", ErrRoundLimit, n.round)
+		}
+		n.round++
+		n.res.Rounds = n.round
+		n.deliver()
+		n.step(p, ctx)
+		if n.runErr != nil {
+			return n.res, n.runErr
+		}
+		if halter != nil && halter.Halted() {
+			break
+		}
+	}
+	return n.res, nil
+}
+
+// reset clears transient run state (queues are empty between runs by
+// construction: a run only ends at quiescence, halt, error or budget; on
+// the latter three we still drop leftovers so the next run starts clean).
+func (n *Network) reset() {
+	for _, e := range n.active {
+		n.queues[e] = nil
+		n.inActive[e] = false
+	}
+	n.active = n.active[:0]
+	for v := range n.awake {
+		n.awake[v] = false
+		n.inbox[v] = n.inbox[v][:0]
+	}
+	n.awakeNodes = n.awakeNodes[:0]
+	n.awakeCount = 0
+	n.stepSet = n.stepSet[:0]
+	n.round = 0
+	n.res = Result{}
+	n.runErr = nil
+}
+
+func (n *Network) quiescent() bool {
+	return len(n.active) == 0 && n.awakeCount == 0
+}
+
+// deliver moves up to cap messages per active directed edge into inboxes
+// and rebuilds the step set.
+func (n *Network) deliver() {
+	sort.Slice(n.active, func(i, j int) bool { return n.active[i] < n.active[j] })
+	edges := append(n.scratch[:0], n.active...)
+	n.scratch = edges
+	n.active = n.active[:0]
+	for _, e := range edges {
+		n.inActive[e] = false
+		q := n.queues[e]
+		if len(q) > n.res.MaxQueue {
+			n.res.MaxQueue = len(q)
+		}
+		k := n.cap
+		if n.capOf != nil {
+			k = int(n.capOf[e])
+		}
+		if k > len(q) {
+			k = len(q)
+		}
+		for _, m := range q[:k] {
+			to := m.To
+			if n.crashed(to) {
+				n.res.Dropped++
+				continue
+			}
+			n.inbox[to] = append(n.inbox[to], m)
+			n.res.Messages++
+			n.res.Words += int64(m.Payload.Words())
+			if !n.inStep[to] {
+				n.inStep[to] = true
+				n.stepSet = append(n.stepSet, to)
+			}
+		}
+		if k == len(q) {
+			n.queues[e] = nil
+		} else {
+			n.queues[e] = q[k:]
+			n.markActive(e)
+		}
+	}
+	// Compact the awake list (SetActive(false) leaves stale entries) and
+	// schedule the remaining awake nodes.
+	live := n.awakeNodes[:0]
+	for _, v := range n.awakeNodes {
+		if !n.awake[v] {
+			continue
+		}
+		if n.crashed(v) {
+			// Crash-stop: the node can no longer keep itself awake, or the
+			// run would never reach quiescence.
+			n.awake[v] = false
+			n.awakeCount--
+			continue
+		}
+		live = append(live, v)
+		if !n.inStep[v] {
+			n.inStep[v] = true
+			n.stepSet = append(n.stepSet, v)
+		}
+	}
+	n.awakeNodes = live
+}
+
+// step invokes the protocol on every scheduled node in ID order.
+func (n *Network) step(p Proto, ctx *Ctx) {
+	nodes := n.stepSet
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	n.stepSet = n.stepSet[:0]
+	for _, v := range nodes {
+		n.inStep[v] = false
+		if n.crashed(v) {
+			n.inbox[v] = n.inbox[v][:0]
+			continue
+		}
+		ctx.node = v
+		ctx.inbox = n.inbox[v]
+		p.Step(ctx)
+		n.inbox[v] = n.inbox[v][:0]
+		if n.runErr != nil {
+			return
+		}
+	}
+}
+
+// crashed reports whether v has crash-stopped by the current round.
+func (n *Network) crashed(v graph.NodeID) bool {
+	return n.crashAt[v] >= 0 && n.round >= n.crashAt[v]
+}
+
+func (n *Network) markActive(e int32) {
+	if !n.inActive[e] {
+		n.inActive[e] = true
+		n.active = append(n.active, e)
+	}
+}
+
+// send validates and enqueues a message from u to a neighbor. With parallel
+// edges the least-loaded one is used.
+func (n *Network) send(from, to graph.NodeID, p Payload) {
+	if n.runErr != nil {
+		return
+	}
+	if p == nil || p.Words() < 1 {
+		n.runErr = fmt.Errorf("congest: node %d sent an invalid payload", from)
+		return
+	}
+	idxs := n.halfIdx[from][to]
+	if len(idxs) == 0 {
+		n.runErr = fmt.Errorf("congest: node %d sent to non-neighbor %d", from, to)
+		return
+	}
+	best := idxs[0]
+	for _, e := range idxs[1:] {
+		if len(n.queues[e]) < len(n.queues[best]) {
+			best = e
+		}
+	}
+	n.queues[best] = append(n.queues[best], Message{From: from, To: to, Payload: p})
+	n.markActive(best)
+}
+
+// Ctx is the per-node view handed to protocol callbacks.
+type Ctx struct {
+	net   *Network
+	node  graph.NodeID
+	inbox []Message
+}
+
+// Node returns the executing node's ID.
+func (c *Ctx) Node() graph.NodeID { return c.node }
+
+// Round returns the current round number (0 during Init).
+func (c *Ctx) Round() int { return c.net.round }
+
+// Inbox returns the messages delivered to this node this round. The slice
+// is reused by the engine; protocols must not retain it across calls.
+func (c *Ctx) Inbox() []Message { return c.inbox }
+
+// Send enqueues a message to a neighbor; it is delivered no earlier than
+// the next round, later under congestion.
+func (c *Ctx) Send(to graph.NodeID, p Payload) { c.net.send(c.node, to, p) }
+
+// RNG returns this node's persistent random stream.
+func (c *Ctx) RNG() *rng.RNG { return c.net.nodeRNG[c.node] }
+
+// Degree returns the executing node's degree.
+func (c *Ctx) Degree() int { return c.net.g.Degree(c.node) }
+
+// Neighbors returns the executing node's half-edges (local knowledge in the
+// model: each node knows its neighbors' IDs). Callers must not modify it.
+func (c *Ctx) Neighbors() []graph.Half { return c.net.g.Neighbors(c.node) }
+
+// N returns the network size, which the model assumes nodes know.
+func (c *Ctx) N() int { return c.net.g.N() }
+
+// SetActive requests (or cancels) a Step call next round even if no
+// messages arrive.
+func (c *Ctx) SetActive(active bool) {
+	n := c.net
+	v := c.node
+	if active && !n.awake[v] {
+		n.awake[v] = true
+		n.awakeCount++
+		n.awakeNodes = append(n.awakeNodes, v)
+	} else if !active && n.awake[v] {
+		n.awake[v] = false
+		n.awakeCount--
+	}
+}

@@ -1,0 +1,94 @@
+package congest
+
+import (
+	"testing"
+
+	"distwalk/internal/graph"
+)
+
+func TestCrashDropsMessages(t *testing.T) {
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 crashes at round 3: of the 5 serialized messages, rounds 1-2
+	// deliver and rounds 3-5 drop.
+	net := NewNetwork(g, 1, WithCrash(1, 3))
+	p := &burst{from: 0, to: 1, k: 5}
+	res, err := net.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.got != 2 {
+		t.Fatalf("delivered %d, want 2", p.got)
+	}
+	if res.Dropped != 3 {
+		t.Fatalf("dropped %d, want 3", res.Dropped)
+	}
+}
+
+func TestCrashedNodeDoesNotStep(t *testing.T) {
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(g, 1, WithCrash(0, 2))
+	p := &selfTicker{quota: 100}
+	res, err := net.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SetActive in Init; steps at rounds 1 only (crashed from round 2),
+	// and the run must still reach quiescence.
+	if p.steps != 1 {
+		t.Fatalf("crashed node stepped %d times, want 1", p.steps)
+	}
+	if res.Rounds > 3 {
+		t.Fatalf("run did not quiesce promptly after crash: %d rounds", res.Rounds)
+	}
+}
+
+func TestCrashAtRoundZeroSilencesNode(t *testing.T) {
+	g, err := graph.Path(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relay 0→1→2 with node 1 dead from the start: nothing reaches 2.
+	net := NewNetwork(g, 1, WithCrash(1, 0))
+	p := &relayBurst{k: 4}
+	res, err := net.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.got != 0 {
+		t.Fatalf("delivered %d through a dead relay", p.got)
+	}
+	if res.Dropped != 4 {
+		t.Fatalf("dropped %d, want 4", res.Dropped)
+	}
+}
+
+func TestCrashInvalidArgsIgnored(t *testing.T) {
+	g, _ := graph.Path(2)
+	net := NewNetwork(g, 1, WithCrash(-1, 5), WithCrash(99, 5), WithCrash(0, -1))
+	p := &burst{from: 0, to: 1, k: 1}
+	if _, err := net.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.got != 1 {
+		t.Fatal("invalid crash specs affected delivery")
+	}
+}
+
+func TestBFSTreeDetectsCrashedNode(t *testing.T) {
+	// A BFS build over a network with a dead node must fail loudly (the
+	// node is unreachable), not hang or return a partial tree.
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(g, 1, WithCrash(5, 0))
+	if _, _, err := BuildBFSTree(net, 0); err == nil {
+		t.Fatal("BFS over a crashed node reported success")
+	}
+}

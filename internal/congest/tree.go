@@ -1,0 +1,312 @@
+package congest
+
+import (
+	"fmt"
+
+	"distwalk/internal/graph"
+)
+
+// Tree is a rooted BFS spanning tree, the standard CONGEST communication
+// scaffold (used by SAMPLE-DESTINATION, cover checks, and upcasts). It is
+// produced by the distributed flooding protocol in BuildBFSTree; the struct
+// aggregates what each node knows locally (its parent, children and depth)
+// for the convenience of driver code.
+type Tree struct {
+	Root     graph.NodeID
+	Parent   []graph.NodeID
+	Children [][]graph.NodeID
+	Depth    []int32
+	// Height is the maximum depth, i.e. the eccentricity of the root.
+	Height int
+}
+
+type announce struct{ depth int32 }
+
+func (announce) Words() int { return 1 }
+
+type childAck struct{}
+
+func (childAck) Words() int { return 1 }
+
+type bfsProto struct {
+	root     graph.NodeID
+	visited  []bool
+	parent   []graph.NodeID
+	children [][]graph.NodeID
+	depth    []int32
+}
+
+func (p *bfsProto) Init(ctx *Ctx) {
+	v := ctx.Node()
+	if v != p.root {
+		return
+	}
+	p.visited[v] = true
+	p.depth[v] = 0
+	for _, h := range ctx.Neighbors() {
+		ctx.Send(h.To, announce{depth: 1})
+	}
+}
+
+func (p *bfsProto) Step(ctx *Ctx) {
+	v := ctx.Node()
+	for _, m := range ctx.Inbox() {
+		switch pl := m.Payload.(type) {
+		case announce:
+			if p.visited[v] {
+				continue
+			}
+			p.visited[v] = true
+			p.parent[v] = m.From
+			p.depth[v] = pl.depth
+			ctx.Send(m.From, childAck{})
+			for _, h := range ctx.Neighbors() {
+				if h.To != m.From {
+					ctx.Send(h.To, announce{depth: pl.depth + 1})
+				}
+			}
+		case childAck:
+			p.children[v] = append(p.children[v], m.From)
+		}
+	}
+}
+
+// BuildBFSTree runs the flooding BFS-tree protocol from root and returns
+// the resulting tree and the run cost (O(D) rounds, O(m) messages). It
+// fails if the graph is disconnected.
+func BuildBFSTree(net *Network, root graph.NodeID) (*Tree, Result, error) {
+	n := net.Graph().N()
+	if root < 0 || int(root) >= n {
+		return nil, Result{}, fmt.Errorf("congest: BFS root %d out of range [0,%d)", root, n)
+	}
+	p := &bfsProto{
+		root:     root,
+		visited:  make([]bool, n),
+		parent:   make([]graph.NodeID, n),
+		children: make([][]graph.NodeID, n),
+		depth:    make([]int32, n),
+	}
+	for i := range p.parent {
+		p.parent[i] = graph.None
+	}
+	res, err := net.Run(p)
+	if err != nil {
+		return nil, res, err
+	}
+	t := &Tree{
+		Root:     root,
+		Parent:   p.parent,
+		Children: p.children,
+		Depth:    p.depth,
+	}
+	for v := 0; v < n; v++ {
+		if !p.visited[v] {
+			return nil, res, fmt.Errorf("congest: BFS from %d did not reach node %d (graph disconnected?)", root, v)
+		}
+		if int(p.depth[v]) > t.Height {
+			t.Height = int(p.depth[v])
+		}
+	}
+	return t, res, nil
+}
+
+type broadcastProto[V Payload] struct {
+	t       *Tree
+	payload V
+	visit   func(graph.NodeID, V)
+}
+
+func (p *broadcastProto[V]) Init(ctx *Ctx) {
+	v := ctx.Node()
+	if v != p.t.Root {
+		return
+	}
+	if p.visit != nil {
+		p.visit(v, p.payload)
+	}
+	for _, c := range p.t.Children[v] {
+		ctx.Send(c, p.payload)
+	}
+}
+
+func (p *broadcastProto[V]) Step(ctx *Ctx) {
+	v := ctx.Node()
+	for _, m := range ctx.Inbox() {
+		pl, ok := m.Payload.(V)
+		if !ok {
+			continue
+		}
+		if p.visit != nil {
+			p.visit(v, pl)
+		}
+		for _, c := range p.t.Children[v] {
+			ctx.Send(c, pl)
+		}
+	}
+}
+
+// Broadcast floods payload from the root to every node over tree edges
+// (Height rounds). visit is called at every node, root included, when the
+// payload arrives; it may be nil.
+func Broadcast[V Payload](net *Network, t *Tree, payload V, visit func(graph.NodeID, V)) (Result, error) {
+	return net.Run(&broadcastProto[V]{t: t, payload: payload, visit: visit})
+}
+
+type convergecastProto[V Payload] struct {
+	t       *Tree
+	initVal func(graph.NodeID) V
+	merge   func(graph.NodeID, V, V) V
+
+	pending []int
+	acc     []V
+	out     V
+	done    bool
+}
+
+func (p *convergecastProto[V]) Init(ctx *Ctx) {
+	v := ctx.Node()
+	p.acc[v] = p.initVal(v)
+	p.pending[v] = len(p.t.Children[v])
+	if p.pending[v] == 0 {
+		p.emit(ctx, v)
+	}
+}
+
+func (p *convergecastProto[V]) Step(ctx *Ctx) {
+	v := ctx.Node()
+	for _, m := range ctx.Inbox() {
+		pl, ok := m.Payload.(V)
+		if !ok {
+			continue
+		}
+		p.acc[v] = p.merge(v, p.acc[v], pl)
+		p.pending[v]--
+		if p.pending[v] == 0 {
+			p.emit(ctx, v)
+		}
+	}
+}
+
+func (p *convergecastProto[V]) emit(ctx *Ctx, v graph.NodeID) {
+	if v == p.t.Root {
+		p.out = p.acc[v]
+		p.done = true
+		return
+	}
+	ctx.Send(p.t.Parent[v], p.acc[v])
+}
+
+// Convergecast aggregates a value up the tree in Height rounds: each node
+// starts with initVal(node) and folds in each child's aggregate with
+// merge(node, acc, childVal); the root's final aggregate is returned.
+// merge must be associative-enough for the caller's purpose (children
+// arrive in delivery order).
+func Convergecast[V Payload](
+	net *Network,
+	t *Tree,
+	initVal func(graph.NodeID) V,
+	merge func(graph.NodeID, V, V) V,
+) (V, Result, error) {
+	p := &convergecastProto[V]{t: t, initVal: initVal, merge: merge}
+	p.pending = make([]int, net.Graph().N())
+	p.acc = make([]V, net.Graph().N())
+	res, err := net.Run(p)
+	var zero V
+	if err != nil {
+		return zero, res, err
+	}
+	if !p.done {
+		return zero, res, fmt.Errorf("congest: convergecast did not complete at root %d", t.Root)
+	}
+	return p.out, res, nil
+}
+
+type broadcastManyProto[V Payload] struct {
+	t     *Tree
+	items []V
+	visit func(graph.NodeID, V)
+}
+
+func (p *broadcastManyProto[V]) Init(ctx *Ctx) {
+	v := ctx.Node()
+	if v != p.t.Root {
+		return
+	}
+	for _, it := range p.items {
+		if p.visit != nil {
+			p.visit(v, it)
+		}
+		for _, c := range p.t.Children[v] {
+			ctx.Send(c, it)
+		}
+	}
+}
+
+func (p *broadcastManyProto[V]) Step(ctx *Ctx) {
+	v := ctx.Node()
+	for _, m := range ctx.Inbox() {
+		pl, ok := m.Payload.(V)
+		if !ok {
+			continue
+		}
+		if p.visit != nil {
+			p.visit(v, pl)
+		}
+		for _, c := range p.t.Children[v] {
+			ctx.Send(c, pl)
+		}
+	}
+}
+
+// BroadcastMany floods a batch of payloads from the root to every node,
+// pipelined one message per edge per round: O(len(items) + Height) rounds.
+// visit is called at every node for every item; it may be nil.
+func BroadcastMany[V Payload](net *Network, t *Tree, items []V, visit func(graph.NodeID, V)) (Result, error) {
+	return net.Run(&broadcastManyProto[V]{t: t, items: items, visit: visit})
+}
+
+type upcastProto[V Payload] struct {
+	t         *Tree
+	items     func(graph.NodeID) []V
+	collected []V
+}
+
+func (p *upcastProto[V]) Init(ctx *Ctx) {
+	v := ctx.Node()
+	for _, it := range p.items(v) {
+		if v == p.t.Root {
+			p.collected = append(p.collected, it)
+		} else {
+			ctx.Send(p.t.Parent[v], it)
+		}
+	}
+}
+
+func (p *upcastProto[V]) Step(ctx *Ctx) {
+	v := ctx.Node()
+	for _, m := range ctx.Inbox() {
+		pl, ok := m.Payload.(V)
+		if !ok {
+			continue
+		}
+		if v == p.t.Root {
+			p.collected = append(p.collected, pl)
+		} else {
+			ctx.Send(p.t.Parent[v], pl)
+		}
+	}
+}
+
+// Upcast streams every node's items to the root over tree edges, pipelined
+// one message per edge per round (the standard upcast primitive; see
+// Peleg's book). With a total of s items the run takes O(s + Height)
+// rounds, which the engine's queueing measures naturally. Items arrive in
+// a deterministic order.
+func Upcast[V Payload](net *Network, t *Tree, items func(graph.NodeID) []V) ([]V, Result, error) {
+	p := &upcastProto[V]{t: t, items: items}
+	res, err := net.Run(p)
+	if err != nil {
+		return nil, res, err
+	}
+	return p.collected, res, nil
+}

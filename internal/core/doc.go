@@ -1,0 +1,24 @@
+// Package core implements the distributed random-walk algorithms of
+// "Efficient Distributed Random Walks with Applications" (Das Sarma,
+// Nanongkai, Pandurangan, Tetali; PODC 2010) on a simulated CONGEST
+// network:
+//
+//   - SINGLE-RANDOM-WALK (Algorithm 1): sample the endpoint of an ℓ-step
+//     walk in Õ(√(ℓD)) rounds by preparing short walks of random length in
+//     [λ, 2λ−1] (Phase 1) and stitching them at connector nodes (Phase 2).
+//   - SAMPLE-DESTINATION (Algorithm 3): uniform sampling of an unused
+//     short-walk coupon via BFS-tree convergecast in O(D) rounds.
+//   - GET-MORE-WALKS (Algorithm 2): count-aggregated refill of a node's
+//     short walks, with reservoir sampling giving each new walk an
+//     independent uniform length without per-walk control messages.
+//   - MANY-RANDOM-WALKS: k walks in Õ(min(√(kℓD)+k, k+ℓ)) rounds.
+//   - Walk regeneration (Section 2.2): every node learns its position(s)
+//     in the sampled walk, enabling the random-spanning-tree application.
+//   - The naive ℓ-round token walk and the PODC 2009 Õ(ℓ^{2/3}D^{1/3})
+//     parameterization, as baselines.
+//
+// All algorithms run on internal/congest and report exact round/message
+// costs. Correctness is Las Vegas: the sampled endpoint follows the true
+// ℓ-step walk distribution regardless of parameter choices; parameters
+// only affect the round complexity.
+package core

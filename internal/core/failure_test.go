@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// Failure injection (the paper's Section 5 lists robustness as future
+// work): the important property today is that the Las Vegas drivers
+// *detect* token loss — they error out rather than returning a sample
+// from the wrong distribution.
+
+func TestNaiveWalkDetectsTokenLoss(t *testing.T) {
+	// A cycle forces every long walk through node 2; crash it mid-run.
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalker(g, 3, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the walker's network with a crash injected.
+	w.net = congest.NewNetwork(g, 3, congest.WithCrash(2, 0))
+	if _, err := w.SingleRandomWalk(0, 3); err == nil {
+		// ℓ=3 uses the naive path; with node 2 dead the tree build or the
+		// token must fail.
+		t.Fatal("walk over a crashed node reported success")
+	}
+}
+
+func TestStitchedWalkDetectsCrashDuringPhase2(t *testing.T) {
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalker(g, 5, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash a node well after the BFS/Phase 1 bursts so the failure lands
+	// mid-stitching; on a torus every node is on some walk's path with
+	// high probability, and the convergecast through it must stall.
+	w.net = congest.NewNetwork(g, 5, congest.WithCrash(7, 40), congest.WithMaxRounds(20000))
+	if _, err := w.SingleRandomWalk(0, 2000); err == nil {
+		t.Fatal("stitched walk with a mid-run crash reported success")
+	}
+}

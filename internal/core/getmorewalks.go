@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// gmwMsg is the count-aggregated token bundle of GET-MORE-WALKS
+// (Algorithm 2): "it sends only the source ID and a count to each
+// neighbor" — one O(log n)-bit message per edge per step regardless of how
+// many of the batch's tokens cross it, which is what makes Lemma 2.2's
+// O(λ) bound congestion-free. steps is the number of hops the bundled
+// tokens have completed so far.
+type gmwMsg struct {
+	batch int64 // encodes the owner (walkOwner) and the refill instance
+	count int32
+	steps int32
+}
+
+func (gmwMsg) Words() int { return 3 }
+
+// gmwProto refills the exhausted connector v with ⌊ℓ/λ⌋ fresh short walks.
+// Tokens walk λ fixed steps and are then extended by reservoir sampling:
+// at extension step i (i = steps−λ), each token stops independently with
+// probability 1/(λ−i), which makes the final length uniform on [λ, 2λ−1]
+// (Lemma 2.4) without ever sending per-token lengths.
+type gmwProto struct {
+	w      *Walker
+	owner  graph.NodeID
+	batch  int64
+	count  int
+	lambda int32
+}
+
+func (p *gmwProto) Init(ctx *congest.Ctx) {
+	if ctx.Node() != p.owner || p.count == 0 {
+		return
+	}
+	p.processTokens(ctx, int32(p.count), 0)
+}
+
+func (p *gmwProto) Step(ctx *congest.Ctx) {
+	for _, m := range ctx.Inbox() {
+		t, ok := m.Payload.(gmwMsg)
+		if !ok || t.batch != p.batch {
+			continue
+		}
+		p.processTokens(ctx, t.count, t.steps)
+	}
+}
+
+// gmwOut groups outgoing tokens by (neighbor, arrival step): with the
+// simple walk every token of a bundle leaves at the same step, so this is
+// one message per neighbor exactly as Algorithm 2 requires; Metropolis
+// stays can spread a bundle over a few arrival steps, still aggregated.
+type gmwOut struct {
+	nbr   graph.NodeID
+	steps int32
+}
+
+// processTokens walks each of `count` tokens (having completed `steps`
+// hops and currently at the executing node) forward: reservoir stop
+// checks at every step ≥ λ, stay steps consumed locally, moves
+// aggregated into per-(neighbor, step) messages.
+func (p *gmwProto) processTokens(ctx *congest.Ctx, count, steps int32) {
+	v := ctx.Node()
+	out := make(map[gmwOut]int32)
+	for j := int32(0); j < count; j++ {
+		p.walkOne(ctx, steps, out)
+	}
+	// Deterministic send order: by neighbor, then arrival step.
+	keys := make([]gmwOut, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].nbr != keys[j].nbr {
+			return keys[i].nbr < keys[j].nbr
+		}
+		return keys[i].steps < keys[j].steps
+	})
+	for _, key := range keys {
+		c := out[key]
+		p.w.st.recordGMWSend(v, gmwKey{batch: p.batch, step: key.steps, nbr: key.nbr}, c)
+		ctx.Send(key.nbr, gmwMsg{batch: p.batch, count: c, steps: key.steps})
+	}
+}
+
+// walkOne advances a single token: stop with probability 1/(λ−i) at each
+// step s = λ+i (uniform length on [λ, 2λ−1], Lemma 2.4), otherwise take a
+// walk step; Metropolis stays advance s without leaving the node.
+func (p *gmwProto) walkOne(ctx *congest.Ctx, s int32, out map[gmwOut]int32) {
+	v := ctx.Node()
+	for {
+		if s >= p.lambda {
+			if ctx.RNG().Intn(int(2*p.lambda-s)) == 0 {
+				p.w.st.addCoupon(v, coupon{
+					owner:  p.owner,
+					walkID: p.w.st.newWalkID(v),
+					length: s,
+					refill: true,
+					batch:  p.batch,
+				})
+				return
+			}
+		}
+		if p.w.prm.Metropolis {
+			next, err := p.w.g.MHStep(ctx.RNG(), v)
+			if err == nil && next == v {
+				s++ // stayed: walk step consumed locally
+				continue
+			}
+			if err == nil {
+				out[gmwOut{nbr: next, steps: s + 1}]++
+			}
+			return
+		}
+		if next, err := p.w.g.Step(ctx.RNG(), v); err == nil {
+			out[gmwOut{nbr: next, steps: s + 1}]++
+		}
+		return
+	}
+}
+
+// getMoreWalks runs GET-MORE-WALKS(v): Θ(ℓ/λ) new walks owned by v.
+func (w *Walker) getMoreWalks(v graph.NodeID, ell, lambda int) (congest.Result, error) {
+	count := ell / lambda
+	if count < 1 {
+		count = 1
+	}
+	p := &gmwProto{
+		w:      w,
+		owner:  v,
+		batch:  w.st.newWalkID(v),
+		count:  count,
+		lambda: int32(lambda),
+	}
+	return w.net.Run(p)
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// ManyResult describes k walks computed by MANY-RANDOM-WALKS.
+type ManyResult struct {
+	// Destinations[i] is the endpoint of the walk from sources[i].
+	Destinations []graph.NodeID
+	// Walks holds the per-walk composition; shared costs (tree, Phase 1,
+	// batched notifications) appear only in Cost.
+	Walks []*WalkResult
+	// Lambda is the short-walk base length used (0 on the naive path).
+	Lambda int
+	// NaiveFallback reports that λ > ℓ made token forwarding optimal, so
+	// all k walks ran as parallel naive tokens (Õ(k+ℓ) rounds).
+	NaiveFallback bool
+	// Refills counts GET-MORE-WALKS invocations across all walks.
+	Refills int
+	// Cost is the total simulated cost of the batch.
+	Cost congest.Result
+}
+
+// ManyRandomWalks computes k independent ℓ-step walks from the given (not
+// necessarily distinct) sources in Õ(min(√(kℓD)+k, k+ℓ)) rounds
+// (Theorem 2.8): one Phase 1 provisions short walks of length
+// λ = Θ(√(kℓD)+k), then the walks are stitched one at a time; if λ > ℓ the
+// k walks run as parallel naive tokens instead.
+func (w *Walker) ManyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: no sources")
+	}
+	for _, s := range sources {
+		if err := w.checkNode(s); err != nil {
+			return nil, err
+		}
+	}
+	if ell < 0 {
+		return nil, fmt.Errorf("core: negative walk length %d", ell)
+	}
+	out := &ManyResult{
+		Destinations: make([]graph.NodeID, len(sources)),
+		Walks:        make([]*WalkResult, len(sources)),
+	}
+	if ell == 0 {
+		for i, s := range sources {
+			out.Destinations[i] = s
+			out.Walks[i] = &WalkResult{Source: s, Destination: s}
+		}
+		return out, nil
+	}
+	if w.g.N() == 1 {
+		return nil, fmt.Errorf("core: cannot walk on a single-node graph")
+	}
+
+	treeRes, err := w.ensureTree(sources[0])
+	if err != nil {
+		return nil, err
+	}
+	out.Cost.Add(treeRes)
+	diam := w.tree.Height
+	if diam < 1 {
+		diam = 1
+	}
+	lam := w.prm.lambdaMany(len(sources), ell, diam, w.g.N())
+
+	if lam > ell {
+		// "If λ > ℓ then run the naive random walk algorithm, i.e., the
+		// sources find walks of length ℓ simultaneously by sending tokens."
+		out.NaiveFallback = true
+		return out, w.naiveMany(out, sources, ell)
+	}
+	out.Lambda = lam
+
+	extra := make(map[graph.NodeID]int, len(sources))
+	for _, s := range sources {
+		extra[s]++
+	}
+	p1, err := w.ensurePhase1(lam, extra)
+	if err != nil {
+		return nil, err
+	}
+	out.Cost.Add(p1)
+
+	// Stitch the k walks one at a time (as in the paper), but defer every
+	// walk's ≤2λ-step naive tail so all k tails run concurrently below.
+	tails := make([]tailSpec, len(sources))
+	for i, s := range sources {
+		wr := &WalkResult{Source: s, Destination: s, Length: ell, Lambda: lam}
+		cur, completed, err := w.stitchSegments(wr, s, ell, lam)
+		if err != nil {
+			return nil, fmt.Errorf("core: walk %d from %d: %w", i, s, err)
+		}
+		tails[i] = tailSpec{start: cur, steps: int32(ell - completed)}
+		out.Walks[i] = wr
+		out.Destinations[i] = wr.Destination
+		out.Refills += wr.Refills
+		out.Cost.Add(wr.Cost)
+	}
+	if err := w.runTails(out, tails); err != nil {
+		return nil, err
+	}
+	return out, w.notifyAll(out, sources)
+}
+
+// tailSpec is one deferred naive tail: steps hops remaining from start.
+type tailSpec struct {
+	start graph.NodeID
+	steps int32
+}
+
+// runTails completes every walk's remaining steps with simultaneous token
+// forwarding — O(max tail + congestion) rounds instead of the sum.
+func (w *Walker) runTails(out *ManyResult, tails []tailSpec) error {
+	p := &naiveManyProto{
+		w:     w,
+		steps: make([]int32, len(tails)),
+		start: make(map[int64]int, len(tails)),
+		dest:  make([]graph.NodeID, len(tails)),
+	}
+	for i, tl := range tails {
+		wid := w.st.newWalkID(tl.start)
+		p.start[wid] = i
+		p.walkIDs = append(p.walkIDs, wid)
+		p.steps[i] = tl.steps
+		p.dest[i] = graph.None
+	}
+	res, err := w.net.Run(p)
+	out.Cost.Add(res)
+	if err != nil {
+		return err
+	}
+	for i, tl := range tails {
+		if p.dest[i] == graph.None {
+			return fmt.Errorf("core: tail %d did not complete", i)
+		}
+		wr := out.Walks[i]
+		wr.Segments = append(wr.Segments, Segment{
+			Start:  tl.start,
+			End:    p.dest[i],
+			WalkID: p.walkIDs[i],
+			Length: int(tl.steps),
+		})
+		wr.Destination = p.dest[i]
+		out.Destinations[i] = p.dest[i]
+	}
+	return nil
+}
+
+// naiveMany walks all k tokens simultaneously (the k+ℓ regime).
+func (w *Walker) naiveMany(out *ManyResult, sources []graph.NodeID, ell int) error {
+	p := &naiveManyProto{
+		w:     w,
+		steps: make([]int32, len(sources)),
+		start: make(map[int64]int, len(sources)),
+		dest:  make([]graph.NodeID, len(sources)),
+	}
+	for i, s := range sources {
+		wid := w.st.newWalkID(s)
+		p.start[wid] = i
+		p.walkIDs = append(p.walkIDs, wid)
+		p.steps[i] = int32(ell)
+		p.dest[i] = graph.None
+	}
+	res, err := w.net.Run(p)
+	out.Cost.Add(res)
+	if err != nil {
+		return err
+	}
+	for i, s := range sources {
+		if p.dest[i] == graph.None {
+			return fmt.Errorf("core: naive walk %d did not complete", i)
+		}
+		out.Destinations[i] = p.dest[i]
+		out.Walks[i] = &WalkResult{
+			Source:      s,
+			Destination: p.dest[i],
+			Length:      ell,
+			Naive:       true,
+			Segments: []Segment{{
+				Start:  s,
+				End:    p.dest[i],
+				WalkID: p.walkIDs[i],
+				Length: ell,
+			}},
+		}
+	}
+	return w.notifyAll(out, sources)
+}
+
+// notifyAll delivers every walk's destination back to its source in
+// O(k + D) rounds: the destinations upcast (walk, dest) reports to the
+// root, which floods them back down, both pipelined.
+func (w *Walker) notifyAll(out *ManyResult, sources []graph.NodeID) error {
+	perNode := make(map[graph.NodeID][]destReport, len(sources))
+	for i := range sources {
+		wr := out.Walks[i]
+		last := wr.Segments[len(wr.Segments)-1]
+		perNode[wr.Destination] = append(perNode[wr.Destination], destReport{
+			walkID: last.WalkID,
+			dest:   wr.Destination,
+			deg:    int32(w.g.Degree(wr.Destination)),
+		})
+	}
+	reports, res, err := congest.Upcast(w.net, w.tree, func(u graph.NodeID) []destReport {
+		return perNode[u]
+	})
+	out.Cost.Add(res)
+	if err != nil {
+		return err
+	}
+	if len(reports) != len(sources) {
+		return fmt.Errorf("core: %d of %d destination reports arrived", len(reports), len(sources))
+	}
+	res, err = congest.BroadcastMany(w.net, w.tree, reports, nil)
+	out.Cost.Add(res)
+	return err
+}
+
+// naiveManyProto forwards k tokens (of possibly different lengths)
+// simultaneously; the engine's per-edge queues charge any congestion
+// between them.
+type naiveManyProto struct {
+	w       *Walker
+	steps   []int32 // per walk index
+	walkIDs []int64
+	start   map[int64]int // walkID -> walk index
+	dest    []graph.NodeID
+}
+
+func (p *naiveManyProto) Init(ctx *congest.Ctx) {
+	v := ctx.Node()
+	// Iterate the ordered slice, not the map: map order would make RNG
+	// consumption (and thus the whole run) non-deterministic.
+	for idx, wid := range p.walkIDs {
+		if walkOwner(wid) != v {
+			continue
+		}
+		steps := p.steps[idx]
+		if steps == 0 {
+			p.dest[idx] = v
+			continue
+		}
+		p.forward(ctx, naiveToken{walkID: wid, remaining: steps, total: steps})
+	}
+}
+
+func (p *naiveManyProto) Step(ctx *congest.Ctx) {
+	for _, m := range ctx.Inbox() {
+		t, ok := m.Payload.(naiveToken)
+		if !ok {
+			continue
+		}
+		if _, mine := p.start[t.walkID]; !mine {
+			continue
+		}
+		p.forward(ctx, t)
+	}
+}
+
+func (p *naiveManyProto) forward(ctx *congest.Ctx, t naiveToken) {
+	v := ctx.Node()
+	next, rem := p.w.advanceToken(ctx, t.remaining)
+	if next == graph.None {
+		p.dest[p.start[t.walkID]] = v
+		return
+	}
+	p.w.st.recordHop(v, t.walkID, next)
+	t.remaining = rem
+	ctx.Send(next, t)
+}

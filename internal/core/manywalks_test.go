@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"distwalk/internal/dist"
+	"distwalk/internal/graph"
+	"distwalk/internal/stats"
+)
+
+func TestManyRandomWalksBasic(t *testing.T) {
+	g, err := graph.Torus(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 3, DefaultParams())
+	sources := []graph.NodeID{0, 5, 11, 0}
+	res, err := w.ManyRandomWalks(sources, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Destinations) != len(sources) || len(res.Walks) != len(sources) {
+		t.Fatalf("result sizes: %d dests, %d walks", len(res.Destinations), len(res.Walks))
+	}
+	for i, wres := range res.Walks {
+		if wres.Source != sources[i] {
+			t.Fatalf("walk %d source %d, want %d", i, wres.Source, sources[i])
+		}
+		total := 0
+		for _, s := range wres.Segments {
+			total += s.Length
+		}
+		if total != 500 {
+			t.Fatalf("walk %d sums to %d", i, total)
+		}
+		if wres.Destination != res.Destinations[i] {
+			t.Fatal("destination mismatch between Walks and Destinations")
+		}
+	}
+}
+
+func TestManyRandomWalksValidation(t *testing.T) {
+	g, _ := graph.Torus(3, 3)
+	w := newWalker(t, g, 1, DefaultParams())
+	if _, err := w.ManyRandomWalks(nil, 10); err == nil {
+		t.Fatal("empty sources accepted")
+	}
+	if _, err := w.ManyRandomWalks([]graph.NodeID{77}, 10); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := w.ManyRandomWalks([]graph.NodeID{0}, -2); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestManyRandomWalksZeroLength(t *testing.T) {
+	g, _ := graph.Torus(3, 3)
+	w := newWalker(t, g, 1, DefaultParams())
+	res, err := w.ManyRandomWalks([]graph.NodeID{2, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Destinations[0] != 2 || res.Destinations[1] != 4 {
+		t.Fatalf("zero-length walks moved: %v", res.Destinations)
+	}
+}
+
+func TestManyRandomWalksNaiveFallback(t *testing.T) {
+	// Large k with tiny ℓ forces λ > ℓ: the k+ℓ regime.
+	g, err := graph.Torus(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 7, DefaultParams())
+	sources := make([]graph.NodeID, 40)
+	for i := range sources {
+		sources[i] = graph.NodeID(i % g.N())
+	}
+	res, err := w.ManyRandomWalks(sources, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NaiveFallback {
+		t.Fatal("expected naive fallback for k=40, ℓ=5")
+	}
+	// Õ(k+ℓ): must be far below k·ℓ (sequential naive).
+	if res.Cost.Rounds > 4*(len(sources)+5)+4*5 {
+		t.Fatalf("naive-many cost %d rounds, want O(k+ℓ)", res.Cost.Rounds)
+	}
+	for i, d := range res.Destinations {
+		if d < 0 || int(d) >= g.N() {
+			t.Fatalf("walk %d has bad destination %d", i, d)
+		}
+	}
+}
+
+func TestManyRandomWalksEndpointDistribution(t *testing.T) {
+	// k walks from the same source must each follow the exact ℓ-step
+	// distribution.
+	g, err := graph.Candy(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		source = graph.NodeID(5)
+		ell    = 20
+		k      = 20
+		trials = 150
+	)
+	exact, err := dist.WalkDist(g, source, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, g.N())
+	for trial := 0; trial < trials; trial++ {
+		w := newWalker(t, g, uint64(1000+trial), Params{Lambda: 4, LambdaC: 1, Eta: 1})
+		sources := make([]graph.NodeID, k)
+		for i := range sources {
+			sources[i] = source
+		}
+		res, err := w.ManyRandomWalks(sources, ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Destinations {
+			counts[d]++
+		}
+	}
+	var obs []int
+	var exp []float64
+	for v, p := range exact {
+		if p < 1e-12 {
+			continue
+		}
+		obs = append(obs, counts[v])
+		exp = append(exp, p)
+	}
+	sum := 0.0
+	for _, e := range exp {
+		sum += e
+	}
+	for i := range exp {
+		exp[i] /= sum
+	}
+	stat, df, err := stats.ChiSquare(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := stats.ChiSquarePValue(stat, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("many-walk endpoints off: p=%v obs=%v", p, obs)
+	}
+}
+
+func TestManyWalksScaleSublinearlyInK(t *testing.T) {
+	// Theorem 2.8: √(kℓD)+k grows much slower than k·√(ℓD).
+	g, err := graph.Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 3000
+	run := func(k int) int {
+		w := newWalker(t, g, 99, DefaultParams())
+		sources := make([]graph.NodeID, k)
+		res, err := w.ManyRandomWalks(sources, ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost.Rounds
+	}
+	r1 := run(1)
+	r16 := run(16)
+	if r16 > 10*r1 {
+		t.Fatalf("16 walks cost %d rounds vs %d for one — not sublinear in k", r16, r1)
+	}
+}
+
+func TestManyWalksDeterministic(t *testing.T) {
+	g, err := graph.Torus(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []graph.NodeID {
+		w := newWalker(t, g, 1234, DefaultParams())
+		res, err := w.ManyRandomWalks([]graph.NodeID{1, 2, 3}, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Destinations
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walk %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// naiveToken is the classic token walk: "The walk of length ℓ is performed
+// by sending a token for ℓ steps, picking a random neighbor with each
+// step" (Section 1.2). It is both the paper's baseline and the final
+// ≤ 2λ-step tail of SINGLE-RANDOM-WALK (Algorithm 1, Phase 2 line 14).
+type naiveToken struct {
+	walkID    int64
+	remaining int32
+	total     int32
+}
+
+func (naiveToken) Words() int { return 3 }
+
+// destReport carries the walk outcome to the source over the BFS tree.
+// The destination includes its own degree so the receiver can compute the
+// stationary mass π(dest) = deg/2m locally (used by the mixing-time
+// estimator, Section 4.2).
+type destReport struct {
+	walkID int64
+	dest   graph.NodeID
+	deg    int32
+}
+
+func (destReport) Words() int { return 3 }
+
+type naiveProto struct {
+	w      *Walker
+	start  graph.NodeID
+	walkID int64
+	steps  int32
+
+	dest    graph.NodeID
+	arrived bool
+}
+
+func (p *naiveProto) Init(ctx *congest.Ctx) {
+	if ctx.Node() != p.start {
+		return
+	}
+	if p.steps == 0 {
+		p.dest = p.start
+		p.arrived = true
+		return
+	}
+	p.forward(ctx, naiveToken{walkID: p.walkID, remaining: p.steps, total: p.steps})
+}
+
+func (p *naiveProto) Step(ctx *congest.Ctx) {
+	for _, m := range ctx.Inbox() {
+		t, ok := m.Payload.(naiveToken)
+		if !ok || t.walkID != p.walkID {
+			continue
+		}
+		p.forward(ctx, t)
+	}
+}
+
+func (p *naiveProto) forward(ctx *congest.Ctx, t naiveToken) {
+	v := ctx.Node()
+	next, rem := p.w.advanceToken(ctx, t.remaining)
+	if next == graph.None {
+		p.dest = v
+		p.arrived = true
+		return
+	}
+	p.w.st.recordHop(v, t.walkID, next)
+	t.remaining = rem
+	ctx.Send(next, t)
+}
+
+// naiveSegment walks `steps` hops from start by token forwarding, recording
+// hops for later regeneration, and returns the destination plus cost.
+func (w *Walker) naiveSegment(start graph.NodeID, steps int) (graph.NodeID, int64, congest.Result, error) {
+	p := &naiveProto{
+		w:      w,
+		start:  start,
+		walkID: w.st.newWalkID(start),
+		steps:  int32(steps),
+	}
+	res, err := w.net.Run(p)
+	if err != nil {
+		return graph.None, 0, res, err
+	}
+	if !p.arrived {
+		return graph.None, 0, res, fmt.Errorf("core: naive walk of %d steps from %d did not complete", steps, start)
+	}
+	return p.dest, p.walkID, res, nil
+}
+
+// reportToSource sends (walkID, dest) from the destination to the tree
+// root over tree edges (depth(dest) rounds). With the tree rooted at the
+// walk's source this completes 1-RW-SoD: the source outputs the
+// destination's ID.
+func (w *Walker) reportToSource(tree *congest.Tree, dest graph.NodeID, walkID int64) (congest.Result, error) {
+	reports, res, err := congest.Upcast(w.net, tree, func(u graph.NodeID) []destReport {
+		if u == dest {
+			return []destReport{{walkID: walkID, dest: dest, deg: int32(w.g.Degree(dest))}}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if len(reports) != 1 || reports[0].dest != dest {
+		return res, fmt.Errorf("core: destination report lost (got %d reports)", len(reports))
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"zero value", Params{}},
+		{"zero eta", Params{LambdaC: 1}},
+		{"negative lambda", Params{LambdaC: 1, Eta: 1, Lambda: -3}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.validate(); err == nil {
+				t.Fatal("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestLambdaFormula(t *testing.T) {
+	p := DefaultParams()
+	// λ = ceil(√(ℓD)): ℓ=100, D=4 -> 20.
+	if got := p.lambda(100, 4, 1000); got != 20 {
+		t.Fatalf("lambda(100,4) = %d, want 20", got)
+	}
+	// Scaled by LambdaC.
+	p.LambdaC = 2
+	if got := p.lambda(100, 4, 1000); got != 40 {
+		t.Fatalf("lambda with c=2 = %d, want 40", got)
+	}
+	// Override wins.
+	p.Lambda = 7
+	if got := p.lambda(100, 4, 1000); got != 7 {
+		t.Fatalf("lambda override = %d, want 7", got)
+	}
+}
+
+func TestLambdaTheoryConstantsHuge(t *testing.T) {
+	p := Params{Theory: true, Eta: 1}
+	practical := Params{LambdaC: 1, Eta: 1}
+	lt := p.lambda(10000, 10, 1024)
+	lp := practical.lambda(10000, 10, 1024)
+	// 24·(log2 1024)³ = 24000: theory λ is 4 orders larger.
+	if lt < 1000*lp {
+		t.Fatalf("theory λ=%d not ≫ practical λ=%d", lt, lp)
+	}
+}
+
+func TestLambdaAtLeastOne(t *testing.T) {
+	p := DefaultParams()
+	if got := p.lambda(1, 1, 2); got < 1 {
+		t.Fatalf("lambda = %d, want >= 1", got)
+	}
+	if got := p.lambdaMany(1, 1, 0, 2); got < 1 {
+		t.Fatalf("lambdaMany = %d, want >= 1", got)
+	}
+}
+
+func TestLambdaManyGrowsWithK(t *testing.T) {
+	p := DefaultParams()
+	l1 := p.lambdaMany(1, 1000, 10, 100)
+	l16 := p.lambdaMany(16, 1000, 10, 100)
+	if l16 <= l1 {
+		t.Fatalf("λ(k=16)=%d not > λ(k=1)=%d", l16, l1)
+	}
+	// λ(k) ≈ √k·λ(1) + k.
+	if l16 > 5*l1+16 {
+		t.Fatalf("λ(k=16)=%d grows too fast vs λ(1)=%d", l16, l1)
+	}
+}
+
+func TestDNP09Params(t *testing.T) {
+	p := DNP09Params(1000, 10)
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.FixedLength || !p.UniformCounts {
+		t.Fatal("DNP09 must use fixed lengths and uniform counts")
+	}
+	// λ = (ℓD²)^{1/3} = (100000)^{1/3} ≈ 47, η = (ℓ/D)^{1/3} ≈ 5.
+	if p.Lambda < 40 || p.Lambda > 55 {
+		t.Fatalf("DNP09 λ = %d, want ≈ 47", p.Lambda)
+	}
+	if p.Eta < 4 || p.Eta > 6 {
+		t.Fatalf("DNP09 η = %d, want ≈ 5", p.Eta)
+	}
+}
+
+func TestDNP09ParamsDegenerateInputs(t *testing.T) {
+	p := DNP09Params(0, 0)
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Lambda < 1 || p.Eta < 1 {
+		t.Fatalf("degenerate DNP09 params: λ=%d η=%d", p.Lambda, p.Eta)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// walkToken carries one Phase 1 short walk: the walk ID (which encodes the
+// owner), the hops still to take, and the total length (stored in the
+// coupon at the destination). All O(log n) bits, as in Section 2.1: "Each
+// node simply sends η tokens containing the source ID and the desired
+// length. The nodes keep forwarding these tokens with decreased desired
+// walk length".
+type walkToken struct {
+	walkID    int64
+	remaining int32
+	total     int32
+}
+
+func (walkToken) Words() int { return 3 }
+
+// phase1Proto performs Phase 1 of SINGLE-RANDOM-WALK: every node v starts
+// η·deg(v) independent short walks (η with UniformCounts), each of length
+// λ + r with r uniform in [0, λ−1] (exactly λ with FixedLength). Each
+// forwarding node records the successor so the walk can be retraced later;
+// the destination stores a coupon. The engine's per-edge queues charge the
+// congestion this phase is known for (Lemma 2.1: O(λη log n) rounds
+// w.h.p.).
+type phase1Proto struct {
+	w      *Walker
+	lambda int32
+	// extra adds walks at walk sources: Lemma 2.6's visit bound carries a
+	// "+k" term precisely because the k sources are each used as a
+	// connector once per walk they start, on top of the d(y)√(kℓ)
+	// stationary visits — so sources provision k extra short walks.
+	extra map[graph.NodeID]int
+}
+
+func (p *phase1Proto) Init(ctx *congest.Ctx) {
+	v := ctx.Node()
+	if ctx.Degree() == 0 {
+		return
+	}
+	count := p.w.prm.Eta
+	if !p.w.prm.UniformCounts {
+		count *= ctx.Degree()
+	}
+	count += p.extra[v]
+	for i := 0; i < count; i++ {
+		total := p.lambda
+		if !p.w.prm.FixedLength {
+			total += int32(ctx.RNG().Intn(int(p.lambda)))
+		}
+		wid := p.w.st.newWalkID(v)
+		p.forward(ctx, walkToken{walkID: wid, remaining: total, total: total})
+	}
+}
+
+func (p *phase1Proto) Step(ctx *congest.Ctx) {
+	for _, m := range ctx.Inbox() {
+		t, ok := m.Payload.(walkToken)
+		if !ok {
+			continue
+		}
+		p.forward(ctx, t)
+	}
+}
+
+// forward takes walk steps of the token at the executing node until it
+// either moves to a neighbor or finishes here (stay steps of the
+// Metropolis-Hastings variant are free: they consume walk steps but no
+// messages), storing the coupon when the walk completes.
+func (p *phase1Proto) forward(ctx *congest.Ctx, t walkToken) {
+	v := ctx.Node()
+	next, rem := p.w.advanceToken(ctx, t.remaining)
+	if next == graph.None {
+		p.w.st.addCoupon(v, coupon{
+			owner:  walkOwner(t.walkID),
+			walkID: t.walkID,
+			length: t.total,
+		})
+		return
+	}
+	p.w.st.recordHop(v, t.walkID, next)
+	t.remaining = rem
+	ctx.Send(next, t)
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// Trace is the result of regenerating a walk (Section 2.2, "Regenerating
+// the entire random walk"): every node knows its position(s) in the
+// ℓ-step walk. The arrays aggregate per-node local knowledge for driver
+// convenience: Positions[v] is known to v, and so on.
+type Trace struct {
+	// Positions[v] lists the walk positions (0..ℓ) at which the walk was
+	// at v, in increasing order. Position 0 is the source.
+	Positions [][]int32
+	// FirstVisitTime[v] is the first position at which the walk was at v,
+	// or -1 if the walk never visited v.
+	FirstVisitTime []int32
+	// FirstVisitFrom[v] is the node the walk arrived from on its first
+	// visit to v (None for the source). This is exactly the edge the
+	// Aldous-Broder spanning-tree rule outputs (Section 4.1).
+	FirstVisitFrom []graph.NodeID
+	// Covered reports whether every node was visited.
+	Covered bool
+	// Cost is the simulated cost of the regeneration pass.
+	Cost congest.Result
+}
+
+// regenToken replays one recorded segment hop by hop; pos is the global
+// walk position upon arrival.
+type regenToken struct {
+	walkID int64
+	pos    int32
+}
+
+func (regenToken) Words() int { return 2 }
+
+type regenEmit struct {
+	walkID   int64
+	startPos int32
+}
+
+type regenProto struct {
+	w      *Walker
+	emits  map[graph.NodeID][]regenEmit
+	cursor []map[int64]int32
+
+	// traceOf routes each walk's visits to its own trace; walk IDs are
+	// network-unique, so many walks replay concurrently in one run.
+	traceOf map[int64]*Trace
+}
+
+func (p *regenProto) Init(ctx *congest.Ctx) {
+	v := ctx.Node()
+	for _, e := range p.emits[v] {
+		p.advance(ctx, e.walkID, e.startPos)
+	}
+}
+
+func (p *regenProto) Step(ctx *congest.Ctx) {
+	v := ctx.Node()
+	for _, m := range ctx.Inbox() {
+		t, ok := m.Payload.(regenToken)
+		if !ok {
+			continue
+		}
+		if tr := p.traceOf[t.walkID]; tr != nil {
+			tr.record(v, t.pos, m.From)
+		}
+		p.advance(ctx, t.walkID, t.pos)
+	}
+}
+
+// advance forwards the replay token along the next recorded hop, if any
+// remain at this node for this walk. Hop records are consumed FIFO: the
+// replay arrives in the same temporal order the original walk left.
+func (p *regenProto) advance(ctx *congest.Ctx, walkID int64, pos int32) {
+	v := ctx.Node()
+	succ := p.w.st.hopsOf(v, walkID)
+	if p.cursor[v] == nil {
+		p.cursor[v] = make(map[int64]int32)
+	}
+	c := p.cursor[v][walkID]
+	if int(c) >= len(succ) {
+		return // segment ends here
+	}
+	p.cursor[v][walkID] = c + 1
+	ctx.Send(succ[c], regenToken{walkID: walkID, pos: pos + 1})
+}
+
+// record notes that the walk was at v at position pos, arriving from
+// `from`. Replay passes deliver visits out of position order (parallel
+// forward segments, backward refill retraces), so first-visit bookkeeping
+// keeps the minimum position rather than the first arrival.
+func (tr *Trace) record(v graph.NodeID, pos int32, from graph.NodeID) {
+	tr.Positions[v] = append(tr.Positions[v], pos)
+	if tr.FirstVisitTime[v] < 0 || pos < tr.FirstVisitTime[v] {
+		tr.FirstVisitTime[v] = pos
+		tr.FirstVisitFrom[v] = from
+	}
+}
+
+// Regenerate replays a completed walk so that every node learns its
+// position(s) in it, in time comparable to Phase 1 (Section 2.2). Phase 1
+// and tail segments replay forward in parallel, one message per recorded
+// hop; GET-MORE-WALKS segments (rare — w.h.p. absent, Theorem 2.5) are
+// retraced backward through their recorded flow counts, one at a time so
+// the without-replacement claims stay exact.
+func (w *Walker) Regenerate(res *WalkResult) (*Trace, error) {
+	traces, err := w.RegenerateMany([]*WalkResult{res})
+	if err != nil {
+		return nil, err
+	}
+	return traces[0], nil
+}
+
+// RegenerateMany regenerates several walks in a single parallel replay
+// pass (the walks must have distinct walk IDs, which holds for any walks
+// produced by one Walker). Applications that need every walk's trace —
+// like the spanning-tree cover search over ⌈log n⌉ candidate walks — pay
+// roughly one walk's replay rounds for all of them, keeping regeneration
+// within the Phase 1 budget as Section 2.2 claims.
+func (w *Walker) RegenerateMany(walks []*WalkResult) ([]*Trace, error) {
+	if len(walks) == 0 {
+		return nil, fmt.Errorf("core: no walks to regenerate")
+	}
+	if w.prm.Metropolis {
+		return nil, fmt.Errorf("core: regeneration is not supported for Metropolis-Hastings walks (stay steps leave no hop trail)")
+	}
+	n := w.g.N()
+	type refillAt struct {
+		seg      Segment
+		startPos int32
+		trace    *Trace
+	}
+	var refills []refillAt
+	traces := make([]*Trace, len(walks))
+	emits := make(map[graph.NodeID][]regenEmit)
+	traceOf := make(map[int64]*Trace)
+	for i, res := range walks {
+		if res == nil {
+			return nil, fmt.Errorf("core: nil walk result (index %d)", i)
+		}
+		trace := &Trace{
+			Positions:      make([][]int32, n),
+			FirstVisitTime: make([]int32, n),
+			FirstVisitFrom: make([]graph.NodeID, n),
+		}
+		for v := range trace.FirstVisitTime {
+			trace.FirstVisitTime[v] = -1
+			trace.FirstVisitFrom[v] = graph.None
+		}
+		// The source knows it is position 0.
+		trace.Positions[res.Source] = append(trace.Positions[res.Source], 0)
+		trace.FirstVisitTime[res.Source] = 0
+		traces[i] = trace
+
+		pos := int32(0)
+		for _, s := range res.Segments {
+			if s.FromRefill {
+				refills = append(refills, refillAt{seg: s, startPos: pos, trace: trace})
+			} else {
+				if traceOf[s.WalkID] != nil {
+					return nil, fmt.Errorf("core: walk ID %d regenerated twice", s.WalkID)
+				}
+				emits[s.Start] = append(emits[s.Start], regenEmit{walkID: s.WalkID, startPos: pos})
+				traceOf[s.WalkID] = trace
+			}
+			pos += int32(s.Length)
+		}
+		if int(pos) != res.Length {
+			return nil, fmt.Errorf("core: segments sum to %d, walk length is %d", pos, res.Length)
+		}
+	}
+
+	p := &regenProto{
+		w:       w,
+		emits:   emits,
+		cursor:  make([]map[int64]int32, n),
+		traceOf: traceOf,
+	}
+	cost, err := w.net.Run(p)
+	traces[0].Cost = cost
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refills {
+		res, err := w.retraceRefill(r.seg, r.startPos, r.trace)
+		traces[0].Cost.Add(res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Replays interleave arrival order; each node sorts its own position
+	// list (local work is free in the model). Then check per-walk
+	// invariants: ℓ+1 recorded positions, ending at the destination.
+	for i, trace := range traces {
+		res := walks[i]
+		total := 0
+		for v := range trace.Positions {
+			slices.Sort(trace.Positions[v])
+			total += len(trace.Positions[v])
+		}
+		if total != res.Length+1 {
+			return nil, fmt.Errorf("core: regeneration of walk %d recorded %d positions, want %d",
+				i, total, res.Length+1)
+		}
+		if last := trace.Positions[res.Destination]; len(last) == 0 ||
+			last[len(last)-1] != int32(res.Length) {
+			return nil, fmt.Errorf("core: regeneration of walk %d did not end at destination %d",
+				i, res.Destination)
+		}
+		trace.Covered = true
+		for v := range trace.FirstVisitTime {
+			if trace.FirstVisitTime[v] < 0 {
+				trace.Covered = false
+				break
+			}
+		}
+	}
+	return traces, nil
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"distwalk/internal/graph"
+)
+
+// reconstruct builds the full node sequence of a walk from a Trace and
+// verifies basic integrity along the way.
+func reconstruct(t *testing.T, g *graph.G, tr *Trace, res *WalkResult) []graph.NodeID {
+	t.Helper()
+	seq := make([]graph.NodeID, res.Length+1)
+	for i := range seq {
+		seq[i] = graph.None
+	}
+	for v := range tr.Positions {
+		for _, pos := range tr.Positions[v] {
+			if pos < 0 || int(pos) > res.Length {
+				t.Fatalf("position %d out of range [0,%d]", pos, res.Length)
+			}
+			if seq[pos] != graph.None {
+				t.Fatalf("position %d claimed by both %d and %d", pos, seq[pos], v)
+			}
+			seq[pos] = graph.NodeID(v)
+		}
+	}
+	for i, v := range seq {
+		if v == graph.None {
+			t.Fatalf("position %d unclaimed", i)
+		}
+		if i > 0 && !g.HasEdge(seq[i-1], v) {
+			t.Fatalf("positions %d->%d use non-edge (%d,%d)", i-1, i, seq[i-1], v)
+		}
+	}
+	if seq[0] != res.Source || seq[res.Length] != res.Destination {
+		t.Fatalf("walk runs %d..%d, want %d..%d", seq[0], seq[res.Length], res.Source, res.Destination)
+	}
+	return seq
+}
+
+func TestRegenerateStitchedWalk(t *testing.T) {
+	g := kite(t)
+	// Find a seed whose stitched walk needed no refills (plenty exist with
+	// η=4); refill walks are covered by TestRegenerateRefusesRefillSegments.
+	var (
+		w   *Walker
+		res *WalkResult
+	)
+	for seed := uint64(0); seed < 20; seed++ {
+		w = newWalker(t, g, seed, Params{Lambda: 4, LambdaC: 1, Eta: 4})
+		r, err := w.SingleRandomWalk(5, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Refills == 0 && len(r.Segments) > 2 {
+			res = r
+			break
+		}
+	}
+	if res == nil {
+		t.Fatal("no refill-free stitched walk in 20 seeds")
+	}
+	tr, err := w.Regenerate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := reconstruct(t, g, tr, res)
+
+	// First-visit bookkeeping must match the reconstructed sequence.
+	firstSeen := make(map[graph.NodeID]int)
+	for i, v := range seq {
+		if _, ok := firstSeen[v]; !ok {
+			firstSeen[v] = i
+		}
+	}
+	for v, want := range firstSeen {
+		if int(tr.FirstVisitTime[v]) != want {
+			t.Fatalf("first visit of %d = %d, want %d", v, tr.FirstVisitTime[v], want)
+		}
+		if want > 0 && tr.FirstVisitFrom[v] != seq[want-1] {
+			t.Fatalf("first-visit edge of %d from %d, want %d", v, tr.FirstVisitFrom[v], seq[want-1])
+		}
+	}
+	if tr.FirstVisitFrom[res.Source] != graph.None {
+		t.Fatal("source has a first-visit predecessor")
+	}
+}
+
+func TestRegenerateNaiveWalk(t *testing.T) {
+	g := kite(t)
+	w := newWalker(t, g, 7, DefaultParams())
+	res, err := w.NaiveWalk(0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Regenerate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconstruct(t, g, tr, res)
+}
+
+func TestRegenerateCoverFlag(t *testing.T) {
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 9, DefaultParams())
+	// A long walk on K4 covers it w.h.p.
+	res, err := w.NaiveWalk(0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Regenerate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Covered {
+		t.Fatal("200-step walk on K4 did not cover")
+	}
+	// A 1-step walk cannot cover 4 nodes.
+	res1, err := w.NaiveWalk(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := w.Regenerate(res1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Covered {
+		t.Fatal("1-step walk covered K4")
+	}
+}
+
+func TestRegenerateRefillSegmentsBackward(t *testing.T) {
+	// GET-MORE-WALKS segments have no hop records; they retrace backward
+	// through the recorded flow counts. Starve the inventory so refills
+	// are guaranteed, then verify the regenerated sequence is a valid walk
+	// matching the stitched endpoints.
+	g := kite(t)
+	prm := Params{Lambda: 2, LambdaC: 1, Eta: 1, UniformCounts: true}
+	w := newWalker(t, g, 11, prm)
+	checked := 0
+	for i := 0; i < 20; i++ {
+		res, err := w.SingleRandomWalk(0, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasRefill := false
+		for _, s := range res.Segments {
+			if s.FromRefill {
+				hasRefill = true
+			}
+		}
+		tr, err := w.Regenerate(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := reconstruct(t, g, tr, res)
+		// Every stitched segment boundary must appear at its position.
+		pos := 0
+		for _, s := range res.Segments {
+			if seq[pos] != s.Start {
+				t.Fatalf("segment start %d at position %d, trace says %d", s.Start, pos, seq[pos])
+			}
+			pos += s.Length
+			if seq[pos] != s.End {
+				t.Fatalf("segment end %d at position %d, trace says %d", s.End, pos, seq[pos])
+			}
+		}
+		if hasRefill {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("starved inventory produced no refill walks to check")
+	}
+}
+
+func TestRegenerateManyRefillCouponsFromOneBatch(t *testing.T) {
+	// Several coupons of the same batch used by one walk must retrace
+	// consistently (the without-replacement claims).
+	g, err := graph.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := Params{Lambda: 3, LambdaC: 1, Eta: 1, UniformCounts: true}
+	w := newWalker(t, g, 17, prm)
+	for i := 0; i < 10; i++ {
+		res, err := w.SingleRandomWalk(0, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Regenerate(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reconstruct(t, g, tr, res)
+	}
+}
+
+func TestRegenerateNilResult(t *testing.T) {
+	w := newWalker(t, kite(t), 1, DefaultParams())
+	if _, err := w.Regenerate(nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+func TestRegenerateCostComparableToWalk(t *testing.T) {
+	// Section 2.2: regeneration costs no more than Phase 1-scale work.
+	g, err := graph.Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 13, DefaultParams())
+	res, err := w.SingleRandomWalk(0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refills > 0 {
+		t.Skip("refills present")
+	}
+	tr, err := w.Regenerate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost.Rounds > res.Cost.Rounds {
+		t.Fatalf("regeneration (%d rounds) cost more than the walk (%d rounds)",
+			tr.Cost.Rounds, res.Cost.Rounds)
+	}
+}

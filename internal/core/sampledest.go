@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// This file implements SAMPLE-DESTINATION (Algorithm 3): the connector v
+// samples one of its unused short-walk coupons uniformly at random from
+// wherever they are stored in the network, in O(D) rounds, and the chosen
+// coupon is deleted so it is never re-stitched.
+//
+// Algorithm 3 rebuilds a BFS tree rooted at v per invocation; by default we
+// reuse the tree rooted at the walk's source and add a request sweep from v
+// to the root (same Θ(D) round cost; Params.PerCallBFS restores the
+// literal behaviour). The sweeps are:
+//
+//  1. request: v tells the root it needs a sample (depth(v) rounds),
+//  2. announce: the root broadcasts "sampling for owner v" (height rounds),
+//  3. sample:  convergecast in which each node offers a uniform local pick
+//     of its coupons for v with its count, and every inner node keeps a
+//     child's candidate with probability proportional to its count —
+//     exactly the weighted tree sampling of Algorithm 3, which is uniform
+//     over all coupons (Lemma A.2 / Lemma 2.4),
+//  4. result: the root broadcasts the chosen coupon; its holder deletes it
+//     (Sweep 3 of Algorithm 3) and the new connector learns it holds the
+//     walk token.
+
+// sampleRequest travels from the connector to the root (sweep 1).
+type sampleRequest struct {
+	owner graph.NodeID
+}
+
+func (sampleRequest) Words() int { return 1 }
+
+// sampleAnnounce is flooded down the tree (sweep 2).
+type sampleAnnounce struct {
+	owner graph.NodeID
+}
+
+func (sampleAnnounce) Words() int { return 1 }
+
+// sampleCand is a weighted candidate in the convergecast (sweep 3).
+type sampleCand struct {
+	count  int64
+	walkID int64
+	dest   graph.NodeID
+	length int32
+	refill bool
+	batch  int64
+}
+
+func (sampleCand) Words() int { return 4 }
+
+// sampleResult is flooded down the tree (sweep 4). found=false means the
+// owner has no unused coupons left and must call GET-MORE-WALKS.
+type sampleResult struct {
+	owner  graph.NodeID
+	walkID int64
+	dest   graph.NodeID
+	length int32
+	found  bool
+	refill bool
+	batch  int64
+}
+
+func (sampleResult) Words() int { return 4 }
+
+// sampleDestination runs the four sweeps for connector v and returns the
+// sampled coupon (if any) plus the exact round cost.
+func (w *Walker) sampleDestination(v graph.NodeID) (sampleResult, congest.Result, error) {
+	var cost congest.Result
+
+	tree := w.tree
+	if w.prm.PerCallBFS {
+		// Algorithm 3 sweep 1: fresh BFS tree rooted at the connector.
+		t, res, err := congest.BuildBFSTree(w.net, v)
+		cost.Add(res)
+		if err != nil {
+			return sampleResult{}, cost, fmt.Errorf("sample-destination: %w", err)
+		}
+		tree = t
+	} else {
+		// Request sweep: v -> root along parent pointers (depth(v) rounds).
+		_, res, err := congest.Upcast(w.net, tree, func(u graph.NodeID) []sampleRequest {
+			if u == v {
+				return []sampleRequest{{owner: v}}
+			}
+			return nil
+		})
+		cost.Add(res)
+		if err != nil {
+			return sampleResult{}, cost, fmt.Errorf("sample-destination request: %w", err)
+		}
+	}
+
+	// Announce sweep: every node learns whose coupons are being sampled.
+	res, err := congest.Broadcast(w.net, tree, sampleAnnounce{owner: v}, nil)
+	cost.Add(res)
+	if err != nil {
+		return sampleResult{}, cost, fmt.Errorf("sample-destination announce: %w", err)
+	}
+
+	// Sample sweep: weighted reservoir over the tree.
+	pick, res, err := congest.Convergecast(w.net, tree,
+		func(u graph.NodeID) sampleCand {
+			local := w.st.localCoupons(u, v)
+			if len(local) == 0 {
+				return sampleCand{}
+			}
+			c := local[w.net.NodeRNG(u).Intn(len(local))]
+			return sampleCand{
+				count:  int64(len(local)),
+				walkID: c.walkID,
+				dest:   u,
+				length: c.length,
+				refill: c.refill,
+				batch:  c.batch,
+			}
+		},
+		func(u graph.NodeID, acc, child sampleCand) sampleCand {
+			total := acc.count + child.count
+			if total == 0 {
+				return sampleCand{}
+			}
+			keep := acc
+			if int64(w.net.NodeRNG(u).Uint64n(uint64(total))) < child.count {
+				keep = child
+			}
+			keep.count = total
+			return keep
+		},
+	)
+	cost.Add(res)
+	if err != nil {
+		return sampleResult{}, cost, fmt.Errorf("sample-destination convergecast: %w", err)
+	}
+
+	out := sampleResult{
+		owner:  v,
+		walkID: pick.walkID,
+		dest:   pick.dest,
+		length: pick.length,
+		found:  pick.count > 0,
+		refill: pick.refill,
+		batch:  pick.batch,
+	}
+	// Result sweep: the coupon holder deletes it; v (and the new connector)
+	// learn the outcome.
+	res, err = congest.Broadcast(w.net, tree, out, func(u graph.NodeID, r sampleResult) {
+		if r.found && u == r.dest {
+			w.st.takeCoupon(u, r.owner, r.walkID)
+		}
+	})
+	cost.Add(res)
+	if err != nil {
+		return sampleResult{}, cost, fmt.Errorf("sample-destination result: %w", err)
+	}
+	return out, cost, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"distwalk/internal/graph"
+	"distwalk/internal/stats"
+)
+
+// plantCoupons installs coupons owned by `owner` at the given holders.
+func plantCoupons(w *Walker, owner graph.NodeID, holders []graph.NodeID) []int64 {
+	ids := make([]int64, len(holders))
+	for i, h := range holders {
+		id := w.st.newWalkID(h)
+		w.st.addCoupon(h, coupon{owner: owner, walkID: id, length: 5})
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestSampleDestinationUniform(t *testing.T) {
+	// 6 coupons spread unevenly over the graph (3 on one node) must each
+	// be sampled with probability 1/6 — Lemma 2.4 / Lemma A.2.
+	g, err := graph.Torus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const owner = graph.NodeID(4)
+	holders := []graph.NodeID{0, 0, 0, 2, 7, 4}
+
+	counts := make(map[int64]int)
+	const trials = 6000
+	for trial := 0; trial < trials; trial++ {
+		w := newWalker(t, g, uint64(trial), DefaultParams())
+		if _, err := w.ensureTree(owner); err != nil {
+			t.Fatal(err)
+		}
+		ids := plantCoupons(w, owner, holders)
+		res, _, err := w.sampleDestination(owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.found {
+			t.Fatal("sample found nothing")
+		}
+		// Identify which planted coupon was drawn by position.
+		found := false
+		for i, id := range ids {
+			if id == res.walkID {
+				if res.dest != holders[i] {
+					t.Fatalf("coupon %d reported holder %d, want %d", id, res.dest, holders[i])
+				}
+				counts[int64(i)]++
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sampled unknown coupon %d", res.walkID)
+		}
+	}
+	obs := make([]int, len(holders))
+	for i := range obs {
+		obs[i] = counts[int64(i)]
+	}
+	p, err := stats.UniformityPValue(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("coupon sampling not uniform: counts=%v p=%v", obs, p)
+	}
+}
+
+func TestSampleDestinationDeletesCoupon(t *testing.T) {
+	g, err := graph.Torus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 9, DefaultParams())
+	const owner = graph.NodeID(0)
+	if _, err := w.ensureTree(owner); err != nil {
+		t.Fatal(err)
+	}
+	plantCoupons(w, owner, []graph.NodeID{3, 5})
+	seen := make(map[int64]bool)
+	for i := 0; i < 2; i++ {
+		res, _, err := w.sampleDestination(owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.found {
+			t.Fatalf("draw %d found nothing", i)
+		}
+		if seen[res.walkID] {
+			t.Fatalf("coupon %d drawn twice (not deleted)", res.walkID)
+		}
+		seen[res.walkID] = true
+	}
+	res, _, err := w.sampleDestination(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.found {
+		t.Fatal("third draw from two coupons succeeded")
+	}
+}
+
+func TestSampleDestinationEmpty(t *testing.T) {
+	g, err := graph.Torus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 10, DefaultParams())
+	if _, err := w.ensureTree(0); err != nil {
+		t.Fatal(err)
+	}
+	res, cost, err := w.sampleDestination(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.found {
+		t.Fatal("found coupons in an empty store")
+	}
+	if cost.Rounds == 0 {
+		t.Fatal("empty sampling should still cost sweeps")
+	}
+}
+
+func TestSampleDestinationIgnoresOtherOwners(t *testing.T) {
+	g, err := graph.Torus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 11, DefaultParams())
+	if _, err := w.ensureTree(0); err != nil {
+		t.Fatal(err)
+	}
+	plantCoupons(w, 1, []graph.NodeID{2, 3}) // owned by node 1, not 0
+	res, _, err := w.sampleDestination(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.found {
+		t.Fatal("sampled another owner's coupon")
+	}
+}
+
+func TestSampleDestinationCostIsTreeBound(t *testing.T) {
+	// Each of the four sweeps is at most Height (plus the request depth):
+	// total must be O(D), far below n for a long path.
+	g, err := graph.Path(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 12, DefaultParams())
+	if _, err := w.ensureTree(0); err != nil {
+		t.Fatal(err)
+	}
+	plantCoupons(w, 30, []graph.NodeID{10, 50})
+	_, cost, err := w.sampleDestination(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rounds > 5*w.tree.Height+5 {
+		t.Fatalf("sampling cost %d rounds exceeds 5·height=%d", cost.Rounds, 5*w.tree.Height)
+	}
+}

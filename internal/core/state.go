@@ -1,0 +1,141 @@
+package core
+
+import (
+	"distwalk/internal/graph"
+)
+
+// coupon is an unused short walk: it lives at the walk's destination node
+// and names the owner (the walk's start), so that SAMPLE-DESTINATION can
+// sample it and stitching can jump to it. "Only the destination of each of
+// these walks is aware of its source" (Section 2.1).
+type coupon struct {
+	owner  graph.NodeID
+	walkID int64
+	length int32
+	// refill marks coupons minted by GET-MORE-WALKS, whose trajectories
+	// are recorded as aggregate counts (batch identifies the refill) and
+	// retraced backward; Phase 1 coupons replay forward via hop records.
+	refill bool
+	batch  int64
+}
+
+// gmwKey identifies one aggregated GET-MORE-WALKS flow record at a node:
+// "tokens of `batch` that I sent to `nbr`, arriving there with hop counter
+// `step`".
+type gmwKey struct {
+	batch int64
+	step  int32
+	nbr   graph.NodeID
+}
+
+// netState is the per-node persistent state of the walk system: short-walk
+// coupons, hop records for retracing, and local walk-ID sequencing. Indexed
+// by node; each node only ever touches its own slot, preserving the
+// locality discipline of the model.
+type netState struct {
+	// coupons[v][owner] lists unused coupons held at v for walks started
+	// at owner.
+	coupons []map[graph.NodeID][]coupon
+	// hops[v][walkID] lists the successors taken each time walk walkID
+	// left node v, in visit order; regeneration replays them FIFO.
+	hops []map[int64][]graph.NodeID
+	// gmwSent[v] counts v's count-aggregated GET-MORE-WALKS token flows;
+	// gmwUsed[v] counts how many of each flow earlier backward retraces
+	// consumed (sampling without replacement keeps joint retraces exact).
+	gmwSent []map[gmwKey]int32
+	gmwUsed []map[gmwKey]int32
+	// seq[v] is v's local counter for minting walk IDs.
+	seq []uint32
+}
+
+func newNetState(n int) *netState {
+	return &netState{
+		coupons: make([]map[graph.NodeID][]coupon, n),
+		hops:    make([]map[int64][]graph.NodeID, n),
+		gmwSent: make([]map[gmwKey]int32, n),
+		gmwUsed: make([]map[gmwKey]int32, n),
+		seq:     make([]uint32, n),
+	}
+}
+
+// recordGMWSend remembers that node at routed `count` tokens of `batch`
+// toward nbr, arriving there with hop counter step.
+func (s *netState) recordGMWSend(at graph.NodeID, key gmwKey, count int32) {
+	if s.gmwSent[at] == nil {
+		s.gmwSent[at] = make(map[gmwKey]int32)
+	}
+	s.gmwSent[at][key] += count
+}
+
+// gmwAvailable returns how many tokens of the flow remain unclaimed by
+// backward retraces.
+func (s *netState) gmwAvailable(at graph.NodeID, key gmwKey) int32 {
+	return s.gmwSent[at][key] - s.gmwUsed[at][key]
+}
+
+// claimGMW consumes one token of the flow.
+func (s *netState) claimGMW(at graph.NodeID, key gmwKey) {
+	if s.gmwUsed[at] == nil {
+		s.gmwUsed[at] = make(map[gmwKey]int32)
+	}
+	s.gmwUsed[at][key]++
+}
+
+// newWalkID mints a network-unique walk ID at node v.
+func (s *netState) newWalkID(v graph.NodeID) int64 {
+	id := int64(v)<<32 | int64(s.seq[v])
+	s.seq[v]++
+	return id
+}
+
+// walkOwner extracts the minting node from a walk ID.
+func walkOwner(walkID int64) graph.NodeID { return graph.NodeID(walkID >> 32) }
+
+func (s *netState) addCoupon(at graph.NodeID, c coupon) {
+	if s.coupons[at] == nil {
+		s.coupons[at] = make(map[graph.NodeID][]coupon)
+	}
+	s.coupons[at][c.owner] = append(s.coupons[at][c.owner], c)
+}
+
+// takeCoupon removes the coupon with the given walkID owned by owner from
+// node at, reporting whether it was present.
+func (s *netState) takeCoupon(at, owner graph.NodeID, walkID int64) bool {
+	list := s.coupons[at][owner]
+	for i, c := range list {
+		if c.walkID == walkID {
+			list[i] = list[len(list)-1]
+			s.coupons[at][owner] = list[:len(list)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// localCoupons returns node at's unused coupons owned by owner.
+func (s *netState) localCoupons(at, owner graph.NodeID) []coupon {
+	return s.coupons[at][owner]
+}
+
+// recordHop remembers that walk walkID left node at towards next.
+func (s *netState) recordHop(at graph.NodeID, walkID int64, next graph.NodeID) {
+	if s.hops[at] == nil {
+		s.hops[at] = make(map[int64][]graph.NodeID)
+	}
+	s.hops[at][walkID] = append(s.hops[at][walkID], next)
+}
+
+// hopsOf returns the recorded successors of walkID at node at.
+func (s *netState) hopsOf(at graph.NodeID, walkID int64) []graph.NodeID {
+	return s.hops[at][walkID]
+}
+
+// couponTotal counts all unused coupons in the network owned by owner
+// (test/diagnostic helper; protocols count locally instead).
+func (s *netState) couponTotal(owner graph.NodeID) int {
+	total := 0
+	for _, m := range s.coupons {
+		total += len(m[owner])
+	}
+	return total
+}

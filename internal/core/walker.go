@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// Segment is one stitched piece of a completed walk: a short walk (or the
+// final naive tail) from Start to End of the given length.
+type Segment struct {
+	Start  graph.NodeID
+	End    graph.NodeID
+	WalkID int64
+	Length int
+	// FromRefill marks segments minted by GET-MORE-WALKS; they are
+	// retraced backward through the recorded token-count flows of the
+	// batch identified by Batch, instead of by forward hop replay.
+	FromRefill bool
+	Batch      int64
+}
+
+// Breakdown attributes rounds to the stages of SINGLE-RANDOM-WALK.
+type Breakdown struct {
+	// TreeBuild is the BFS-tree construction (charged to the first walk
+	// from a given source).
+	TreeBuild int
+	// Phase1 is the short-walk preparation (charged when (re)provisioned).
+	Phase1 int
+	// Stitch covers all SAMPLE-DESTINATION sweeps.
+	Stitch int
+	// Refill covers GET-MORE-WALKS invocations.
+	Refill int
+	// Tail is the final ≤2λ-step naive completion (or the whole walk when
+	// the naive fallback applies).
+	Tail int
+	// Report is the destination-to-source notification.
+	Report int
+}
+
+// WalkResult describes one completed ℓ-step walk.
+type WalkResult struct {
+	Source      graph.NodeID
+	Destination graph.NodeID
+	Length      int
+	// Lambda is the short-walk base length λ used.
+	Lambda int
+	// Naive reports that the walk fell back to pure token forwarding
+	// because 2λ > ℓ (short walks would overshoot).
+	Naive bool
+	// Refills counts GET-MORE-WALKS invocations during this walk.
+	Refills int
+	// Segments lists the stitched pieces in walk order.
+	Segments []Segment
+	// Cost is the total simulated cost of this walk.
+	Cost congest.Result
+	// Breakdown attributes Cost.Rounds to algorithm stages.
+	Breakdown Breakdown
+}
+
+// Walker runs the paper's walk algorithms over one simulated network. A
+// Walker may run many walks; unused short-walk coupons persist between
+// walks exactly as in MANY-RANDOM-WALKS (Phase 1 provisions once, Phase 2
+// stitches per walk and refills on demand).
+//
+// A Walker is not safe for concurrent use.
+type Walker struct {
+	g   *graph.G
+	net *congest.Network
+	prm Params
+	st  *netState
+
+	tree     *congest.Tree
+	lambda   int // λ of the current coupon inventory (0 = none)
+	prepared bool
+}
+
+// NewWalker builds a Walker over g with the given parameters; seed drives
+// all randomness (same seed, same execution).
+func NewWalker(g *graph.G, seed uint64, prm Params) (*Walker, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("core: walker needs a non-empty graph")
+	}
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	return &Walker{
+		g:   g,
+		net: congest.NewNetwork(g, seed),
+		prm: prm,
+		st:  newNetState(g.N()),
+	}, nil
+}
+
+// Graph returns the underlying topology.
+func (w *Walker) Graph() *graph.G { return w.g }
+
+// Network exposes the simulator (for metric access in the harness).
+func (w *Walker) Network() *congest.Network { return w.net }
+
+// Tree returns the walker's current BFS tree (nil before the first walk).
+// Applications reuse it for their own broadcasts and convergecasts.
+func (w *Walker) Tree() *congest.Tree { return w.tree }
+
+// Prepare builds the BFS tree rooted at source (a no-op if it already is),
+// returning the round cost. Applications call it when they need tree
+// primitives before the first walk.
+func (w *Walker) Prepare(source graph.NodeID) (congest.Result, error) {
+	if err := w.checkNode(source); err != nil {
+		return congest.Result{}, err
+	}
+	return w.ensureTree(source)
+}
+
+// SingleRandomWalk samples the destination of an ℓ-step simple random walk
+// from source (Algorithm 1, SINGLE-RANDOM-WALK) and returns the walk's
+// composition and exact simulated cost. The returned destination is an
+// exact sample of the ℓ-step walk distribution (Theorem 2.5: Las Vegas).
+func (w *Walker) SingleRandomWalk(source graph.NodeID, ell int) (*WalkResult, error) {
+	if err := w.checkNode(source); err != nil {
+		return nil, err
+	}
+	if ell < 0 {
+		return nil, fmt.Errorf("core: negative walk length %d", ell)
+	}
+	out := &WalkResult{Source: source, Destination: source, Length: ell}
+	if ell == 0 {
+		return out, nil
+	}
+	if w.g.N() == 1 {
+		return nil, fmt.Errorf("core: cannot walk on a single-node graph")
+	}
+	treeRes, err := w.ensureTree(source)
+	if err != nil {
+		return nil, err
+	}
+	out.Cost.Add(treeRes)
+	out.Breakdown.TreeBuild = treeRes.Rounds
+
+	diam := w.tree.Height
+	if diam < 1 {
+		diam = 1
+	}
+	lam := w.prm.lambda(ell, diam, w.g.N())
+	out.Lambda = lam
+
+	if 2*lam > ell {
+		// Short walks would overshoot ℓ: the naive walk is optimal here
+		// (cf. MANY-RANDOM-WALKS, which falls back when λ > ℓ).
+		out.Naive = true
+		if err := w.naiveTail(out, source, ell); err != nil {
+			return nil, err
+		}
+		return out, w.report(out)
+	}
+
+	p1, err := w.ensurePhase1(lam, map[graph.NodeID]int{source: 1})
+	if err != nil {
+		return nil, err
+	}
+	out.Cost.Add(p1)
+	out.Breakdown.Phase1 = p1.Rounds
+
+	if err := w.stitch(out, source, ell, lam); err != nil {
+		return nil, err
+	}
+	return out, w.report(out)
+}
+
+// stitch runs Phase 2: repeatedly sample an unused short walk at the
+// current connector and jump to its destination, until fewer than 2λ steps
+// remain; then finish naively.
+func (w *Walker) stitch(out *WalkResult, source graph.NodeID, ell, lam int) error {
+	cur, completed, err := w.stitchSegments(out, source, ell, lam)
+	if err != nil {
+		return err
+	}
+	return w.naiveTail(out, cur, ell-completed)
+}
+
+// stitchSegments runs the stitching loop of Phase 2 and stops when fewer
+// than 2λ steps remain, returning the final connector and completed step
+// count. The ≤2λ-step naive tail is left to the caller: SINGLE-RANDOM-WALK
+// runs it immediately, MANY-RANDOM-WALKS defers all k tails and runs them
+// concurrently (sequential tails of Θ(λ)=Θ(√(kℓD)) steps each would cost
+// k√(kℓD) rounds and break Theorem 2.8's bound).
+func (w *Walker) stitchSegments(out *WalkResult, source graph.NodeID, ell, lam int) (graph.NodeID, int, error) {
+	cur := source
+	completed := 0
+	for completed <= ell-2*lam {
+		pick, cost, err := w.sampleDestination(cur)
+		out.Cost.Add(cost)
+		out.Breakdown.Stitch += cost.Rounds
+		if err != nil {
+			return cur, completed, err
+		}
+		if !pick.found {
+			// The connector exhausted its coupons: GET-MORE-WALKS
+			// (Algorithm 1, Phase 2 lines 7-9).
+			gres, err := w.getMoreWalks(cur, ell, lam)
+			out.Cost.Add(gres)
+			out.Breakdown.Refill += gres.Rounds
+			out.Refills++
+			if err != nil {
+				return cur, completed, err
+			}
+			pick, cost, err = w.sampleDestination(cur)
+			out.Cost.Add(cost)
+			out.Breakdown.Stitch += cost.Rounds
+			if err != nil {
+				return cur, completed, err
+			}
+			if !pick.found {
+				return cur, completed, fmt.Errorf("core: no coupon at %d even after GET-MORE-WALKS", cur)
+			}
+		}
+		out.Segments = append(out.Segments, Segment{
+			Start:      cur,
+			End:        pick.dest,
+			WalkID:     pick.walkID,
+			Length:     int(pick.length),
+			FromRefill: pick.refill,
+			Batch:      pick.batch,
+		})
+		completed += int(pick.length)
+		cur = pick.dest
+	}
+	return cur, completed, nil
+}
+
+// naiveTail walks the remaining steps by token forwarding and records the
+// final segment and destination.
+func (w *Walker) naiveTail(out *WalkResult, from graph.NodeID, steps int) error {
+	dest, wid, res, err := w.naiveSegment(from, steps)
+	out.Cost.Add(res)
+	out.Breakdown.Tail += res.Rounds
+	if err != nil {
+		return err
+	}
+	out.Segments = append(out.Segments, Segment{
+		Start:  from,
+		End:    dest,
+		WalkID: wid,
+		Length: steps,
+	})
+	out.Destination = dest
+	return nil
+}
+
+// report notifies the source of the destination over the BFS tree.
+func (w *Walker) report(out *WalkResult) error {
+	last := out.Segments[len(out.Segments)-1]
+	res, err := w.reportToSource(w.tree, out.Destination, last.WalkID)
+	out.Cost.Add(res)
+	out.Breakdown.Report += res.Rounds
+	return err
+}
+
+// NaiveWalk runs the paper's O(ℓ)-round baseline: pure token forwarding
+// plus the destination report. It shares the Walker's BFS tree so the
+// comparison with SINGLE-RANDOM-WALK is infrastructure-for-infrastructure.
+func (w *Walker) NaiveWalk(source graph.NodeID, ell int) (*WalkResult, error) {
+	if err := w.checkNode(source); err != nil {
+		return nil, err
+	}
+	if ell < 0 {
+		return nil, fmt.Errorf("core: negative walk length %d", ell)
+	}
+	out := &WalkResult{Source: source, Destination: source, Length: ell, Naive: true}
+	if ell == 0 {
+		return out, nil
+	}
+	if w.g.N() == 1 {
+		return nil, fmt.Errorf("core: cannot walk on a single-node graph")
+	}
+	treeRes, err := w.ensureTree(source)
+	if err != nil {
+		return nil, err
+	}
+	out.Cost.Add(treeRes)
+	out.Breakdown.TreeBuild = treeRes.Rounds
+	if err := w.naiveTail(out, source, ell); err != nil {
+		return nil, err
+	}
+	return out, w.report(out)
+}
+
+// ensureTree (re)builds the BFS tree when the source changes; reuse across
+// walks from the same source is free.
+func (w *Walker) ensureTree(source graph.NodeID) (congest.Result, error) {
+	if w.tree != nil && w.tree.Root == source {
+		return congest.Result{}, nil
+	}
+	tree, res, err := congest.BuildBFSTree(w.net, source)
+	if err != nil {
+		return res, fmt.Errorf("core: %w", err)
+	}
+	w.tree = tree
+	return res, nil
+}
+
+// ensurePhase1 provisions short walks of base length lam if the current
+// inventory was built for a different λ (or not at all); extra adds walks
+// at the upcoming walks' sources (the "+k" of Lemma 2.6). Hop records of
+// earlier inventories are kept so previously returned walks remain
+// retraceable.
+func (w *Walker) ensurePhase1(lam int, extra map[graph.NodeID]int) (congest.Result, error) {
+	if w.prepared && w.lambda == lam {
+		return congest.Result{}, nil
+	}
+	for v := range w.st.coupons {
+		w.st.coupons[v] = nil
+	}
+	res, err := w.net.Run(&phase1Proto{w: w, lambda: int32(lam), extra: extra})
+	if err != nil {
+		return res, fmt.Errorf("core: phase 1: %w", err)
+	}
+	w.prepared = true
+	w.lambda = lam
+	return res, nil
+}
+
+// advanceToken draws walk steps at the executing node until the token
+// moves or finishes in place. It returns the move target and the steps
+// remaining after the move, or (None, 0) if the token's steps ran out at
+// the current node. For the simple walk a step always moves; with
+// Params.Metropolis stay steps are consumed locally (no message, no
+// round — a token that stays sends nothing).
+func (w *Walker) advanceToken(ctx *congest.Ctx, remaining int32) (graph.NodeID, int32) {
+	v := ctx.Node()
+	for remaining > 0 {
+		if !w.prm.Metropolis {
+			// graph.Step samples edges weight-proportionally (uniform on
+			// unweighted graphs); err is impossible here, v has degree >= 1.
+			next, _ := w.g.Step(ctx.RNG(), v)
+			return next, remaining - 1
+		}
+		next, err := w.g.MHStep(ctx.RNG(), v)
+		if err != nil || next != v {
+			return next, remaining - 1
+		}
+		remaining-- // stayed: one walk step, no message
+	}
+	return graph.None, 0
+}
+
+func (w *Walker) checkNode(v graph.NodeID) error {
+	if v < 0 || int(v) >= w.g.N() {
+		return fmt.Errorf("core: node %d out of range [0,%d)", v, w.g.N())
+	}
+	return nil
+}

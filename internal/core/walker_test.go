@@ -1,0 +1,365 @@
+package core
+
+import (
+	"testing"
+
+	"distwalk/internal/dist"
+	"distwalk/internal/graph"
+	"distwalk/internal/stats"
+)
+
+// kite returns a small non-regular, non-bipartite graph with D=3 whose
+// walk distributions are distinctive: K4 on {0..3} with a path 0-4-5.
+func kite(t *testing.T) *graph.G {
+	t.Helper()
+	g, err := graph.Candy(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newWalker(t *testing.T, g *graph.G, seed uint64, prm Params) *Walker {
+	t.Helper()
+	w, err := NewWalker(g, seed, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWalkerValidation(t *testing.T) {
+	if _, err := NewWalker(nil, 1, DefaultParams()); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewWalker(graph.New(0), 1, DefaultParams()); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g, _ := graph.Path(3)
+	if _, err := NewWalker(g, 1, Params{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}
+
+func TestZeroLengthWalk(t *testing.T) {
+	w := newWalker(t, kite(t), 1, DefaultParams())
+	res, err := w.SingleRandomWalk(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Destination != 2 || res.Cost.Rounds != 0 || len(res.Segments) != 0 {
+		t.Fatalf("zero walk: %+v", res)
+	}
+}
+
+func TestWalkInputValidation(t *testing.T) {
+	w := newWalker(t, kite(t), 1, DefaultParams())
+	if _, err := w.SingleRandomWalk(99, 5); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := w.SingleRandomWalk(0, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	single := newWalker(t, graph.New(1), 1, DefaultParams())
+	if _, err := single.SingleRandomWalk(0, 3); err == nil {
+		t.Fatal("walk on singleton accepted")
+	}
+}
+
+func TestWalkOnDisconnectedGraphFails(t *testing.T) {
+	g := graph.New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 1, DefaultParams())
+	if _, err := w.SingleRandomWalk(0, 10); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestSegmentsComposeWalk(t *testing.T) {
+	w := newWalker(t, kite(t), 7, DefaultParams())
+	res, err := w.SingleRandomWalk(5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	cur := graph.NodeID(5)
+	for _, s := range res.Segments {
+		if s.Start != cur {
+			t.Fatalf("segment starts at %d, want %d", s.Start, cur)
+		}
+		if s.Length < 1 {
+			t.Fatalf("segment length %d", s.Length)
+		}
+		total += s.Length
+		cur = s.End
+	}
+	if total != 40 {
+		t.Fatalf("segments sum to %d, want 40", total)
+	}
+	if cur != res.Destination {
+		t.Fatalf("last segment ends at %d, destination is %d", cur, res.Destination)
+	}
+}
+
+func TestStitchingEngagesForLongWalks(t *testing.T) {
+	w := newWalker(t, kite(t), 3, DefaultParams())
+	res, err := w.SingleRandomWalk(5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Naive {
+		t.Fatal("long walk fell back to naive")
+	}
+	if len(res.Segments) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(res.Segments))
+	}
+	// Short-walk segment lengths must lie in [λ, 2λ-1].
+	for _, s := range res.Segments[:len(res.Segments)-1] {
+		if s.Length < res.Lambda || s.Length > 2*res.Lambda-1 {
+			t.Fatalf("segment length %d outside [%d, %d]", s.Length, res.Lambda, 2*res.Lambda-1)
+		}
+	}
+}
+
+func TestNaiveFallbackForShortWalks(t *testing.T) {
+	w := newWalker(t, kite(t), 3, DefaultParams())
+	res, err := w.SingleRandomWalk(5, 3) // 2λ > 3 on this graph
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Naive || len(res.Segments) != 1 {
+		t.Fatalf("short walk should be naive: %+v", res)
+	}
+}
+
+func TestWalkIDsDistinct(t *testing.T) {
+	w := newWalker(t, kite(t), 11, Params{Lambda: 3, LambdaC: 1, Eta: 1})
+	res, err := w.SingleRandomWalk(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, s := range res.Segments {
+		if seen[s.WalkID] {
+			t.Fatalf("walk ID %d reused", s.WalkID)
+		}
+		seen[s.WalkID] = true
+	}
+}
+
+func TestDeterministicWalks(t *testing.T) {
+	run := func(seed uint64) (graph.NodeID, int) {
+		w := newWalker(t, kite(t), seed, DefaultParams())
+		res, err := w.SingleRandomWalk(5, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Destination, res.Cost.Rounds
+	}
+	d1, r1 := run(21)
+	d2, r2 := run(21)
+	if d1 != d2 || r1 != r2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, r1, d2, r2)
+	}
+}
+
+func TestRefillsTriggeredByTinyInventory(t *testing.T) {
+	// λ=2 with one short walk per node (uniform counts) exhausts coupons
+	// immediately; GET-MORE-WALKS must kick in and the walk still complete.
+	prm := Params{Lambda: 2, LambdaC: 1, Eta: 1, UniformCounts: true}
+	w := newWalker(t, kite(t), 5, prm)
+	res, err := w.SingleRandomWalk(0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refills == 0 {
+		t.Fatal("expected refills with a starved inventory")
+	}
+	total := 0
+	for _, s := range res.Segments {
+		total += s.Length
+	}
+	if total != 120 {
+		t.Fatalf("segments sum to %d, want 120", total)
+	}
+}
+
+func TestEndpointDistributionMatchesExact(t *testing.T) {
+	// The whole point of Theorem 2.5: the stitched walk is an exact sample.
+	// Force heavy stitching with λ=3 and compare the empirical endpoint
+	// distribution of 3000 walks with the exact 30-step distribution.
+	g := kite(t)
+	const (
+		source  = graph.NodeID(5)
+		ell     = 30
+		samples = 3000
+	)
+	exact, err := dist.WalkDist(g, source, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := Params{Lambda: 3, LambdaC: 1, Eta: 1}
+	w := newWalker(t, g, 31, prm)
+	counts := make([]int, g.N())
+	for i := 0; i < samples; i++ {
+		res, err := w.SingleRandomWalk(source, ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Naive {
+			t.Fatal("walk unexpectedly naive")
+		}
+		counts[res.Destination]++
+	}
+	checkDistribution(t, counts, exact)
+}
+
+func TestNaiveWalkDistributionMatchesExact(t *testing.T) {
+	g := kite(t)
+	const (
+		source  = graph.NodeID(0)
+		ell     = 5
+		samples = 3000
+	)
+	exact, err := dist.WalkDist(g, source, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 37, DefaultParams())
+	counts := make([]int, g.N())
+	for i := 0; i < samples; i++ {
+		res, err := w.NaiveWalk(source, ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[res.Destination]++
+	}
+	checkDistribution(t, counts, exact)
+}
+
+// checkDistribution chi-square-tests observed counts against exact
+// probabilities, pooling zero-probability cells.
+func checkDistribution(t *testing.T, counts []int, exact dist.Vec) {
+	t.Helper()
+	var obs []int
+	var exp []float64
+	for v, p := range exact {
+		if p < 1e-12 {
+			if counts[v] != 0 {
+				t.Fatalf("impossible endpoint %d sampled %d times", v, counts[v])
+			}
+			continue
+		}
+		obs = append(obs, counts[v])
+		exp = append(exp, p)
+	}
+	// Renormalize (pooled cells carry no mass anyway).
+	sum := 0.0
+	for _, p := range exp {
+		sum += p
+	}
+	for i := range exp {
+		exp[i] /= sum
+	}
+	stat, df, err := stats.ChiSquare(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := stats.ChiSquarePValue(stat, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("endpoint distribution rejected: chi2=%v df=%d p=%v obs=%v exp=%v",
+			stat, df, p, obs, exp)
+	}
+}
+
+func TestFasterThanNaiveOnLongWalks(t *testing.T) {
+	// Theorem 2.5 in action: Õ(√(ℓD)) ≪ ℓ on a moderate torus.
+	g, err := graph.Torus(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 12000
+	fast := newWalker(t, g, 41, DefaultParams())
+	fres, err := fast.SingleRandomWalk(0, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := newWalker(t, g, 41, DefaultParams())
+	nres, err := slow.NaiveWalk(0, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Cost.Rounds < ell {
+		t.Fatalf("naive rounds %d below ℓ=%d?", nres.Cost.Rounds, ell)
+	}
+	if fres.Cost.Rounds*2 > nres.Cost.Rounds {
+		t.Fatalf("fast walk %d rounds not ≪ naive %d rounds", fres.Cost.Rounds, nres.Cost.Rounds)
+	}
+}
+
+func TestCouponsPersistAcrossWalks(t *testing.T) {
+	// A second walk from the same source must not pay Phase 1 again.
+	g, err := graph.Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 43, DefaultParams())
+	first, err := w.SingleRandomWalk(0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := w.SingleRandomWalk(0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Breakdown.Phase1 == 0 {
+		t.Fatal("first walk did not pay Phase 1")
+	}
+	if second.Breakdown.Phase1 != 0 {
+		t.Fatalf("second walk re-paid Phase 1 (%d rounds)", second.Breakdown.Phase1)
+	}
+	if second.Breakdown.TreeBuild != 0 {
+		t.Fatal("second walk re-paid the tree build")
+	}
+}
+
+func TestPerCallBFSOption(t *testing.T) {
+	prm := DefaultParams()
+	prm.PerCallBFS = true
+	w := newWalker(t, kite(t), 47, prm)
+	res, err := w.SingleRandomWalk(5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Destination < 0 || int(res.Destination) >= 6 {
+		t.Fatalf("bad destination %d", res.Destination)
+	}
+}
+
+func TestDNP09ParameterizationWalks(t *testing.T) {
+	g, err := graph.Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 2000
+	w := newWalker(t, g, 53, DNP09Params(ell, 8))
+	res, err := w.SingleRandomWalk(0, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Segments {
+		total += s.Length
+	}
+	if total != ell {
+		t.Fatalf("DNP09 walk sums to %d, want %d", total, ell)
+	}
+}

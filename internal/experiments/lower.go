@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+	"distwalk/internal/pathverify"
+	"distwalk/internal/rng"
+	"distwalk/internal/stats"
+)
+
+// E6 — Section 3 (Theorems 3.2 and 3.7, Figures 3-5): on the hard
+// instance G_n, PATH-VERIFICATION needs Ω(√(ℓ/log ℓ)) rounds even though
+// the diameter is O(log n); and on the weighted variant G'_n a random walk
+// follows the path w.h.p., transferring the bound to random walks. We run
+// the natural interval-merging verifier on G_n across sizes: measured
+// rounds must sit above the k = √(ℓ/log ℓ) bound, grow ≈ √ℓ, and stay far
+// below the Θ(ℓ) a bare path needs — while D stays logarithmic. The
+// forced-walk column reports how often the G'_n walk traced P exactly.
+var e6 = Experiment{
+	ID:    "E6",
+	Title: "path-verification lower bound on G_n",
+	Claim: "Ω(√(ℓ/log ℓ)) rounds on a D=O(log n) graph (Theorem 3.2); G'_n forces walks onto P (Theorem 3.7)",
+	Run: func(cfg Config) error {
+		maxN := cfg.Scale.pick(4096, 16384, 65536)
+		t := newTable("ell(=n')", "D", "k=√(ℓ/logℓ)", "rounds", "rounds/√ℓ", "path-graph rounds")
+		var ells, rounds []float64
+		for n := maxN / 16; n <= maxN; n *= 4 {
+			lb, err := graph.NewLowerBound(n, 0)
+			if err != nil {
+				return err
+			}
+			order, err := pathverify.GnOrder(lb, lb.PathLen)
+			if err != nil {
+				return err
+			}
+			net := congest.NewNetwork(lb.G, cfg.Seed)
+			res, err := pathverify.Verify(net, order, lb.PathLen)
+			if err != nil {
+				return err
+			}
+			if !res.Verified {
+				return errNotVerified
+			}
+			diam, err := lb.G.ApproxDiameter()
+			if err != nil {
+				return err
+			}
+			// Reference: the same verifier on a bare path needs Θ(ℓ)
+			// rounds; run it only at the smallest size (it is the slow one,
+			// that being the point).
+			pathRounds := "≈ℓ (skipped)"
+			if n == maxN/16 {
+				pg, err := graph.Path(lb.PathLen)
+				if err != nil {
+					return err
+				}
+				pnet := congest.NewNetwork(pg, cfg.Seed)
+				porder := make([]int32, lb.PathLen)
+				for i := range porder {
+					porder[i] = int32(i + 1)
+				}
+				pres, err := pathverify.Verify(pnet, porder, lb.PathLen)
+				if err != nil {
+					return err
+				}
+				pathRounds = fmt.Sprint(pres.Rounds)
+			}
+			sq := math.Sqrt(float64(lb.PathLen))
+			t.addRow(lb.PathLen, diam, lb.K, res.Rounds, float64(res.Rounds)/sq, pathRounds)
+			ells = append(ells, float64(lb.PathLen))
+			rounds = append(rounds, float64(res.Rounds))
+		}
+		t.print(cfg.Out)
+		slope, err := stats.LogLogSlope(ells, rounds)
+		if err != nil {
+			return err
+		}
+		cfg.printf("growth exponent on G_n: %.2f (want ≈0.5; bare path is 1.0)\n", slope)
+
+		// Theorem 3.8: giving the PATH edges unbounded capacity does not
+		// break the bound — the tree edges are the bottleneck. Re-run the
+		// mid-size instance with huge capacity on P only.
+		{
+			n := maxN / 4
+			lb, err := graph.NewLowerBound(n, 0)
+			if err != nil {
+				return err
+			}
+			order, err := pathverify.GnOrder(lb, lb.PathLen)
+			if err != nil {
+				return err
+			}
+			pathLen := lb.PathLen
+			net := congest.NewNetwork(lb.G, cfg.Seed, congest.WithEdgeCapFunc(
+				func(from, to graph.NodeID) int {
+					if int(from) < pathLen && int(to) < pathLen {
+						return 1 << 20 // "infinite" capacity on P's edges
+					}
+					return 1 // CONGEST budget on tree edges
+				}))
+			res, err := pathverify.Verify(net, order, lb.PathLen)
+			if err != nil {
+				return err
+			}
+			if !res.Verified {
+				return errNotVerified
+			}
+			cfg.printf("Theorem 3.8 check (ℓ=%d): unbounded capacity on P still needs %d rounds (vs k=%d bound)\n",
+				lb.PathLen, res.Rounds, lb.K)
+		}
+
+		// Forced walk on G'_n.
+		lb, err := graph.NewLowerBound(maxN/16, 0)
+		if err != nil {
+			return err
+		}
+		r := rng.New(cfg.Seed)
+		trials := cfg.Scale.pick(200, 500, 1000)
+		followed := 0
+		for i := 0; i < trials; i++ {
+			res, err := pathverify.ForcedWalk(lb, lb.PathLen-1, r)
+			if err != nil {
+				return err
+			}
+			if res.FollowedPath {
+				followed++
+			}
+		}
+		cfg.printf("forced walk on G'_n (n=%d): followed P %d/%d times (want ≥ 1-1/n)\n\n",
+			lb.G.N(), followed, trials)
+		return nil
+	},
+}
+
+var errNotVerified = errors.New("E6: verification did not complete")

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"distwalk/internal/core"
+	"distwalk/internal/dist"
+	"distwalk/internal/graph"
+	"distwalk/internal/stats"
+)
+
+// E1 — Theorem 2.5: SINGLE-RANDOM-WALK runs in Õ(√(ℓD)) rounds, beating
+// both the naive O(ℓ) token walk and the PODC'09 Õ(ℓ^{2/3}D^{1/3})
+// algorithm. We sweep ℓ on a torus and fit growth exponents; the shape to
+// reproduce is slope(ours) ≈ 0.5 < slope(DNP09) ≈ 0.67 < slope(naive) = 1,
+// with ours fastest at large ℓ.
+var e1 = Experiment{
+	ID:    "E1",
+	Title: "single-walk round scaling in ℓ",
+	Claim: "Õ(√(ℓD)) vs DNP09 Õ(ℓ^{2/3}D^{1/3}) vs naive O(ℓ) (Theorem 2.5)",
+	Run: func(cfg Config) error {
+		dim := cfg.Scale.pick(16, 24, 32)
+		steps := cfg.Scale.pick(5, 6, 7)
+		g, err := graph.Torus(dim, dim)
+		if err != nil {
+			return err
+		}
+		diam, err := g.Diameter()
+		if err != nil {
+			return err
+		}
+		cfg.printf("   graph: torus %dx%d (n=%d, m=%d, D=%d)\n", dim, dim, g.N(), g.M(), diam)
+
+		t := newTable("ell", "fast(rounds)", "dnp09(rounds)", "naive(rounds)", "fast/naive")
+		var ells, fast, dnp, naive []float64
+		ell := 1024
+		for i := 0; i < steps; i++ {
+			fr, err := walkRounds(g, cfg.Seed+uint64(i), core.DefaultParams(), ell)
+			if err != nil {
+				return err
+			}
+			dr, err := walkRounds(g, cfg.Seed+uint64(i), core.DNP09Params(ell, diam), ell)
+			if err != nil {
+				return err
+			}
+			nr, err := naiveRounds(g, cfg.Seed+uint64(i), ell)
+			if err != nil {
+				return err
+			}
+			t.addRow(ell, fr, dr, nr, float64(fr)/float64(nr))
+			ells = append(ells, float64(ell))
+			fast = append(fast, float64(fr))
+			dnp = append(dnp, float64(dr))
+			naive = append(naive, float64(nr))
+			ell *= 2
+		}
+		t.print(cfg.Out)
+		sf, err := stats.LogLogSlope(ells, fast)
+		if err != nil {
+			return err
+		}
+		sd, err := stats.LogLogSlope(ells, dnp)
+		if err != nil {
+			return err
+		}
+		sn, err := stats.LogLogSlope(ells, naive)
+		if err != nil {
+			return err
+		}
+		cfg.printf("growth exponents: fast=%.2f (want ≈0.5)  dnp09=%.2f (want ≈0.67)  naive=%.2f (want ≈1.0)\n\n",
+			sf, sd, sn)
+		return nil
+	},
+}
+
+// E2 — Theorem 2.5's D-dependence: at fixed ℓ, rounds grow like √D. Candy
+// graphs (clique + path tail) vary D freely.
+var e2 = Experiment{
+	ID:    "E2",
+	Title: "single-walk round scaling in D",
+	Claim: "rounds ≈ √(ℓD) at fixed ℓ (Theorem 2.5); the naive walk is D-insensitive",
+	Run: func(cfg Config) error {
+		ell := cfg.Scale.pick(8192, 32768, 131072)
+		clique := cfg.Scale.pick(12, 16, 20)
+		t := newTable("D", "fast(rounds)", "naive(rounds)")
+		var ds, fast []float64
+		for _, tail := range []int{8, 16, 32, 64, 128} {
+			g, err := graph.Candy(clique, tail)
+			if err != nil {
+				return err
+			}
+			diam := tail + 1
+			fr, err := walkRounds(g, cfg.Seed, core.DefaultParams(), ell)
+			if err != nil {
+				return err
+			}
+			nr, err := naiveRounds(g, cfg.Seed, ell)
+			if err != nil {
+				return err
+			}
+			t.addRow(diam, fr, nr)
+			ds = append(ds, float64(diam))
+			fast = append(fast, float64(fr))
+		}
+		t.print(cfg.Out)
+		slope, err := stats.LogLogSlope(ds, fast)
+		if err != nil {
+			return err
+		}
+		cfg.printf("growth exponent in D: %.2f (want ≈0.5)\n\n", slope)
+		return nil
+	},
+}
+
+// E5 — Theorem 2.8: k walks in Õ(min(√(kℓD)+k, k+ℓ)) rounds. Sweep k at
+// fixed ℓ and compare with the all-naive token fallback.
+var e5 = Experiment{
+	ID:    "E5",
+	Title: "many-walks round scaling in k",
+	Claim: "k walks in Õ(min(√(kℓD)+k, k+ℓ)) rounds (Theorem 2.8)",
+	Run: func(cfg Config) error {
+		dim := cfg.Scale.pick(12, 16, 24)
+		ell := cfg.Scale.pick(4096, 16384, 65536)
+		g, err := graph.Torus(dim, dim)
+		if err != nil {
+			return err
+		}
+		cfg.printf("   graph: torus %dx%d, ℓ=%d\n", dim, dim, ell)
+		t := newTable("k", "many(rounds)", "naive-k(rounds)", "many/naive")
+		for _, k := range []int{1, 2, 4, 8, 16, 32} {
+			sources := make([]graph.NodeID, k)
+			for i := range sources {
+				sources[i] = graph.NodeID(i % g.N())
+			}
+			w, err := core.NewWalker(g, cfg.Seed, core.DefaultParams())
+			if err != nil {
+				return err
+			}
+			res, err := w.ManyRandomWalks(sources, ell)
+			if err != nil {
+				return err
+			}
+			// Naive baseline: force the token fallback with λ > ℓ.
+			nw, err := core.NewWalker(g, cfg.Seed, core.Params{Lambda: ell + 1, LambdaC: 1, Eta: 1})
+			if err != nil {
+				return err
+			}
+			nres, err := nw.ManyRandomWalks(sources, ell)
+			if err != nil {
+				return err
+			}
+			if !nres.NaiveFallback {
+				return fmt.Errorf("E5: baseline did not fall back to naive")
+			}
+			t.addRow(k, res.Cost.Rounds, nres.Cost.Rounds,
+				float64(res.Cost.Rounds)/float64(nres.Cost.Rounds))
+		}
+		t.print(cfg.Out)
+		cfg.printf("shape: many-walk rounds grow ≈√k (plus k), staying below the naive token walks\n\n")
+		return nil
+	},
+}
+
+// E9 — the Las Vegas claim behind Theorem 2.5 (and Figure 2's stitching):
+// the stitched walk's endpoint follows the exact ℓ-step distribution. TV
+// distance to the exact distribution must shrink like 1/√samples.
+var e9 = Experiment{
+	ID:    "E9",
+	Title: "endpoint distribution correctness",
+	Claim: "SINGLE-RANDOM-WALK samples the exact ℓ-step distribution (Theorem 2.5, Las Vegas)",
+	Run: func(cfg Config) error {
+		g, err := graph.Candy(4, 2)
+		if err != nil {
+			return err
+		}
+		const (
+			source = graph.NodeID(5)
+			ell    = 30
+		)
+		exact, err := dist.WalkDist(g, source, ell)
+		if err != nil {
+			return err
+		}
+		w, err := core.NewWalker(g, cfg.Seed, core.Params{Lambda: 3, LambdaC: 1, Eta: 1})
+		if err != nil {
+			return err
+		}
+		t := newTable("samples", "TV(empirical, exact)", "1/sqrt(samples)")
+		budget := cfg.Scale.pick(4000, 16000, 64000)
+		counts := make([]int, g.N())
+		done := 0
+		for _, target := range []int{budget / 16, budget / 4, budget} {
+			for ; done < target; done++ {
+				res, err := w.SingleRandomWalk(source, ell)
+				if err != nil {
+					return err
+				}
+				counts[res.Destination]++
+			}
+			emp := make(dist.Vec, g.N())
+			for v, c := range counts {
+				emp[v] = float64(c) / float64(done)
+			}
+			t.addRow(done, emp.TV(exact), 1/math.Sqrt(float64(done)))
+		}
+		t.print(cfg.Out)
+		cfg.printf("shape: TV falls with samples at the Monte-Carlo rate — the sampler is exact\n\n")
+		return nil
+	},
+}
+
+// walkRounds runs one SINGLE-RANDOM-WALK on a fresh walker and returns the
+// total rounds.
+func walkRounds(g *graph.G, seed uint64, prm core.Params, ell int) (int, error) {
+	w, err := core.NewWalker(g, seed, prm)
+	if err != nil {
+		return 0, err
+	}
+	res, err := w.SingleRandomWalk(0, ell)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cost.Rounds, nil
+}
+
+func naiveRounds(g *graph.G, seed uint64, ell int) (int, error) {
+	w, err := core.NewWalker(g, seed, core.DefaultParams())
+	if err != nil {
+		return 0, err
+	}
+	res, err := w.NaiveWalk(0, ell)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cost.Rounds, nil
+}

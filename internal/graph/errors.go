@@ -1,0 +1,17 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDisconnected is returned by whole-graph computations (diameter,
+// distributed algorithms) that require a connected graph.
+var errDisconnected = errors.New("graph: graph is disconnected")
+
+// Disconnected reports whether err indicates a disconnected input.
+func Disconnected(err error) bool { return errors.Is(err, errDisconnected) }
+
+func errOutOfRange(v NodeID, n int) error {
+	return fmt.Errorf("graph: node %d out of range [0,%d)", v, n)
+}

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"testing"
+
+	"distwalk/internal/rng"
+)
+
+func TestGeneratorSizes(t *testing.T) {
+	tests := []struct {
+		name       string
+		g          func() (*G, error)
+		wantN      int
+		wantM      int
+		wantDegMin int
+		wantDegMax int
+	}{
+		{"path5", func() (*G, error) { return Path(5) }, 5, 4, 1, 2},
+		{"path1", func() (*G, error) { return Path(1) }, 1, 0, 0, 0},
+		{"cycle7", func() (*G, error) { return Cycle(7) }, 7, 7, 2, 2},
+		{"K6", func() (*G, error) { return Complete(6) }, 6, 15, 5, 5},
+		{"star9", func() (*G, error) { return Star(9) }, 9, 8, 1, 8},
+		{"bintree7", func() (*G, error) { return BinaryTree(7) }, 7, 6, 1, 3},
+		{"grid3x4", func() (*G, error) { return Grid(3, 4) }, 12, 17, 2, 4},
+		{"torus3x5", func() (*G, error) { return Torus(3, 5) }, 15, 30, 4, 4},
+		{"hypercube3", func() (*G, error) { return Hypercube(3) }, 8, 12, 3, 3},
+		{"candy(4,3)", func() (*G, error) { return Candy(4, 3) }, 7, 9, 1, 4},
+		{"barbell(3,2)", func() (*G, error) { return Barbell(3, 2) }, 8, 9, 2, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.g()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != tt.wantN || g.M() != tt.wantM {
+				t.Fatalf("n=%d m=%d, want n=%d m=%d", g.N(), g.M(), tt.wantN, tt.wantM)
+			}
+			if g.MinDegree() != tt.wantDegMin || g.MaxDegree() != tt.wantDegMax {
+				t.Fatalf("deg range [%d,%d], want [%d,%d]",
+					g.MinDegree(), g.MaxDegree(), tt.wantDegMin, tt.wantDegMax)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.N() > 1 && !g.Connected() {
+				t.Fatal("generator produced a disconnected graph")
+			}
+		})
+	}
+}
+
+func TestGeneratorArgumentValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() (*G, error)
+	}{
+		{"path0", func() (*G, error) { return Path(0) }},
+		{"cycle2", func() (*G, error) { return Cycle(2) }},
+		{"complete0", func() (*G, error) { return Complete(0) }},
+		{"star1", func() (*G, error) { return Star(1) }},
+		{"bintree0", func() (*G, error) { return BinaryTree(0) }},
+		{"grid0x3", func() (*G, error) { return Grid(0, 3) }},
+		{"torus2x3", func() (*G, error) { return Torus(2, 3) }},
+		{"hypercube0", func() (*G, error) { return Hypercube(0) }},
+		{"candy1", func() (*G, error) { return Candy(1, 2) }},
+		{"candyNegPath", func() (*G, error) { return Candy(3, -1) }},
+		{"barbell1", func() (*G, error) { return Barbell(1, 0) }},
+		{"erNeg", func() (*G, error) { return ER(0, 0.5, rng.New(1)) }},
+		{"erBadP", func() (*G, error) { return ER(5, 1.5, rng.New(1)) }},
+		{"rggBadRadius", func() (*G, error) { return RGG(5, 0, rng.New(1)) }},
+		{"regularOdd", func() (*G, error) { return RandomRegular(5, 3, rng.New(1)) }},
+		{"regularDTooBig", func() (*G, error) { return RandomRegular(4, 4, rng.New(1)) }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.f(); err == nil {
+				t.Fatal("invalid arguments accepted")
+			}
+		})
+	}
+}
+
+func TestERDensity(t *testing.T) {
+	r := rng.New(5)
+	g, err := ER(100, 0.1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[m] = C(100,2) * 0.1 = 495; allow +-5 sigma (sigma ~ 21).
+	if g.M() < 390 || g.M() > 600 {
+		t.Fatalf("ER(100, 0.1) has %d edges, want ~495", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectedERIsConnected(t *testing.T) {
+	g, err := ConnectedER(50, 0.12, rng.New(7), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("ConnectedER returned a disconnected graph")
+	}
+}
+
+func TestRandomRegularIsRegular(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {16, 3}} {
+		g, err := RandomRegular(tc.n, tc.d, rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < tc.n; v++ {
+			if g.Degree(NodeID(v)) != tc.d {
+				t.Fatalf("n=%d d=%d: node %d has degree %d", tc.n, tc.d, v, g.Degree(NodeID(v)))
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConnectedRandomRegular(t *testing.T) {
+	g, err := ConnectedRandomRegular(30, 3, rng.New(13), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestRGGEdgesRespectRadius(t *testing.T) {
+	// Statistical check through structure: with a generous radius the RGG
+	// on few points should be connected and valid.
+	g, err := ConnectedRGG(60, RGGThresholdRadius(60), rng.New(17), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("ConnectedRGG returned disconnected graph")
+	}
+	if g.M() == 0 {
+		t.Fatal("RGG has no edges")
+	}
+}
+
+func TestRGGThresholdRadius(t *testing.T) {
+	if r := RGGThresholdRadius(1); r != 1 {
+		t.Fatalf("degenerate radius = %v, want 1", r)
+	}
+	if r := RGGThresholdRadius(1000); r <= 0 || r >= 1 {
+		t.Fatalf("radius for n=1000 = %v out of (0,1)", r)
+	}
+}
+
+func TestCandyDiameterScalesWithPath(t *testing.T) {
+	for _, pathLen := range []int{0, 5, 20} {
+		g, err := Candy(6, pathLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := g.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pathLen + 1
+		if pathLen == 0 {
+			want = 1
+		}
+		if d != want {
+			t.Fatalf("candy(6,%d) diameter = %d, want %d", pathLen, d, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// LowerBound is the hard instance G_n of Definition 3.3 (Figure 3): a path
+// P = v_1 v_2 ... v_{n'} with a complete binary tree T of k' leaves laid
+// over it, leaf u_i connected to every path node v_{jk'+i}. The tree gives
+// G_n diameter O(log n) while the PATH-VERIFICATION problem on P still
+// needs Ω(√(ℓ/log ℓ)) rounds (Theorem 3.2): tree edges near the root are a
+// bandwidth bottleneck between the left and right halves of P's residue
+// classes.
+type LowerBound struct {
+	G *G
+	// PathLen is n': the padded path length (k' divides n', n' >= n).
+	PathLen int
+	// K is the parameter k of Theorem 3.2 (#rounds lower bound).
+	K int
+	// KPrime is k': the number of tree leaves, a power of two with
+	// k'/2 <= 4k < k'.
+	KPrime int
+	// Root is the tree root x; Leaves are u_1..u_{k'} left to right.
+	Root   NodeID
+	Leaves []NodeID
+}
+
+// NewLowerBound builds G_n for a desired path length n and parameter k.
+// Pass k <= 0 to use the canonical k = sqrt(n / log2 n) of Theorem 3.7.
+func NewLowerBound(n, k int) (*LowerBound, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("graph: lower-bound graph needs n >= 4, got %d", n)
+	}
+	if k <= 0 {
+		k = DefaultLowerBoundK(n)
+	}
+	// k' is a power of two with k'/2 <= 4k < k'.
+	kp := 1
+	for kp <= 4*k {
+		kp *= 2
+	}
+	if kp < 4 {
+		kp = 4
+	}
+	np := ((n + kp - 1) / kp) * kp // smallest multiple of k' that is >= n
+	treeSize := 2*kp - 1
+	g := New(np + treeSize)
+
+	// Path nodes are 0..np-1 (v_{i+1} in the paper's 1-based indexing).
+	for i := 0; i+1 < np; i++ {
+		mustAdd(g, NodeID(i), NodeID(i+1))
+	}
+	// Tree nodes in heap order: graph id np+t for heap index t; root t=0;
+	// children of t are 2t+1, 2t+2; leaves are t in [kp-1, 2kp-2].
+	for t := 1; t < treeSize; t++ {
+		mustAdd(g, NodeID(np+(t-1)/2), NodeID(np+t))
+	}
+	leaves := make([]NodeID, kp)
+	for i := 0; i < kp; i++ {
+		leaves[i] = NodeID(np + kp - 1 + i)
+	}
+	// Leaf u_i (1-based) attaches to v_{jk'+i} for all valid j, i.e. path
+	// index jk'+i-1 in 0-based coordinates.
+	for i := 1; i <= kp; i++ {
+		for p := i - 1; p < np; p += kp {
+			mustAdd(g, leaves[i-1], NodeID(p))
+		}
+	}
+	return &LowerBound{
+		G:       g,
+		PathLen: np,
+		K:       k,
+		KPrime:  kp,
+		Root:    NodeID(np),
+		Leaves:  leaves,
+	}, nil
+}
+
+// DefaultLowerBoundK returns the canonical k = sqrt(n / log2 n) used in
+// Theorems 3.2 and 3.7 (rounded to at least 1).
+func DefaultLowerBoundK(n int) int {
+	if n < 4 {
+		return 1
+	}
+	k := int(math.Sqrt(float64(n) / math.Log2(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// PathNode returns v_{i} for 1-based path position i in [1, PathLen].
+func (lb *LowerBound) PathNode(i int) NodeID { return NodeID(i - 1) }
+
+// LeftBreakpoints returns the breakpoints for the left subtree: path
+// positions jk'+k'/2+k+1 (1-based, Section 3.1). These nodes cannot be
+// reached from the left-leaf attachment points by walking at most k steps
+// along P.
+func (lb *LowerBound) LeftBreakpoints() []NodeID {
+	return lb.breakpoints(lb.KPrime/2 + lb.K + 1)
+}
+
+// RightBreakpoints returns the breakpoints for the right subtree: path
+// positions jk'+k+1 (1-based).
+func (lb *LowerBound) RightBreakpoints() []NodeID {
+	return lb.breakpoints(lb.K + 1)
+}
+
+func (lb *LowerBound) breakpoints(offset int) []NodeID {
+	var out []NodeID
+	for p := offset; p <= lb.PathLen; p += lb.KPrime {
+		out = append(out, lb.PathNode(p))
+	}
+	return out
+}

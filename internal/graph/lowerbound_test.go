@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowerBoundStructure(t *testing.T) {
+	lb, err := NewLowerBound(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lb.G
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// k' must be the smallest power of two with 4k < k'.
+	if lb.KPrime != 16 {
+		t.Fatalf("k' = %d, want 16 for k=3", lb.KPrime)
+	}
+	if lb.PathLen%lb.KPrime != 0 || lb.PathLen < 100 {
+		t.Fatalf("n' = %d must be a multiple of k'=%d and >= 100", lb.PathLen, lb.KPrime)
+	}
+	if g.N() != lb.PathLen+2*lb.KPrime-1 {
+		t.Fatalf("total nodes = %d, want n' + 2k'-1 = %d", g.N(), lb.PathLen+2*lb.KPrime-1)
+	}
+	if len(lb.Leaves) != lb.KPrime {
+		t.Fatalf("leaf count = %d, want %d", len(lb.Leaves), lb.KPrime)
+	}
+	if !g.Connected() {
+		t.Fatal("G_n is disconnected")
+	}
+}
+
+func TestLowerBoundLeafAttachment(t *testing.T) {
+	lb, err := NewLowerBound(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf u_i must attach to exactly n'/k' path nodes: v_{jk'+i}.
+	per := lb.PathLen / lb.KPrime
+	for i, leaf := range lb.Leaves {
+		pathNbrs := 0
+		for _, h := range lb.G.Neighbors(leaf) {
+			if int(h.To) < lb.PathLen {
+				pathNbrs++
+				if (int(h.To))%lb.KPrime != i {
+					t.Fatalf("leaf u_%d attached to path index %d (mod %d = %d)",
+						i+1, h.To, lb.KPrime, int(h.To)%lb.KPrime)
+				}
+			}
+		}
+		if pathNbrs != per {
+			t.Fatalf("leaf u_%d has %d path attachments, want %d", i+1, pathNbrs, per)
+		}
+	}
+}
+
+func TestLowerBoundDiameterLogarithmic(t *testing.T) {
+	// Theorem 3.2: G_n has diameter O(log n). Check a couple of sizes.
+	for _, n := range []int{128, 512, 2048} {
+		lb, err := NewLowerBound(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := lb.G.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 4*int(math.Log2(float64(lb.G.N()))) + 4
+		if d > bound {
+			t.Fatalf("n=%d: diameter %d exceeds O(log n) bound %d", n, d, bound)
+		}
+	}
+}
+
+func TestLowerBoundBreakpointCounts(t *testing.T) {
+	// Lemma 3.4: at least n/4k breakpoints on each side.
+	lb, err := NewLowerBound(400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lb.PathLen / (4 * lb.K)
+	if got := len(lb.LeftBreakpoints()); got < want/2 {
+		t.Fatalf("left breakpoints = %d, want >= %d", got, want/2)
+	}
+	if got := len(lb.RightBreakpoints()); got < want/2 {
+		t.Fatalf("right breakpoints = %d, want >= %d", got, want/2)
+	}
+}
+
+func TestLowerBoundBreakpointsFarFromOppositeLeaves(t *testing.T) {
+	// A right breakpoint v_{jk'+k+1} must be more than k path-steps away
+	// from every attachment point of the right half's leaves... verify the
+	// defining property directly: its 1-based index mod k' is k+1, so the
+	// nearest right-leaf attachment (index mod k' in (k'/2, k']) is more
+	// than k away along P.
+	lb, err := NewLowerBound(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bp := range lb.RightBreakpoints() {
+		pos := int(bp) + 1 // 1-based
+		if (pos-1)%lb.KPrime != lb.K {
+			t.Fatalf("right breakpoint at %d has residue %d, want %d",
+				pos, (pos-1)%lb.KPrime, lb.K)
+		}
+	}
+	for _, bp := range lb.LeftBreakpoints() {
+		pos := int(bp) + 1
+		if (pos-1)%lb.KPrime != lb.KPrime/2+lb.K {
+			t.Fatalf("left breakpoint at %d has wrong residue", pos)
+		}
+	}
+}
+
+func TestLowerBoundDefaultK(t *testing.T) {
+	if k := DefaultLowerBoundK(2); k != 1 {
+		t.Fatalf("DefaultLowerBoundK(2) = %d, want 1", k)
+	}
+	k := DefaultLowerBoundK(10000)
+	want := int(math.Sqrt(10000 / math.Log2(10000)))
+	if k != want {
+		t.Fatalf("DefaultLowerBoundK(10000) = %d, want %d", k, want)
+	}
+}
+
+func TestLowerBoundRejectsTinyN(t *testing.T) {
+	if _, err := NewLowerBound(2, 1); err == nil {
+		t.Fatal("tiny n accepted")
+	}
+}

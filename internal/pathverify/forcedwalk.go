@@ -1,0 +1,105 @@
+package pathverify
+
+import (
+	"fmt"
+	"math"
+
+	"distwalk/internal/graph"
+	"distwalk/internal/rng"
+)
+
+// ForcedWalkResult reports one walk on the weighted graph G'_n.
+type ForcedWalkResult struct {
+	// FollowedPath reports whether every step took the next path edge.
+	FollowedPath bool
+	// DeviatedAt is the first step index that left the path (-1 if none).
+	DeviatedAt int
+	// End is the node the walk finished at.
+	End graph.NodeID
+}
+
+// ForcedWalk simulates `steps` steps of the random walk on G'_n
+// (Theorem 3.7): G_n with edge (v_i, v_{i+1}) reweighted to (2n)^{2i}.
+// Started at v_1, the walk takes the next path edge with probability
+// ≥ 1 − 1/n² per step, so it traces P w.h.p. — which is what reduces
+// PATH-VERIFICATION to the random-walk problem.
+//
+// The weights (2n)^{2i} overflow any fixed-precision representation, so
+// the step distribution is evaluated in the exponent domain: at v_i the
+// relative weights are (2n)^0 for the forward edge, (2n)^{-2} for the
+// backward edge and (2n)^{-2i} for the leaf edge — only ratios matter and
+// they are tiny, so float64 evaluation is exact to ~1e-16.
+func ForcedWalk(lb *graph.LowerBound, steps int, r *rng.RNG) (*ForcedWalkResult, error) {
+	if steps < 0 || steps > lb.PathLen-1 {
+		return nil, fmt.Errorf("pathverify: steps %d out of [0,%d]", steps, lb.PathLen-1)
+	}
+	n := float64(lb.G.N())
+	base := 2 * n
+	res := &ForcedWalkResult{FollowedPath: true, DeviatedAt: -1}
+	cur := 1 // 1-based path position
+	for s := 0; s < steps; s++ {
+		next, onPath := forcedStep(lb, cur, base, r)
+		if !onPath {
+			res.FollowedPath = false
+			res.DeviatedAt = s
+			res.End = next
+			return res, nil
+		}
+		cur++
+	}
+	res.End = lb.PathNode(cur)
+	return res, nil
+}
+
+// forcedStep samples the next node from path position cur (1-based).
+// It returns the landing node and whether the step followed the path
+// forward.
+func forcedStep(lb *graph.LowerBound, cur int, base float64, r *rng.RNG) (graph.NodeID, bool) {
+	// Edge weights at v_cur, as exponents of `base`:
+	//   forward  (v_cur, v_cur+1): 2·cur        -> relative exponent 0
+	//   backward (v_cur-1, v_cur): 2·(cur-1)    -> relative exponent -2
+	//   leaf edge:                 weight 1     -> relative exponent -2·cur
+	type cand struct {
+		node graph.NodeID
+		rel  float64 // weight / forward weight
+	}
+	var cands []cand
+	hasForward := cur < lb.PathLen
+	if hasForward {
+		cands = append(cands, cand{node: lb.PathNode(cur + 1), rel: 1})
+	}
+	if cur > 1 {
+		cands = append(cands, cand{node: lb.PathNode(cur - 1), rel: math.Pow(base, -2)})
+	}
+	// Leaf u_i with i = ((cur-1) mod k')+1 is attached to v_cur.
+	leaf := lb.Leaves[(cur-1)%lb.KPrime]
+	cands = append(cands, cand{node: leaf, rel: math.Pow(base, -2*float64(cur))})
+	if !hasForward {
+		// At the path's end the backward edge dominates instead; rescale
+		// so the largest relative weight is 1 for numerical stability.
+		max := 0.0
+		for _, c := range cands {
+			if c.rel > max {
+				max = c.rel
+			}
+		}
+		for i := range cands {
+			cands[i].rel /= max
+		}
+	}
+	total := 0.0
+	for _, c := range cands {
+		total += c.rel
+	}
+	x := r.Float64() * total
+	acc := 0.0
+	pick := cands[len(cands)-1].node
+	for _, c := range cands {
+		acc += c.rel
+		if x < acc {
+			pick = c.node
+			break
+		}
+	}
+	return pick, hasForward && pick == lb.PathNode(cur+1)
+}

@@ -1,0 +1,85 @@
+package pathverify
+
+// iv is a closed integer interval [lo, hi] of verified path positions.
+type iv struct {
+	lo, hi int32
+}
+
+func (a iv) contains(b iv) bool { return a.lo <= b.lo && b.hi <= a.hi }
+
+// ivSet is a set of maximal verified intervals, kept sorted and disjoint
+// (non-overlapping and non-touching after merging). Overlapping or
+// touching-at-a-shared-position intervals merge per the verification rule
+// of Section 3: [i1,j1] and [i2,j2] with i1 ≤ i2 ≤ j1 ≤ j2 verify [i1,j2].
+//
+// Note "touching" here means sharing a position (j1 == i2), not mere
+// adjacency (j1+1 == i2): verifying across adjacent intervals requires
+// witnessing the path edge between them, which is the extension rule in
+// proto.go, not a set operation.
+type ivSet struct {
+	list []iv // sorted by lo
+}
+
+// insert adds x, merging with any intervals sharing at least one position,
+// and returns the resulting maximal interval plus whether the set gained
+// information (false if x was already covered).
+func (s *ivSet) insert(x iv) (iv, bool) {
+	if x.lo > x.hi {
+		return x, false
+	}
+	merged := x
+	out := s.list[:0]
+	changed := true
+	for _, cur := range s.list {
+		switch {
+		case cur.contains(merged):
+			// Already known: keep everything as is.
+			return cur, false
+		case cur.hi < merged.lo || cur.lo > merged.hi:
+			// Disjoint and not sharing a position.
+			out = append(out, cur)
+		default:
+			// Shares at least one position: merge.
+			if cur.lo < merged.lo {
+				merged.lo = cur.lo
+			}
+			if cur.hi > merged.hi {
+				merged.hi = cur.hi
+			}
+		}
+	}
+	// Re-insert in sorted position.
+	pos := len(out)
+	for i, cur := range out {
+		if cur.lo > merged.lo {
+			pos = i
+			break
+		}
+	}
+	out = append(out, iv{})
+	copy(out[pos+1:], out[pos:])
+	out[pos] = merged
+	s.list = out
+	return merged, changed
+}
+
+// maximalContaining returns the maximal interval containing x (which must
+// share a position with one), or x itself if none does.
+func (s *ivSet) maximalContaining(x iv) iv {
+	for _, cur := range s.list {
+		if cur.lo <= x.lo && x.hi <= cur.hi {
+			return cur
+		}
+	}
+	return x
+}
+
+// has reports whether the set covers [lo, hi] with a single interval.
+func (s *ivSet) has(x iv) bool {
+	for _, cur := range s.list {
+		if cur.contains(x) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+// Package pathverify implements the PATH-VERIFICATION problem of
+// Section 3 (Definition 3.1) and the experiments around the paper's
+// Ω(√(ℓ/log ℓ) + D) lower bound for distributed random walks:
+//
+//   - a natural distributed verification protocol in the paper's
+//     token-forwarding class — nodes store, merge and selectively forward
+//     verified segments [i, j], one O(log n)-bit interval per edge per
+//     round — measured on the hard instance G_n (Definition 3.3), where
+//     the measured round count exhibits the √ℓ shape of Theorem 3.2
+//     despite the O(log n) diameter;
+//   - the forced-walk experiment of Theorem 3.7: on the exponentially
+//     weighted variant G'_n a random walk follows the path P with
+//     probability ≥ 1 − 1/n, so a walk is as hard to certify as a path.
+package pathverify
+
+import (
+	"fmt"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// ivMsg is one verified segment in flight; senderOrder is the sender's
+// path position (0 for non-path nodes), which the receiver needs for the
+// edge-witness extension rule. Everything is O(log n) bits.
+type ivMsg struct {
+	lo, hi      int32
+	senderOrder int32
+}
+
+func (ivMsg) Words() int { return 3 }
+
+// Result reports a PATH-VERIFICATION run.
+type Result struct {
+	// Verified reports whether some node verified the whole path [1, ℓ].
+	Verified bool
+	// Verifier is the first node to verify it (undefined if !Verified).
+	Verifier graph.NodeID
+	// Rounds is the number of rounds until verification (or quiescence).
+	Rounds int
+	// Cost is the full simulated cost.
+	Cost congest.Result
+}
+
+// proto is the verification protocol. Every node keeps a set of maximal
+// verified intervals and an outbox per neighbor; each round it sends at
+// most one interval per edge (the CONGEST budget). New information is
+// produced by two sound rules:
+//
+//	merge:  intervals sharing a position combine (the class's rule);
+//	extend: node v_{b+1} receiving [a, b] directly from v_b has witnessed
+//	        the path edge (v_b, v_{b+1}) and verifies [a, b+1]
+//	        (symmetrically at the front) — this is how Figure 1(b)'s
+//	        node b turns "1" from a into [1, 2].
+type proto struct {
+	order  []int32 // 1-based path position per node, 0 if none
+	target iv
+
+	sets   []ivSet
+	out    [][][]iv         // per node, per neighbor index: pending queue
+	sent   []map[ivKey]bool // per node: intervals already sent, keyed with neighbor
+	nbrIdx []map[graph.NodeID]int
+
+	verified bool
+	verifier graph.NodeID
+}
+
+type ivKey struct {
+	nbr    graph.NodeID
+	lo, hi int32
+}
+
+func (p *proto) Init(ctx *congest.Ctx) {
+	v := ctx.Node()
+	hs := ctx.Neighbors()
+	p.out[v] = make([][]iv, len(hs))
+	p.nbrIdx[v] = make(map[graph.NodeID]int, len(hs))
+	for i, h := range hs {
+		p.nbrIdx[v][h.To] = i
+	}
+	p.sent[v] = make(map[ivKey]bool)
+	if o := p.order[v]; o > 0 {
+		p.learn(ctx, iv{lo: o, hi: o})
+	}
+	p.flush(ctx)
+}
+
+func (p *proto) Step(ctx *congest.Ctx) {
+	v := ctx.Node()
+	myOrder := p.order[v]
+	for _, m := range ctx.Inbox() {
+		msg, ok := m.Payload.(ivMsg)
+		if !ok {
+			continue
+		}
+		got := iv{lo: msg.lo, hi: msg.hi}
+		// Edge-witness extension: the message came over a real edge from
+		// the segment's endpoint, and this node is the next/previous path
+		// position.
+		if myOrder > 0 && msg.senderOrder > 0 {
+			if msg.senderOrder == msg.hi && myOrder == msg.hi+1 {
+				got.hi++
+			} else if msg.senderOrder == msg.lo && myOrder == msg.lo-1 {
+				got.lo--
+			}
+		}
+		p.learn(ctx, got)
+	}
+	p.flush(ctx)
+}
+
+// learn inserts an interval; when it yields new information, the merged
+// maximal interval is queued for every neighbor.
+func (p *proto) learn(ctx *congest.Ctx, x iv) {
+	v := ctx.Node()
+	merged, changed := p.sets[v].insert(x)
+	if !changed {
+		return
+	}
+	if merged.contains(p.target) && !p.verified {
+		p.verified = true
+		p.verifier = v
+	}
+	for i := range p.out[v] {
+		p.out[v][i] = append(p.out[v][i], merged)
+	}
+}
+
+// flush sends at most one useful interval per neighbor, skipping entries
+// subsumed by later merges and deduplicating per (neighbor, interval).
+func (p *proto) flush(ctx *congest.Ctx) {
+	v := ctx.Node()
+	hs := ctx.Neighbors()
+	pending := false
+	for i, h := range hs {
+		q := p.out[v][i]
+		for len(q) > 0 {
+			cand := p.sets[v].maximalContaining(q[0])
+			q = q[1:]
+			key := ivKey{nbr: h.To, lo: cand.lo, hi: cand.hi}
+			if p.sent[v][key] {
+				continue
+			}
+			p.sent[v][key] = true
+			ctx.Send(h.To, ivMsg{lo: cand.lo, hi: cand.hi, senderOrder: p.order[v]})
+			break
+		}
+		p.out[v][i] = q
+		if len(q) > 0 {
+			pending = true
+		}
+	}
+	ctx.SetActive(pending)
+}
+
+func (p *proto) Halted() bool { return p.verified }
+
+// Verify runs the protocol on net. order[v] gives node v's 1-based path
+// position (0 for nodes that are not part of the sequence); ell is the
+// path length to verify. It returns the measured rounds and whether some
+// node verified [1, ell]; with a valid path assignment verification always
+// succeeds, while an invalid sequence reaches quiescence unverified.
+func Verify(net *congest.Network, order []int32, ell int) (*Result, error) {
+	n := net.Graph().N()
+	if len(order) != n {
+		return nil, fmt.Errorf("pathverify: order has %d entries, want %d", len(order), n)
+	}
+	if ell < 1 {
+		return nil, fmt.Errorf("pathverify: ell must be >= 1, got %d", ell)
+	}
+	seen := make(map[int32]bool, ell)
+	for _, o := range order {
+		if o < 0 || int(o) > ell {
+			return nil, fmt.Errorf("pathverify: order %d out of range [0,%d]", o, ell)
+		}
+		if o > 0 {
+			if seen[o] {
+				return nil, fmt.Errorf("pathverify: duplicate order %d", o)
+			}
+			seen[o] = true
+		}
+	}
+	if len(seen) != ell {
+		return nil, fmt.Errorf("pathverify: %d of %d positions assigned", len(seen), ell)
+	}
+	p := &proto{
+		order:  order,
+		target: iv{lo: 1, hi: int32(ell)},
+		sets:   make([]ivSet, n),
+		out:    make([][][]iv, n),
+		sent:   make([]map[ivKey]bool, n),
+		nbrIdx: make([]map[graph.NodeID]int, n),
+	}
+	cost, err := net.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Verified: p.verified,
+		Verifier: p.verifier,
+		Rounds:   cost.Rounds,
+		Cost:     cost,
+	}, nil
+}
+
+// GnOrder builds the order assignment for verifying the first ell path
+// positions of a lower-bound graph.
+func GnOrder(lb *graph.LowerBound, ell int) ([]int32, error) {
+	if ell < 1 || ell > lb.PathLen {
+		return nil, fmt.Errorf("pathverify: ell %d out of [1,%d]", ell, lb.PathLen)
+	}
+	order := make([]int32, lb.G.N())
+	for i := 1; i <= ell; i++ {
+		order[lb.PathNode(i)] = int32(i)
+	}
+	return order, nil
+}

@@ -1,0 +1,266 @@
+package pathverify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+	"distwalk/internal/rng"
+)
+
+func TestIvSetInsertMerging(t *testing.T) {
+	var s ivSet
+	if _, changed := s.insert(iv{3, 5}); !changed {
+		t.Fatal("fresh insert reported no change")
+	}
+	// Contained: no change.
+	if _, changed := s.insert(iv{4, 4}); changed {
+		t.Fatal("contained insert reported change")
+	}
+	// Sharing position 5: merge.
+	m, changed := s.insert(iv{5, 9})
+	if !changed || m != (iv{3, 9}) {
+		t.Fatalf("merge gave %v changed=%v", m, changed)
+	}
+	// Adjacent but not sharing a position: stays separate.
+	m, changed = s.insert(iv{1, 2})
+	if !changed || m != (iv{1, 2}) {
+		t.Fatalf("adjacent insert gave %v", m)
+	}
+	if len(s.list) != 2 {
+		t.Fatalf("set has %d intervals, want 2", len(s.list))
+	}
+	// Bridge: [2,3] shares 2 with [1,2] and 3 with [3,9].
+	m, changed = s.insert(iv{2, 3})
+	if !changed || m != (iv{1, 9}) {
+		t.Fatalf("bridge merge gave %v", m)
+	}
+	if len(s.list) != 1 {
+		t.Fatalf("set has %d intervals after bridge, want 1", len(s.list))
+	}
+	if !s.has(iv{1, 9}) || s.has(iv{0, 9}) {
+		t.Fatal("has() answers wrong")
+	}
+}
+
+func TestIvSetInvalidInterval(t *testing.T) {
+	var s ivSet
+	if _, changed := s.insert(iv{5, 3}); changed {
+		t.Fatal("inverted interval accepted")
+	}
+}
+
+func TestQuickIvSetStaysDisjointSorted(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		r := rng.New(seed)
+		var s ivSet
+		for op := 0; op < int(opsRaw%40)+5; op++ {
+			lo := int32(r.Intn(50))
+			s.insert(iv{lo, lo + int32(r.Intn(8))})
+			for i := 0; i < len(s.list); i++ {
+				if s.list[i].lo > s.list[i].hi {
+					return false
+				}
+				// Strictly separated: no shared or adjacent-shared position.
+				if i > 0 && s.list[i-1].hi >= s.list[i].lo {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pathOrder(n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i + 1)
+	}
+	return order
+}
+
+func TestVerifyOnPlainPath(t *testing.T) {
+	const n = 24
+	g, err := graph.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := congest.NewNetwork(g, 1)
+	res, err := Verify(net, pathOrder(n), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("valid path not verified")
+	}
+	// On a bare path information can only flow along P: Θ(ℓ) rounds.
+	if res.Rounds < n/2-1 || res.Rounds > 3*n {
+		t.Fatalf("path verification took %d rounds, want Θ(%d)", res.Rounds, n)
+	}
+}
+
+func TestVerifyInputValidation(t *testing.T) {
+	g, _ := graph.Path(4)
+	net := congest.NewNetwork(g, 1)
+	if _, err := Verify(net, []int32{1, 2}, 4); err == nil {
+		t.Fatal("wrong order length accepted")
+	}
+	if _, err := Verify(net, []int32{1, 2, 2, 3}, 3); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := Verify(net, []int32{1, 2, 0, 4}, 4); err == nil {
+		t.Fatal("missing position accepted")
+	}
+	if _, err := Verify(net, []int32{1, 2, 3, 9}, 4); err == nil {
+		t.Fatal("out-of-range order accepted")
+	}
+	if _, err := Verify(net, pathOrder(4), 0); err == nil {
+		t.Fatal("ell=0 accepted")
+	}
+}
+
+func TestVerifyRejectsNonPathSequence(t *testing.T) {
+	// Assign orders 1..4 to nodes that do NOT form a path: on a star, the
+	// leaves are never adjacent, so the sequence cannot be verified and
+	// the protocol must reach quiescence unverified.
+	g, err := graph.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int32{0, 1, 2, 3, 4} // the four leaves in sequence
+	net := congest.NewNetwork(g, 1)
+	res, err := Verify(net, order, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Fatal("non-path sequence verified")
+	}
+}
+
+func TestVerifyOnGnVerifies(t *testing.T) {
+	lb, err := graph.NewLowerBound(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := GnOrder(lb, lb.PathLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := congest.NewNetwork(lb.G, 3)
+	res, err := Verify(net, order, lb.PathLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("G_n path not verified")
+	}
+	// The lower bound: more than k = √(ℓ/log ℓ) rounds.
+	if res.Rounds <= lb.K {
+		t.Fatalf("verification in %d rounds beats the Ω(k)=%d lower bound?!", res.Rounds, lb.K)
+	}
+	// The tree must help: far fewer rounds than the bare-path Θ(ℓ).
+	if res.Rounds >= lb.PathLen/2 {
+		t.Fatalf("verification took %d rounds on ℓ=%d: tree gave no speedup", res.Rounds, lb.PathLen)
+	}
+}
+
+func TestVerifyOnGnSqrtShape(t *testing.T) {
+	// Doubling ℓ should scale rounds by ~√2..2^(3/4), far below the 2x of
+	// a path. Compare ℓ and 4ℓ: expect a factor well below 4 on G_n.
+	rounds := func(n int) (int, int) {
+		lb, err := graph.NewLowerBound(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := GnOrder(lb, lb.PathLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := congest.NewNetwork(lb.G, 5)
+		res, err := Verify(net, order, lb.PathLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatal("not verified")
+		}
+		return res.Rounds, lb.PathLen
+	}
+	r1, l1 := rounds(512)
+	r4, l4 := rounds(2048)
+	growth := float64(r4) / float64(r1)
+	lenGrowth := float64(l4) / float64(l1)
+	if growth >= 0.85*lenGrowth {
+		t.Fatalf("rounds grew %.2fx for a %.2fx longer path — no sublinear shape", growth, lenGrowth)
+	}
+}
+
+func TestForcedWalkFollowsPath(t *testing.T) {
+	lb, err := graph.NewLowerBound(300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	followed := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		res, err := ForcedWalk(lb, lb.PathLen-1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FollowedPath {
+			followed++
+			if res.End != lb.PathNode(lb.PathLen) {
+				t.Fatalf("followed path but ended at %d", res.End)
+			}
+		}
+	}
+	// Theorem 3.7: deviation probability ≤ 1/n per walk.
+	if followed < trials*97/100 {
+		t.Fatalf("walk followed P only %d/%d times", followed, trials)
+	}
+}
+
+func TestForcedWalkValidation(t *testing.T) {
+	lb, err := graph.NewLowerBound(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForcedWalk(lb, -1, rng.New(1)); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+	if _, err := ForcedWalk(lb, lb.PathLen+5, rng.New(1)); err == nil {
+		t.Fatal("overlong walk accepted")
+	}
+	res, err := ForcedWalk(lb, 0, rng.New(1))
+	if err != nil || !res.FollowedPath || res.End != lb.PathNode(1) {
+		t.Fatalf("zero-step walk: %+v err=%v", res, err)
+	}
+}
+
+func TestVerifyDeterministic(t *testing.T) {
+	lb, err := graph.NewLowerBound(200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := GnOrder(lb, lb.PathLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int {
+		net := congest.NewNetwork(lb.G, 9)
+		res, err := Verify(net, order, lb.PathLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rounds
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("verification rounds diverged: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,224 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("sequence diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero seed produced repeats: %d unique of 100", len(seen))
+	}
+}
+
+func TestStreamReproducible(t *testing.T) {
+	base := New(7)
+	s1 := base.Stream(3)
+	s2 := base.Stream(3)
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatalf("same stream id diverged at %d", i)
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	base := New(7)
+	s1 := base.Stream(0)
+	s2 := base.Stream(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent streams collided %d/1000 times", same)
+	}
+}
+
+func TestStreamDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Stream(5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Stream advanced the parent generator")
+		}
+	}
+}
+
+func TestSplitAdvancesAndDiffers(t *testing.T) {
+	a := New(11)
+	c := a.Split()
+	if a.Uint64() == c.Uint64() {
+		t.Fatal("split stream mirrors parent")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square-ish check: 6 buckets, 60000 draws, expect ~10000 each.
+	r := New(17)
+	const n, draws = 6, 60000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-draws/n) > 500 {
+			t.Fatalf("bucket %d count %d deviates from %d", b, c, draws/n)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(19)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	for _, n := range []int{0, 1, 2, 5, 64} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// The first element of Perm(4) should be uniform over {0,1,2,3}.
+	r := New(29)
+	counts := make([]int, 4)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(4)[0]]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-draws/4) > 400 {
+			t.Fatalf("first element %d appeared %d times, want ~%d", v, c, draws/4)
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(31)
+	trues := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)-draws/2) > 1000 {
+		t.Fatalf("Bool returned true %d/%d times", trues, draws)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	r := New(37)
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Stream(seed).Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStreamsDisjointPrefix(t *testing.T) {
+	base := New(41)
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return base.Stream(a).Uint64() != base.Stream(b).Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}

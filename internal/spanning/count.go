@@ -1,0 +1,158 @@
+package spanning
+
+import (
+	"fmt"
+	"math"
+
+	"distwalk/internal/graph"
+)
+
+// SpanningTreeCount returns the number of spanning trees of g by
+// Kirchhoff's matrix-tree theorem: the determinant of any cofactor of the
+// Laplacian. Parallel edges count as distinct trees; weights act as edge
+// multiplicities (weighted tree count). The determinant is computed with
+// partially-pivoted Gaussian elimination in float64, exact enough for the
+// small graphs used in uniformity tests.
+func SpanningTreeCount(g *graph.G) (float64, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, fmt.Errorf("spanning: empty graph")
+	}
+	if n == 1 {
+		return 1, nil
+	}
+	// Reduced Laplacian: drop row/column 0.
+	m := n - 1
+	l := make([][]float64, m)
+	for i := range l {
+		l[i] = make([]float64, m)
+	}
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i)
+		u, v, w := int(e.U), int(e.V), e.W
+		if u > 0 {
+			l[u-1][u-1] += w
+		}
+		if v > 0 {
+			l[v-1][v-1] += w
+		}
+		if u > 0 && v > 0 {
+			l[u-1][v-1] -= w
+			l[v-1][u-1] -= w
+		}
+	}
+	det := 1.0
+	for col := 0; col < m; col++ {
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(l[r][col]) > math.Abs(l[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(l[pivot][col]) < 1e-12 {
+			return 0, nil // singular: disconnected graph, zero trees
+		}
+		if pivot != col {
+			l[pivot], l[col] = l[col], l[pivot]
+			det = -det
+		}
+		det *= l[col][col]
+		for r := col + 1; r < m; r++ {
+			f := l[r][col] / l[col][col]
+			for c := col; c < m; c++ {
+				l[r][c] -= f * l[col][c]
+			}
+		}
+	}
+	return det, nil
+}
+
+// EnumerateTrees lists the TreeKey of every spanning tree of g (unweighted
+// simple graphs only; intended for tiny test graphs, cost O(C(m, n-1)·n)).
+func EnumerateTrees(g *graph.G) ([]string, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("spanning: empty graph")
+	}
+	if g.M() > 24 {
+		return nil, fmt.Errorf("spanning: enumeration supports at most 24 edges, got %d", g.M())
+	}
+	var keys []string
+	need := n - 1
+	edges := g.Edges()
+	pick := make([]int, 0, need)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(pick) == need {
+			if key, ok := treeOf(g, edges, pick); ok {
+				keys = append(keys, key)
+			}
+			return
+		}
+		// Not enough remaining edges to finish.
+		if len(edges)-start < need-len(pick) {
+			return
+		}
+		for i := start; i < len(edges); i++ {
+			pick = append(pick, i)
+			rec(i + 1)
+			pick = pick[:len(pick)-1]
+		}
+	}
+	rec(0)
+	return keys, nil
+}
+
+// treeOf checks whether the chosen edge subset forms a spanning tree and
+// returns its canonical key.
+func treeOf(g *graph.G, edges []graph.Edge, pick []int) (string, bool) {
+	n := g.N()
+	// Union-find over the chosen edges.
+	uf := make([]int, n)
+	for i := range uf {
+		uf[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = graph.None
+	}
+	for _, ei := range pick {
+		e := edges[ei]
+		ru, rv := find(int(e.U)), find(int(e.V))
+		if ru == rv {
+			return "", false // cycle
+		}
+		uf[ru] = rv
+	}
+	// n-1 acyclic edges over n nodes: a spanning tree. Root it at 0 to
+	// reuse TreeKey.
+	adj := make([][]graph.NodeID, n)
+	for _, ei := range pick {
+		e := edges[ei]
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	stack := []graph.NodeID{0}
+	seen := make([]bool, n)
+	seen[0] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				parent[u] = v
+				stack = append(stack, u)
+			}
+		}
+	}
+	return TreeKey(parent), true
+}

@@ -1,0 +1,54 @@
+package spanning
+
+import (
+	"fmt"
+
+	"distwalk/internal/graph"
+	"distwalk/internal/rng"
+)
+
+// EstimateCoverTime Monte-Carlo estimates the expected cover time of g
+// from root — the quantity whose O(mD) bound (Aleliunas et al., cited in
+// Section 4.1) drives the RST driver's doubling schedule. The walk is
+// simulated locally: this is a centralized reference like Wilson's
+// algorithm, used to validate and calibrate the distributed driver.
+func EstimateCoverTime(g *graph.G, root graph.NodeID, trials int, r *rng.RNG) (float64, error) {
+	n := g.N()
+	if root < 0 || int(root) >= n {
+		return 0, fmt.Errorf("spanning: root %d out of range [0,%d)", root, n)
+	}
+	if trials < 1 {
+		return 0, fmt.Errorf("spanning: trials must be >= 1, got %d", trials)
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	if !g.Connected() {
+		return 0, fmt.Errorf("spanning: cover time of a disconnected graph is infinite")
+	}
+	total := 0.0
+	visited := make([]bool, n)
+	for trial := 0; trial < trials; trial++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		visited[root] = true
+		remaining := n - 1
+		cur := root
+		steps := 0
+		for remaining > 0 {
+			next, err := g.Step(r, cur)
+			if err != nil {
+				return 0, err
+			}
+			cur = next
+			steps++
+			if !visited[cur] {
+				visited[cur] = true
+				remaining--
+			}
+		}
+		total += float64(steps)
+	}
+	return total / float64(trials), nil
+}

@@ -1,0 +1,120 @@
+package spanning
+
+import (
+	"math"
+	"testing"
+
+	"distwalk/internal/graph"
+	"distwalk/internal/rng"
+)
+
+func TestCoverTimeCompleteGraph(t *testing.T) {
+	// K_n is the coupon collector: E[cover] = (n-1)·H_{n-1}.
+	const n = 8
+	g, err := graph.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimateCoverTime(g, 0, 4000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for k := 1; k <= n-1; k++ {
+		want += float64(n-1) / float64(k)
+	}
+	if math.Abs(got-want) > 0.06*want {
+		t.Fatalf("K%d cover time %v, want ≈ %v", n, got, want)
+	}
+}
+
+func TestCoverTimeCycle(t *testing.T) {
+	// C_n: E[cover] = n(n-1)/2 exactly.
+	const n = 9
+	g, err := graph.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimateCoverTime(g, 0, 4000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n*(n-1)) / 2
+	if math.Abs(got-want) > 0.08*want {
+		t.Fatalf("C%d cover time %v, want ≈ %v", n, got, want)
+	}
+}
+
+func TestCoverTimeRespectsMDBound(t *testing.T) {
+	// Aleliunas et al.: E[cover] ≤ 2m(n-1), and the paper uses O(mD).
+	// Check the O(mD)-scale bound with a generous constant on families
+	// with very different shapes.
+	gens := []func() (*graph.G, error){
+		func() (*graph.G, error) { return graph.Torus(5, 5) },
+		func() (*graph.G, error) { return graph.Candy(5, 10) },
+		func() (*graph.G, error) { return graph.Star(20) },
+	}
+	for _, gen := range gens {
+		g, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := g.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EstimateCoverTime(g, 0, 300, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 4 * float64(g.M()) * float64(max(d, 1))
+		if got > bound {
+			t.Fatalf("cover time %v exceeds 4·m·D = %v (n=%d m=%d D=%d)", got, bound, g.N(), g.M(), d)
+		}
+	}
+}
+
+func TestCoverTimeValidation(t *testing.T) {
+	g, _ := graph.Complete(3)
+	if _, err := EstimateCoverTime(g, 9, 10, rng.New(1)); err == nil {
+		t.Fatal("bad root accepted")
+	}
+	if _, err := EstimateCoverTime(g, 0, 0, rng.New(1)); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	single := graph.New(1)
+	got, err := EstimateCoverTime(single, 0, 5, rng.New(1))
+	if err != nil || got != 0 {
+		t.Fatalf("singleton cover = %v, err=%v", got, err)
+	}
+	disc := graph.New(3)
+	if err := disc.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateCoverTime(disc, 0, 5, rng.New(1)); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestRSTCoveringLengthTracksCoverTime(t *testing.T) {
+	// The doubling driver should stop within a small factor of the true
+	// cover time.
+	g, err := graph.Torus(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, err := EstimateCoverTime(g, 0, 500, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWalker(t, g, 9)
+	res, err := RandomSpanningTree(w, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ℓ doubles from n: the covering length is at most ~4x the cover time
+	// w.h.p. and at least cover-time scale.
+	if float64(res.WalkLength) > 16*cover || float64(res.WalkLength) < cover/16 {
+		t.Fatalf("covering length %d far from cover time %v", res.WalkLength, cover)
+	}
+}

@@ -1,0 +1,143 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distwalk/internal/graph"
+)
+
+// This file answers the paper's closing question — "Can these techniques
+// be useful for estimating the second eigenvector of the transition matrix
+// (useful for sparse cuts)?" — on the reference side: the exact second
+// eigenvector, the sweep cut it induces, and the exact conductance of a
+// cut. Cheeger's inequality guarantees the sweep cut's conductance is at
+// most √(2·gap), which the tests verify against the decentralized
+// estimator's brackets.
+
+// Conductance returns Φ(S) = w(∂S) / min(vol(S), vol(V∖S)) for the cut
+// given by inS. It errors on trivial cuts (empty or full).
+func Conductance(g *graph.G, inS []bool) (float64, error) {
+	if len(inS) != g.N() {
+		return 0, fmt.Errorf("spectral: cut has %d entries, want %d", len(inS), g.N())
+	}
+	var volS, volRest, boundary float64
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i)
+		if inS[e.U] != inS[e.V] {
+			boundary += e.W
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		w := g.WeightedDegree(graph.NodeID(v))
+		if inS[v] {
+			volS += w
+		} else {
+			volRest += w
+		}
+	}
+	minVol := math.Min(volS, volRest)
+	if minVol == 0 {
+		return 0, fmt.Errorf("spectral: trivial cut")
+	}
+	return boundary / minVol, nil
+}
+
+// SweepCut computes the classic spectral partition: nodes are ordered by
+// the degree-normalized second eigenvector of the transition matrix, and
+// the prefix with the smallest conductance is returned, together with
+// that conductance. By Cheeger's inequality it satisfies
+// Φ(cut) ≤ √(2·(1−λ₂)).
+func SweepCut(g *graph.G) ([]bool, float64, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, 0, fmt.Errorf("spectral: sweep cut needs n >= 2")
+	}
+	if !g.Connected() {
+		return nil, 0, fmt.Errorf("spectral: graph is disconnected")
+	}
+	vec, err := SecondEigenvector(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vec[order[i]] > vec[order[j]] })
+
+	// Sweep: evaluate the conductance of every prefix incrementally.
+	inS := make([]bool, n)
+	totalVol := 0.0
+	for v := 0; v < n; v++ {
+		totalVol += g.WeightedDegree(graph.NodeID(v))
+	}
+	var volS, boundary float64
+	bestPhi := math.Inf(1)
+	bestK := 0
+	for k := 0; k < n-1; k++ {
+		v := graph.NodeID(order[k])
+		inS[v] = true
+		volS += g.WeightedDegree(v)
+		// Adding v flips the boundary status of each incident edge.
+		for _, h := range g.Neighbors(v) {
+			if inS[h.To] {
+				boundary -= h.W
+			} else {
+				boundary += h.W
+			}
+		}
+		minVol := math.Min(volS, totalVol-volS)
+		if minVol <= 0 {
+			continue
+		}
+		if phi := boundary / minVol; phi < bestPhi {
+			bestPhi = phi
+			bestK = k + 1
+		}
+	}
+	out := make([]bool, n)
+	for k := 0; k < bestK; k++ {
+		out[order[k]] = true
+	}
+	return out, bestPhi, nil
+}
+
+// SecondEigenvector returns the second eigenvector of the transition
+// matrix P = D⁻¹A (the Fiedler direction of the walk), degree-normalized
+// so that sweep ordering is the standard D^{-1/2}-scaled one.
+func SecondEigenvector(g *graph.G) ([]float64, error) {
+	n := g.N()
+	switch {
+	case n == 0:
+		return nil, fmt.Errorf("spectral: empty graph")
+	case n > maxEigN:
+		return nil, fmt.Errorf("spectral: n=%d exceeds dense eigensolver cap %d", n, maxEigN)
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i)
+		wu, wv := g.WeightedDegree(e.U), g.WeightedDegree(e.V)
+		if wu == 0 || wv == 0 {
+			return nil, fmt.Errorf("spectral: isolated endpoint on edge %d", i)
+		}
+		s := e.W / math.Sqrt(wu*wv)
+		a[e.U][e.V] += s
+		a[e.V][e.U] += s
+	}
+	_, vecs, err := SymEigVec(a)
+	if err != nil {
+		return nil, err
+	}
+	// Transform the symmetric eigenvector back: P's eigenvector is
+	// D^{-1/2} times N's.
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = vecs[1][v] / math.Sqrt(g.WeightedDegree(graph.NodeID(v)))
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"distwalk/internal/graph"
+	"distwalk/internal/rng"
+)
+
+func TestSymEigVecOrthonormalAndCorrect(t *testing.T) {
+	// [[2,1],[1,2]]: eigenpairs (3, [1,1]/√2) and (1, [1,-1]/√2).
+	eig, vecs, err := SymEigVec([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-3) > 1e-9 || math.Abs(eig[1]-1) > 1e-9 {
+		t.Fatalf("eig = %v", eig)
+	}
+	// First vector ∝ [1,1].
+	if math.Abs(math.Abs(vecs[0][0])-1/math.Sqrt2) > 1e-9 ||
+		math.Abs(vecs[0][0]-vecs[0][1]) > 1e-9 {
+		t.Fatalf("top vector = %v", vecs[0])
+	}
+	// Orthogonality.
+	dot := vecs[0][0]*vecs[1][0] + vecs[0][1]*vecs[1][1]
+	if math.Abs(dot) > 1e-9 {
+		t.Fatalf("vectors not orthogonal: dot=%v", dot)
+	}
+}
+
+func TestSymEigVecResidual(t *testing.T) {
+	// Verify A·v = λ·v on a random symmetric matrix.
+	r := rng.New(3)
+	const n = 12
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := r.Float64() - 0.5
+			a[i][j] = x
+			a[j][i] = x
+		}
+	}
+	orig := make([][]float64, n)
+	for i := range orig {
+		orig[i] = append([]float64(nil), a[i]...)
+	}
+	eig, vecs, err := SymEigVec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			av := 0.0
+			for j := 0; j < n; j++ {
+				av += orig[i][j] * vecs[k][j]
+			}
+			if math.Abs(av-eig[k]*vecs[k][i]) > 1e-7 {
+				t.Fatalf("residual at eigenpair %d row %d: %v vs %v", k, i, av, eig[k]*vecs[k][i])
+			}
+		}
+	}
+}
+
+func TestConductanceBarbell(t *testing.T) {
+	// Two K5s joined by one edge: the natural cut has boundary 1 and
+	// volume 21 per side (20 clique half-edges + 1 bridge endpoint).
+	g, err := graph.Barbell(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inS := make([]bool, g.N())
+	for v := 0; v < 5; v++ {
+		inS[v] = true
+	}
+	phi, err := Conductance(g, inS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-1.0/21) > 1e-12 {
+		t.Fatalf("Φ = %v, want 1/21", phi)
+	}
+}
+
+func TestConductanceValidation(t *testing.T) {
+	g, _ := graph.Complete(4)
+	if _, err := Conductance(g, []bool{true}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := Conductance(g, make([]bool, 4)); err == nil {
+		t.Fatal("empty cut accepted")
+	}
+}
+
+func TestSweepCutFindsBarbellBottleneck(t *testing.T) {
+	// The sweep cut over the second eigenvector must find the bridge.
+	g, err := graph.Barbell(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, phi, err := SweepCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one side of the barbell.
+	count := 0
+	for _, in := range cut {
+		if in {
+			count++
+		}
+	}
+	if count != 6 {
+		t.Fatalf("sweep cut has %d nodes, want 6", count)
+	}
+	exact, err := Conductance(g, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-exact) > 1e-12 {
+		t.Fatalf("reported Φ=%v, recomputed %v", phi, exact)
+	}
+}
+
+func TestSweepCutRespectsCheeger(t *testing.T) {
+	// Φ(sweep cut) ≤ √(2·gap) on assorted graphs.
+	gens := []func() (*graph.G, error){
+		func() (*graph.G, error) { return graph.Cycle(17) },
+		func() (*graph.G, error) { return graph.Candy(6, 6) },
+		func() (*graph.G, error) { return graph.ConnectedRandomRegular(24, 4, rng.New(5), 200) },
+		func() (*graph.G, error) { return graph.Torus(4, 5) },
+	}
+	for _, gen := range gens {
+		g, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap, err := SpectralGap(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, phi, err := SweepCut(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phi > math.Sqrt(2*gap)+1e-9 {
+			t.Fatalf("Cheeger violated: Φ=%v > √(2·%v)", phi, gap)
+		}
+		if phi < gap/2-1e-9 {
+			t.Fatalf("easy direction violated: Φ=%v < gap/2=%v", phi, gap/2)
+		}
+	}
+}
+
+func TestSweepCutValidation(t *testing.T) {
+	if _, _, err := SweepCut(graph.New(1)); err == nil {
+		t.Fatal("singleton accepted")
+	}
+	g := graph.New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SweepCut(g); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestSweepCutBracketsMixingEstimate(t *testing.T) {
+	// The decentralized τ̃-derived conductance bracket (Section 4.2) must
+	// contain the sweep cut's conductance up to its documented looseness.
+	g, err := graph.Barbell(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, phi, err := SweepCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := SpectralGap(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := CheegerBounds(gap)
+	if phi < lo-1e-9 || phi > hi+1e-9 {
+		t.Fatalf("Φ=%v outside Cheeger bracket [%v, %v]", phi, lo, hi)
+	}
+}
