@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"distwalk"
+)
+
+// The -bench-json mode runs the headline walk workloads and writes one
+// machine-readable BENCH_<name>.json per workload, so the perf trajectory
+// (wall time, allocation discipline, and the paper's simulated round/
+// message costs) is tracked across PRs by diffing checked-in or archived
+// snapshots. Simulated counters are deterministic in the seed; ns/op and
+// allocs/op measure the engine itself.
+
+// benchRecord is the schema of a BENCH_*.json file.
+type benchRecord struct {
+	Name          string `json:"name"`
+	Graph         string `json:"graph"`
+	Seed          uint64 `json:"seed"`
+	Reps          int    `json:"reps"`
+	NsPerOp       int64  `json:"ns_per_op"`
+	AllocsPerOp   int64  `json:"allocs_per_op"`
+	BytesPerOp    int64  `json:"bytes_per_op"`
+	RoundsPerOp   int64  `json:"rounds_per_op"`
+	MessagesPerOp int64  `json:"messages_per_op"`
+	WordsPerOp    int64  `json:"words_per_op"`
+}
+
+// benchWorkload is one measured workload: run executes a single op and
+// returns its simulated cost.
+type benchWorkload struct {
+	name  string
+	graph string
+	run   func(seed uint64) (distwalk.Cost, error)
+}
+
+func benchWorkloads() ([]benchWorkload, error) {
+	torus, err := distwalk.Torus(16, 16)
+	if err != nil {
+		return nil, err
+	}
+	regular, err := distwalk.RandomRegular(64, 4, 9)
+	if err != nil {
+		return nil, err
+	}
+	return []benchWorkload{
+		{
+			name:  "SingleRandomWalk",
+			graph: "torus16x16",
+			run: func(seed uint64) (distwalk.Cost, error) {
+				w, err := distwalk.NewWalker(torus, seed, distwalk.DefaultParams())
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				res, err := w.SingleRandomWalk(0, 4096)
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return res.Cost, nil
+			},
+		},
+		{
+			name:  "ManyRandomWalks",
+			graph: "torus16x16",
+			run: func(seed uint64) (distwalk.Cost, error) {
+				w, err := distwalk.NewWalker(torus, seed, distwalk.DefaultParams())
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				sources := make([]distwalk.NodeID, 8)
+				res, err := w.ManyRandomWalks(sources, 1024)
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return res.Cost, nil
+			},
+		},
+		{
+			name:  "NaiveWalk",
+			graph: "torus16x16",
+			run: func(seed uint64) (distwalk.Cost, error) {
+				w, err := distwalk.NewWalker(torus, seed, distwalk.DefaultParams())
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				res, err := w.NaiveWalk(0, 2048)
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return res.Cost, nil
+			},
+		},
+		{
+			name:  "RandomSpanningTree",
+			graph: "torus16x16",
+			run: func(seed uint64) (distwalk.Cost, error) {
+				w, err := distwalk.NewWalker(torus, seed, distwalk.DefaultParams())
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				res, err := distwalk.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return res.Cost, nil
+			},
+		},
+		{
+			name:  "EstimateMixingTime",
+			graph: "regular64x4",
+			run: func(seed uint64) (distwalk.Cost, error) {
+				w, err := distwalk.NewWalker(regular, seed, distwalk.DefaultParams())
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return est.Cost, nil
+			},
+		},
+	}, nil
+}
+
+// runBenchJSON measures every workload and writes BENCH_<name>.json into
+// dir, printing a one-line summary per workload.
+func runBenchJSON(dir string, seed uint64, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	workloads, err := benchWorkloads()
+	if err != nil {
+		return err
+	}
+	for _, wl := range workloads {
+		rec, err := measure(wl, seed, reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", wl.name, err)
+		}
+		path := filepath.Join(dir, "BENCH_"+wl.name+".json")
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %12d ns/op %10d allocs/op %8d rounds/op %10d msgs/op  -> %s\n",
+			wl.name, rec.NsPerOp, rec.AllocsPerOp, rec.RoundsPerOp, rec.MessagesPerOp, path)
+	}
+	return nil
+}
+
+func measure(wl benchWorkload, seed uint64, reps int) (*benchRecord, error) {
+	// Warm-up op: pull one-time lazy work (tree slabs, ring growth) out of
+	// the measured window so allocs/op reflects steady state.
+	if _, err := wl.run(seed); err != nil {
+		return nil, err
+	}
+	var total distwalk.Cost
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		cost, err := wl.run(seed + uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		total.Add(cost)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r := int64(reps)
+	return &benchRecord{
+		Name:          wl.name,
+		Graph:         wl.graph,
+		Seed:          seed,
+		Reps:          reps,
+		NsPerOp:       elapsed.Nanoseconds() / r,
+		AllocsPerOp:   int64(after.Mallocs-before.Mallocs) / r,
+		BytesPerOp:    int64(after.TotalAlloc-before.TotalAlloc) / r,
+		RoundsPerOp:   int64(total.Rounds) / r,
+		MessagesPerOp: total.Messages / r,
+		WordsPerOp:    total.Words / r,
+	}, nil
+}

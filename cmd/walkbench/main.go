@@ -7,6 +7,7 @@
 //	walkbench -e E1,E7             # run selected experiments
 //	walkbench -scale medium -seed 7
 //	walkbench -list
+//	walkbench -bench-json out/     # write BENCH_*.json perf snapshots
 package main
 
 import (
@@ -29,13 +30,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("walkbench", flag.ContinueOnError)
 	var (
-		ids      = fs.String("e", "all", "comma-separated experiment IDs (e.g. E1,E7) or 'all'")
-		seed     = fs.Uint64("seed", 42, "master random seed")
-		scaleStr = fs.String("scale", "small", "workload scale: small|medium|large")
-		list     = fs.Bool("list", false, "list experiments and exit")
+		ids       = fs.String("e", "all", "comma-separated experiment IDs (e.g. E1,E7) or 'all'")
+		seed      = fs.Uint64("seed", 42, "master random seed")
+		scaleStr  = fs.String("scale", "small", "workload scale: small|medium|large")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		benchDir  = fs.String("bench-json", "", "run the headline workloads and write BENCH_*.json into this directory, then exit")
+		benchReps = fs.Int("bench-reps", 5, "repetitions per workload in -bench-json mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchDir != "" {
+		return runBenchJSON(*benchDir, *seed, *benchReps)
 	}
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -37,5 +42,32 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunExperimentList(t *testing.T) {
 	if err := run([]string{"-e", "E3, E4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-bench-json", dir, "-bench-reps", "1", "-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"SingleRandomWalk", "ManyRandomWalks", "NaiveWalk",
+		"RandomSpanningTree", "EstimateMixingTime",
+	} {
+		path := filepath.Join(dir, "BENCH_"+name+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing snapshot: %v", err)
+		}
+		var rec benchRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatalf("%s: bad JSON: %v", path, err)
+		}
+		if rec.Name != name || rec.Reps != 1 {
+			t.Fatalf("%s: wrong record %+v", path, rec)
+		}
+		if rec.RoundsPerOp <= 0 || rec.MessagesPerOp <= 0 || rec.NsPerOp <= 0 {
+			t.Fatalf("%s: empty metrics %+v", path, rec)
+		}
 	}
 }

@@ -1,0 +1,3 @@
+module distwalk
+
+go 1.24

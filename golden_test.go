@@ -1,0 +1,181 @@
+// Golden determinism regression tests: every headline algorithm is run
+// twice on a fixed seed and must (a) produce identical Result counters on
+// both runs and (b) match the hard-coded golden counters below.
+//
+// The goldens pin the *simulated* cost model — rounds, messages, words,
+// queueing — so that engine refactors (scheduling, queueing, message
+// encoding) cannot silently change what the simulator measures. They were
+// captured from the original sort-and-box engine; the rewritten engine
+// (see internal/congest/doc.go) reproduces them bit for bit.
+//
+// If an intentional semantic change shifts these numbers, re-capture with:
+//
+//	go test -run TestGolden -v -capture-golden
+package distwalk_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"distwalk"
+)
+
+var captureGolden = flag.Bool("capture-golden", false, "print actual golden counters instead of failing")
+
+type goldenCase struct {
+	name string
+	run  func(t *testing.T) distwalk.Cost
+	want distwalk.Cost
+}
+
+func torus16(t *testing.T) *distwalk.Graph {
+	t.Helper()
+	g, err := distwalk.Torus(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newWalker(t *testing.T, g *distwalk.Graph, seed uint64, p distwalk.Params) *distwalk.Walker {
+	t.Helper()
+	w, err := distwalk.NewWalker(g, seed, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name: "SingleRandomWalk/torus16x16/ell4096/seed42",
+			run: func(t *testing.T) distwalk.Cost {
+				w := newWalker(t, torus16(t), 42, distwalk.DefaultParams())
+				res, err := w.SingleRandomWalk(0, 4096)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Cost
+			},
+			want: distwalk.Cost{Rounds: 1655, Messages: 401151, Words: 1201261, MaxQueue: 13},
+		},
+		{
+			name: "SingleRandomWalk/torus16x16/ell256/seed7",
+			run: func(t *testing.T) distwalk.Cost {
+				w := newWalker(t, torus16(t), 7, distwalk.DefaultParams())
+				res, err := w.SingleRandomWalk(0, 256)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Cost
+			},
+			want: distwalk.Cost{Rounds: 419, Messages: 101759, Words: 303203, MaxQueue: 11},
+		},
+		{
+			name: "ManyRandomWalks/torus16x16/k8/ell1024/seed9",
+			run: func(t *testing.T) distwalk.Cost {
+				w := newWalker(t, torus16(t), 9, distwalk.DefaultParams())
+				sources := make([]distwalk.NodeID, 8)
+				for i := range sources {
+					sources[i] = distwalk.NodeID(i * 13)
+				}
+				res, err := w.ManyRandomWalks(sources, 1024)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Cost
+			},
+			want: distwalk.Cost{Rounds: 2244, Messages: 584684, Words: 1751910, MaxQueue: 12},
+		},
+		{
+			name: "NaiveWalk/torus16x16/ell2048/seed3",
+			run: func(t *testing.T) distwalk.Cost {
+				w := newWalker(t, torus16(t), 3, distwalk.DefaultParams())
+				res, err := w.NaiveWalk(0, 2048)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Cost
+			},
+			want: distwalk.Cost{Rounds: 2067, Messages: 3074, Words: 7174, MaxQueue: 1},
+		},
+		{
+			name: "MetropolisSingleWalk/torus16x16/ell512/seed5",
+			run: func(t *testing.T) distwalk.Cost {
+				p := distwalk.DefaultParams()
+				p.Metropolis = true
+				w := newWalker(t, torus16(t), 5, p)
+				res, err := w.SingleRandomWalk(0, 512)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Cost
+			},
+			want: distwalk.Cost{Rounds: 569, Messages: 141340, Words: 421934, MaxQueue: 13},
+		},
+		{
+			name: "RandomSpanningTree/torus8x8/seed11",
+			run: func(t *testing.T) distwalk.Cost {
+				g, err := distwalk.Torus(8, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := newWalker(t, g, 11, distwalk.DefaultParams())
+				res, err := distwalk.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Cost
+			},
+			want: distwalk.Cost{Rounds: 3238, Messages: 171776, Words: 505324, MaxQueue: 13},
+		},
+		{
+			name: "EstimateMixingTime/regular64x4/seed13",
+			run: func(t *testing.T) distwalk.Cost {
+				g, err := distwalk.RandomRegular(64, 4, 9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := newWalker(t, g, 13, distwalk.DefaultParams())
+				est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return est.Cost
+			},
+			want: distwalk.Cost{Rounds: 600, Messages: 21114, Words: 63964, MaxQueue: 48},
+		},
+	}
+}
+
+func TestGoldenCounters(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.run(t)
+			if *captureGolden {
+				fmt.Printf("%s:\n\twant: distwalk.Cost{Rounds: %d, Messages: %d, Words: %d, MaxQueue: %d},\n",
+					tc.name, got.Rounds, got.Messages, got.Words, got.MaxQueue)
+				return
+			}
+			if got != tc.want {
+				t.Errorf("golden counters changed:\n got %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenReplay runs each case twice and demands bit-identical counters —
+// the engine must be deterministic independent of goldens being up to date.
+func TestGoldenReplay(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.run(t)
+			b := tc.run(t)
+			if a != b {
+				t.Errorf("replay diverged:\nfirst  %+v\nsecond %+v", a, b)
+			}
+		})
+	}
+}

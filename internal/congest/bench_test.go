@@ -1,0 +1,174 @@
+package congest
+
+import (
+	"testing"
+
+	"distwalk/internal/graph"
+)
+
+// Engine micro-benchmarks. These isolate the simulator's own hot loop —
+// scheduling, queueing, delivery — from algorithm logic, so allocation
+// discipline and per-round overhead are visible directly (run with
+// -benchmem; the acceptance bar for engine refactors is allocs/op).
+
+// benchBurst floods k messages down one edge (queue churn, serialization).
+type benchBurst struct {
+	k   int
+	got int
+}
+
+func (p *benchBurst) Init(ctx *Ctx) {
+	if ctx.Node() != 0 {
+		return
+	}
+	for i := 0; i < p.k; i++ {
+		Send(ctx, 1, intPayload(i))
+	}
+}
+
+func (p *benchBurst) Step(ctx *Ctx) {
+	p.got += len(ctx.Inbox())
+}
+
+func BenchmarkEngineBurst(b *testing.B) {
+	g, err := graph.Path(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := NewNetwork(g, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &benchBurst{k: 64}
+		if _, err := net.Run(p); err != nil {
+			b.Fatal(err)
+		}
+		if p.got != 64 {
+			b.Fatalf("delivered %d of 64", p.got)
+		}
+	}
+}
+
+// benchToken forwards a single token for `hops` random steps — the
+// steady-state shape of every walk protocol (1 active edge, 1 message per
+// round, sparse step set).
+type benchToken struct {
+	hops int
+}
+
+func (p *benchToken) Init(ctx *Ctx) {
+	if ctx.Node() != 0 {
+		return
+	}
+	hs := ctx.Neighbors()
+	Send(ctx, hs[ctx.RNG().Intn(len(hs))].To, intPayload(p.hops-1))
+}
+
+func (p *benchToken) Step(ctx *Ctx) {
+	for _, m := range ctx.Inbox() {
+		rem := int(As[intPayload](m))
+		if rem <= 0 {
+			continue
+		}
+		hs := ctx.Neighbors()
+		Send(ctx, hs[ctx.RNG().Intn(len(hs))].To, intPayload(rem-1))
+	}
+}
+
+func BenchmarkEngineTokenWalk(b *testing.B) {
+	g, err := graph.Torus(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := NewNetwork(g, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Run(&benchToken{hops: 1024}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFlood has every node broadcast to all neighbors for `rounds` rounds
+// (dense active set: every edge busy every round).
+type benchFlood struct {
+	rounds int
+}
+
+func (p *benchFlood) Init(ctx *Ctx) {
+	for _, h := range ctx.Neighbors() {
+		Send(ctx, h.To, intPayload(p.rounds-1))
+	}
+}
+
+func (p *benchFlood) Step(ctx *Ctx) {
+	in := ctx.Inbox()
+	if len(in) == 0 {
+		return
+	}
+	rem := int(As[intPayload](in[0]))
+	if rem <= 0 {
+		return
+	}
+	for _, h := range ctx.Neighbors() {
+		Send(ctx, h.To, intPayload(rem-1))
+	}
+}
+
+func BenchmarkEngineFlood(b *testing.B) {
+	g, err := graph.Torus(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := NewNetwork(g, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Run(&benchFlood{rounds: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTreeSweeps measures the tree primitives that Phase 2
+// stitching leans on (4 sweeps per SAMPLE-DESTINATION call).
+func BenchmarkEngineTreeSweeps(b *testing.B) {
+	g, err := graph.Torus(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := NewNetwork(g, 1)
+	tree, _, err := BuildBFSTree(net, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Broadcast(net, tree, intPayload(7), nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Convergecast(net, tree,
+			func(v graph.NodeID) intPayload { return intPayload(v) },
+			func(_ graph.NodeID, a, c intPayload) intPayload { return a + c },
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBFSBuild(b *testing.B) {
+	g, err := graph.Torus(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := NewNetwork(g, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildBFSTree(net, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -84,7 +84,7 @@ type relayBurst struct {
 func (p *relayBurst) Init(ctx *Ctx) {
 	if ctx.Node() == 0 {
 		for i := 0; i < p.k; i++ {
-			ctx.Send(1, intPayload(i))
+			Send(ctx, 1, intPayload(i))
 		}
 	}
 }
@@ -93,7 +93,7 @@ func (p *relayBurst) Step(ctx *Ctx) {
 	switch ctx.Node() {
 	case 1:
 		for _, m := range ctx.Inbox() {
-			ctx.Send(2, m.Payload)
+			Send(ctx, 2, As[intPayload](m))
 		}
 	case 2:
 		p.got += len(ctx.Inbox())

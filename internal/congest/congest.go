@@ -1,26 +1,3 @@
-// Package congest simulates the CONGEST model of distributed computing used
-// throughout the paper (Section 1.1): a synchronous network where, in each
-// round, every node may send one O(log n)-bit message through each incident
-// edge.
-//
-// The simulator is a deterministic discrete-event engine:
-//
-//   - Every undirected edge is two directed channels with a FIFO queue each.
-//   - In each round, at most Cap messages (default 1) are delivered from
-//     every directed queue; everything else waits. Congestion therefore
-//     costs extra rounds exactly as in the paper's analysis (e.g. Lemma 2.1
-//     charges Phase 1 O(λη log n) rounds because ~η log n tokens cross an
-//     edge per walk step w.h.p.).
-//   - Messages sent in round r are deliverable from round r+1 on.
-//   - Nodes execute in increasing ID order within a round and draw
-//     randomness from per-node streams derived from the network seed, so a
-//     whole execution is reproducible.
-//
-// Protocols implement Proto and are run to quiescence (no queued messages,
-// no active nodes) or until an optional Halter says the goal is reached.
-// Node state persists wherever the protocol keeps it; the engine itself is
-// stateless between runs except for per-node RNG streams, which continue
-// across phases so that multi-phase algorithms remain reproducible.
 package congest
 
 import (
@@ -32,18 +9,77 @@ import (
 	"distwalk/internal/rng"
 )
 
-// Payload is the content of a message. Words reports its size in O(log n)-
-// bit units and must be >= 1; the engine uses it for traffic metrics. Every
-// payload in this module is O(1) words, matching the CONGEST bound.
-type Payload interface {
-	Words() int
+// halfIndex sorts one node's neighbor segment by (To, directed index).
+// The key is total (directed indices are distinct), so the sorted order
+// is unique regardless of sort stability.
+type halfIndex struct {
+	to, edge []int32
 }
 
-// Message is a payload in flight on a directed edge.
+func (s *halfIndex) Len() int { return len(s.to) }
+func (s *halfIndex) Less(i, j int) bool {
+	if s.to[i] != s.to[j] {
+		return s.to[i] < s.to[j]
+	}
+	return s.edge[i] < s.edge[j]
+}
+func (s *halfIndex) Swap(i, j int) {
+	s.to[i], s.to[j] = s.to[j], s.to[i]
+	s.edge[i], s.edge[j] = s.edge[j], s.edge[i]
+}
+
+// PayloadWords is the inline payload capacity of a Message in engine words.
+// Every payload in this module fits (the CONGEST model only allows O(log n)
+// bits per message anyway).
+const PayloadWords = 4
+
+// Payload is the content of a message, packed into at most PayloadWords
+// engine words. Words reports its size in O(log n)-bit units and must be
+// >= 1; the engine uses it for traffic metrics. Kind is a protocol-defined
+// tag distinguishing payload types within one run (types used in the same
+// run must have distinct kinds). Encode packs the payload; messages carry
+// the words inline, so sending never boxes or heap-allocates.
+type Payload interface {
+	Words() int
+	Kind() uint16
+	Encode() [PayloadWords]uint64
+}
+
+// WirePayload is a Payload that can decode itself; Decode is called on the
+// zero value of V and must return the payload encoded in w. The generic
+// tree primitives (Broadcast, Convergecast, ...) require it.
+type WirePayload[V any] interface {
+	Payload
+	Decode(w [PayloadWords]uint64) V
+}
+
+// Message is a payload in flight on a directed edge: the payload's words
+// inline plus the routing metadata. It is pointer-free, so per-edge queues
+// are flat slabs the garbage collector never scans.
 type Message struct {
 	From, To graph.NodeID
-	Payload  Payload
+	Kind     uint16
+	words    uint16
+	W        [PayloadWords]uint64
 }
+
+// Words reports the payload size in O(log n)-bit units (as declared by the
+// sender's Payload.Words).
+func (m Message) Words() int { return int(m.words) }
+
+// As decodes a message's payload as type V. The caller must have checked
+// m.Kind (or be in a run with a single payload type).
+func As[V WirePayload[V]](m Message) V {
+	var z V
+	return z.Decode(m.W)
+}
+
+// Pack2 packs two 32-bit values into one engine word (little end first);
+// Unpack2 reverses it. Payload Encode/Decode implementations share these.
+func Pack2(a, b int32) uint64 { return uint64(uint32(a)) | uint64(uint32(b))<<32 }
+
+// Unpack2 splits a word packed by Pack2.
+func Unpack2(w uint64) (int32, int32) { return int32(uint32(w)), int32(uint32(w >> 32)) }
 
 // Proto is a distributed protocol: per-node logic invoked by the engine.
 // Init runs once for every node before round 1 (it may send and set
@@ -99,18 +135,19 @@ type Network struct {
 	nodeRNG []*rng.RNG
 
 	// Directed-edge machinery: the j-th half-edge of node u has directed
-	// index off[u]+j and carries messages u -> adj[u][j].To.
+	// index off[u]+j and carries messages u -> adj[u][j].To. For Send
+	// lookups, nbrTo[off[u]:off[u+1]] lists u's neighbor IDs in ascending
+	// order and nbrEdge the matching directed indices (parallel edges form
+	// a contiguous run, in adjacency order).
 	off     []int32
-	halfIdx []map[graph.NodeID][]int32 // per node: neighbor -> half positions
+	nbrTo   []int32
+	nbrEdge []int32
 
-	queues   [][]Message
-	active   []int32 // directed edges with queued messages (deduped via inActive)
-	inActive []bool
-	scratch  []int32 // reusable snapshot of active for delivery iteration
+	queues  []ring // per directed edge, reused across rounds and runs
+	active  *sched // directed edges with queued messages
+	stepSet *sched // nodes scheduled for Step this round
 
 	inbox      [][]Message
-	stepSet    []graph.NodeID
-	inStep     []bool
 	crashAt    []int          // per node: round from which it is crashed (-1 = never)
 	awake      []bool         // nodes that requested Step without messages
 	awakeNodes []graph.NodeID // lazily-compacted list of awake nodes
@@ -194,9 +231,7 @@ func NewNetwork(g *graph.G, seed uint64, opts ...Option) *Network {
 		maxRound: 50_000_000,
 		nodeRNG:  make([]*rng.RNG, n),
 		off:      make([]int32, n+1),
-		halfIdx:  make([]map[graph.NodeID][]int32, n),
 		inbox:    make([][]Message, n),
-		inStep:   make([]bool, n),
 		awake:    make([]bool, n),
 		crashAt:  make([]int, n),
 	}
@@ -207,15 +242,24 @@ func NewNetwork(g *graph.G, seed uint64, opts ...Option) *Network {
 	for v := 0; v < n; v++ {
 		net.nodeRNG[v] = base.Stream(uint64(v))
 		net.off[v+1] = net.off[v] + int32(g.Degree(graph.NodeID(v)))
-		idx := make(map[graph.NodeID][]int32, g.Degree(graph.NodeID(v)))
-		for j, h := range g.Neighbors(graph.NodeID(v)) {
-			idx[h.To] = append(idx[h.To], net.off[v]+int32(j))
-		}
-		net.halfIdx[v] = idx
 	}
 	total := net.off[n]
-	net.queues = make([][]Message, total)
-	net.inActive = make([]bool, total)
+	net.queues = make([]ring, total)
+	net.nbrTo = make([]int32, total)
+	net.nbrEdge = make([]int32, total)
+	for v := 0; v < n; v++ {
+		lo, hi := net.off[v], net.off[v+1]
+		for j, h := range g.Neighbors(graph.NodeID(v)) {
+			net.nbrTo[lo+int32(j)] = int32(h.To)
+			net.nbrEdge[lo+int32(j)] = lo + int32(j)
+		}
+		// Sort by (To, directed index): the directed-index tie-break keeps
+		// parallel edges in adjacency order, so Send's least-loaded
+		// tie-break matches the old map index exactly.
+		sort.Sort(&halfIndex{to: net.nbrTo[lo:hi], edge: net.nbrEdge[lo:hi]})
+	}
+	net.active = newSched(int(total))
+	net.stepSet = newSched(n)
 	for _, opt := range opts {
 		opt(net)
 	}
@@ -268,69 +312,63 @@ func (n *Network) Run(p Proto) (Result, error) {
 // reset clears transient run state (queues are empty between runs by
 // construction: a run only ends at quiescence, halt, error or budget; on
 // the latter three we still drop leftovers so the next run starts clean).
+// Ring buffers and inbox slices keep their capacity: the steady state of
+// repeated runs allocates nothing.
 func (n *Network) reset() {
-	for _, e := range n.active {
-		n.queues[e] = nil
-		n.inActive[e] = false
-	}
-	n.active = n.active[:0]
+	n.active.drain(func(e int32) { n.queues[e].clear() })
+	n.stepSet.drain(func(int32) {})
 	for v := range n.awake {
 		n.awake[v] = false
 		n.inbox[v] = n.inbox[v][:0]
 	}
 	n.awakeNodes = n.awakeNodes[:0]
 	n.awakeCount = 0
-	n.stepSet = n.stepSet[:0]
 	n.round = 0
 	n.res = Result{}
 	n.runErr = nil
 }
 
 func (n *Network) quiescent() bool {
-	return len(n.active) == 0 && n.awakeCount == 0
+	return n.active.count == 0 && n.awakeCount == 0
 }
 
 // deliver moves up to cap messages per active directed edge into inboxes
-// and rebuilds the step set.
+// and builds the step set. Draining the scheduler visits edges in
+// ascending directed-index order — the deterministic ID order the old
+// engine obtained by sorting — and edges with leftover queue re-mark
+// themselves for the next round (their scheduler word has already been
+// consumed, so the re-add cannot be visited twice in one round).
 func (n *Network) deliver() {
-	sort.Slice(n.active, func(i, j int) bool { return n.active[i] < n.active[j] })
-	edges := append(n.scratch[:0], n.active...)
-	n.scratch = edges
-	n.active = n.active[:0]
-	for _, e := range edges {
-		n.inActive[e] = false
-		q := n.queues[e]
-		if len(q) > n.res.MaxQueue {
-			n.res.MaxQueue = len(q)
+	n.active.drain(func(e int32) {
+		q := &n.queues[e]
+		depth := int(q.size)
+		if depth > n.res.MaxQueue {
+			n.res.MaxQueue = depth
 		}
 		k := n.cap
 		if n.capOf != nil {
 			k = int(n.capOf[e])
 		}
-		if k > len(q) {
-			k = len(q)
+		if k > depth {
+			k = depth
 		}
-		for _, m := range q[:k] {
+		for i := 0; i < k; i++ {
+			m := q.at(int32(i))
 			to := m.To
 			if n.crashed(to) {
 				n.res.Dropped++
 				continue
 			}
-			n.inbox[to] = append(n.inbox[to], m)
+			n.inbox[to] = append(n.inbox[to], *m)
 			n.res.Messages++
-			n.res.Words += int64(m.Payload.Words())
-			if !n.inStep[to] {
-				n.inStep[to] = true
-				n.stepSet = append(n.stepSet, to)
-			}
+			n.res.Words += int64(m.words)
+			n.stepSet.add(int32(to))
 		}
-		if k == len(q) {
-			n.queues[e] = nil
-		} else {
-			n.queues[e] = q[k:]
-			n.markActive(e)
+		q.popN(int32(k))
+		if q.size > 0 {
+			n.active.add(e)
 		}
-	}
+	})
 	// Compact the awake list (SetActive(false) leaves stale entries) and
 	// schedule the remaining awake nodes.
 	live := n.awakeNodes[:0]
@@ -346,33 +384,25 @@ func (n *Network) deliver() {
 			continue
 		}
 		live = append(live, v)
-		if !n.inStep[v] {
-			n.inStep[v] = true
-			n.stepSet = append(n.stepSet, v)
-		}
+		n.stepSet.add(int32(v))
 	}
 	n.awakeNodes = live
 }
 
-// step invokes the protocol on every scheduled node in ID order.
+// step invokes the protocol on every scheduled node in ascending ID order
+// (the drain order of the node scheduler).
 func (n *Network) step(p Proto, ctx *Ctx) {
-	nodes := n.stepSet
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	n.stepSet = n.stepSet[:0]
-	for _, v := range nodes {
-		n.inStep[v] = false
-		if n.crashed(v) {
+	n.stepSet.drain(func(v int32) {
+		node := graph.NodeID(v)
+		if n.runErr != nil || n.crashed(node) {
 			n.inbox[v] = n.inbox[v][:0]
-			continue
+			return
 		}
-		ctx.node = v
+		ctx.node = node
 		ctx.inbox = n.inbox[v]
 		p.Step(ctx)
 		n.inbox[v] = n.inbox[v][:0]
-		if n.runErr != nil {
-			return
-		}
-	}
+	})
 }
 
 // crashed reports whether v has crash-stopped by the current round.
@@ -380,36 +410,40 @@ func (n *Network) crashed(v graph.NodeID) bool {
 	return n.crashAt[v] >= 0 && n.round >= n.crashAt[v]
 }
 
-func (n *Network) markActive(e int32) {
-	if !n.inActive[e] {
-		n.inActive[e] = true
-		n.active = append(n.active, e)
-	}
-}
-
 // send validates and enqueues a message from u to a neighbor. With parallel
-// edges the least-loaded one is used.
-func (n *Network) send(from, to graph.NodeID, p Payload) {
+// edges the least-loaded one is used (ties to the first in adjacency
+// order, as before the flat index).
+func (n *Network) send(from, to graph.NodeID, kind uint16, words int, w [PayloadWords]uint64) {
 	if n.runErr != nil {
 		return
 	}
-	if p == nil || p.Words() < 1 {
+	if words < 1 {
 		n.runErr = fmt.Errorf("congest: node %d sent an invalid payload", from)
 		return
 	}
-	idxs := n.halfIdx[from][to]
-	if len(idxs) == 0 {
+	// Binary search the smallest index with nbrTo >= to in from's segment.
+	lo, hi := n.off[from], n.off[from+1]
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if n.nbrTo[mid] < int32(to) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == n.off[from+1] || n.nbrTo[lo] != int32(to) {
 		n.runErr = fmt.Errorf("congest: node %d sent to non-neighbor %d", from, to)
 		return
 	}
-	best := idxs[0]
-	for _, e := range idxs[1:] {
-		if len(n.queues[e]) < len(n.queues[best]) {
+	best := n.nbrEdge[lo]
+	for j := lo + 1; j < n.off[from+1] && n.nbrTo[j] == int32(to); j++ {
+		e := n.nbrEdge[j]
+		if n.queues[e].size < n.queues[best].size {
 			best = e
 		}
 	}
-	n.queues[best] = append(n.queues[best], Message{From: from, To: to, Payload: p})
-	n.markActive(best)
+	n.queues[best].push(Message{From: from, To: to, Kind: kind, words: uint16(words), W: w})
+	n.active.add(best)
 }
 
 // Ctx is the per-node view handed to protocol callbacks.
@@ -430,8 +464,12 @@ func (c *Ctx) Round() int { return c.net.round }
 func (c *Ctx) Inbox() []Message { return c.inbox }
 
 // Send enqueues a message to a neighbor; it is delivered no earlier than
-// the next round, later under congestion.
-func (c *Ctx) Send(to graph.NodeID, p Payload) { c.net.send(c.node, to, p) }
+// the next round, later under congestion. It is a free function because Go
+// methods cannot be generic; the concrete payload type makes the
+// encode a static call with no interface boxing.
+func Send[V Payload](c *Ctx, to graph.NodeID, p V) {
+	c.net.send(c.node, to, p.Kind(), p.Words(), p.Encode())
+}
 
 // RNG returns this node's persistent random stream.
 func (c *Ctx) RNG() *rng.RNG { return c.net.nodeRNG[c.node] }

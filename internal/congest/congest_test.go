@@ -9,7 +9,14 @@ import (
 
 type intPayload int
 
-func (intPayload) Words() int { return 1 }
+func (intPayload) Words() int   { return 1 }
+func (intPayload) Kind() uint16 { return 100 }
+func (p intPayload) Encode() [PayloadWords]uint64 {
+	return [PayloadWords]uint64{uint64(int64(p))}
+}
+func (intPayload) Decode(w [PayloadWords]uint64) intPayload {
+	return intPayload(int64(w[0]))
+}
 
 // burst sends k messages from node `from` to node `to` during Init and
 // records arrivals at `to`.
@@ -25,7 +32,7 @@ func (p *burst) Init(ctx *Ctx) {
 		return
 	}
 	for i := 0; i < p.k; i++ {
-		ctx.Send(p.to, intPayload(i))
+		Send(ctx, p.to, intPayload(i))
 	}
 }
 
@@ -108,7 +115,7 @@ type relay struct {
 
 func (p *relay) Init(ctx *Ctx) {
 	if ctx.Node() == 0 {
-		ctx.Send(1, intPayload(0))
+		Send(ctx, 1, intPayload(0))
 	}
 }
 
@@ -120,7 +127,7 @@ func (p *relay) Step(ctx *Ctx) {
 		// Forward away from 0 until the end of the path.
 		next := v + 1
 		if int(next) < ctx.N() {
-			ctx.Send(next, intPayload(0))
+			Send(ctx, next, intPayload(0))
 		} else {
 			p.done = true
 		}
@@ -162,7 +169,7 @@ type badSender struct{}
 
 func (badSender) Init(ctx *Ctx) {
 	if ctx.Node() == 0 {
-		ctx.Send(2, intPayload(0)) // 0 and 2 are not adjacent on a path of 3
+		Send(ctx, 2, intPayload(0)) // 0 and 2 are not adjacent on a path of 3
 	}
 }
 func (badSender) Step(*Ctx) {}
@@ -174,19 +181,27 @@ func TestSendToNonNeighborFails(t *testing.T) {
 	}
 }
 
-type nilSender struct{}
+// zeroWords violates the Payload contract (Words() must be >= 1).
+type zeroWords struct{}
 
-func (nilSender) Init(ctx *Ctx) {
+func (zeroWords) Words() int                            { return 0 }
+func (zeroWords) Kind() uint16                          { return 101 }
+func (zeroWords) Encode() [PayloadWords]uint64          { return [PayloadWords]uint64{} }
+func (zeroWords) Decode([PayloadWords]uint64) zeroWords { return zeroWords{} }
+
+type badPayloadSender struct{}
+
+func (badPayloadSender) Init(ctx *Ctx) {
 	if ctx.Node() == 0 {
-		ctx.Send(1, nil)
+		Send(ctx, 1, zeroWords{})
 	}
 }
-func (nilSender) Step(*Ctx) {}
+func (badPayloadSender) Step(*Ctx) {}
 
-func TestNilPayloadFails(t *testing.T) {
+func TestInvalidPayloadFails(t *testing.T) {
 	net := pathNet(t, 2, 4)
-	if _, err := net.Run(nilSender{}); err == nil {
-		t.Fatal("nil payload accepted")
+	if _, err := net.Run(badPayloadSender{}); err == nil {
+		t.Fatal("zero-word payload accepted")
 	}
 }
 
@@ -195,13 +210,13 @@ type pingpong struct{}
 
 func (pingpong) Init(ctx *Ctx) {
 	if ctx.Node() == 0 {
-		ctx.Send(1, intPayload(0))
+		Send(ctx, 1, intPayload(0))
 	}
 }
 
 func (pingpong) Step(ctx *Ctx) {
 	for _, m := range ctx.Inbox() {
-		ctx.Send(m.From, intPayload(0))
+		Send(ctx, m.From, intPayload(0))
 	}
 }
 
@@ -280,7 +295,7 @@ func (p *randomWalker) Init(ctx *Ctx) {
 		p.path = append(p.path, 0)
 		if p.hops > 0 {
 			hs := ctx.Neighbors()
-			ctx.Send(hs[ctx.RNG().Intn(len(hs))].To, intPayload(p.hops-1))
+			Send(ctx, hs[ctx.RNG().Intn(len(hs))].To, intPayload(p.hops-1))
 		}
 	}
 }
@@ -288,10 +303,10 @@ func (p *randomWalker) Init(ctx *Ctx) {
 func (p *randomWalker) Step(ctx *Ctx) {
 	for _, m := range ctx.Inbox() {
 		p.path = append(p.path, ctx.Node())
-		rem := int(m.Payload.(intPayload))
+		rem := int(As[intPayload](m))
 		if rem > 0 {
 			hs := ctx.Neighbors()
-			ctx.Send(hs[ctx.RNG().Intn(len(hs))].To, intPayload(rem-1))
+			Send(ctx, hs[ctx.RNG().Intn(len(hs))].To, intPayload(rem-1))
 		}
 	}
 }

@@ -1,0 +1,76 @@
+// Package congest simulates the CONGEST model of distributed computing used
+// throughout the paper (Section 1.1): a synchronous network where, in each
+// round, every node may send one O(log n)-bit message through each incident
+// edge.
+//
+// The simulator is a deterministic discrete-event engine:
+//
+//   - Every undirected edge is two directed channels with a FIFO queue each.
+//   - In each round, at most Cap messages (default 1) are delivered from
+//     every directed queue; everything else waits. Congestion therefore
+//     costs extra rounds exactly as in the paper's analysis (e.g. Lemma 2.1
+//     charges Phase 1 O(λη log n) rounds because ~η log n tokens cross an
+//     edge per walk step w.h.p.).
+//   - Messages sent in round r are deliverable from round r+1 on.
+//   - Nodes execute in increasing ID order within a round and draw
+//     randomness from per-node streams derived from the network seed, so a
+//     whole execution is reproducible.
+//
+// Protocols implement Proto and are run to quiescence (no queued messages,
+// no active nodes) or until an optional Halter says the goal is reached.
+// Node state persists wherever the protocol keeps it; the engine itself is
+// stateless between runs except for per-node RNG streams, which continue
+// across phases so that multi-phase algorithms remain reproducible.
+//
+// # Engine design notes
+//
+// Every algorithm in this reproduction executes through this engine's
+// round loop, so its constant factors gate the largest n and ℓ the
+// simulation can reach. The hot loop is organized around three rules, all
+// of which preserve the simulated Result counters bit for bit (the golden
+// tests at the repo root and in internal/pathverify pin this):
+//
+// Scheduling is sort-free. The active directed edges and the nodes
+// scheduled to step are hierarchical bitsets (sched): add is O(1), and
+// draining visits members in ascending index order by construction —
+// which IS the deterministic ID order the model prescribes — instead of
+// sorting an append-built slice with a comparator closure every round.
+// Summary levels make a drain of m members cost O(m + log n) regardless
+// of how sparse the round is, so a quiet network (one token in flight)
+// pays nothing for the idle edges.
+//
+// Messages are word-encoded, not boxed. A Message carries its payload
+// inline as up to PayloadWords uint64 words plus a protocol-defined Kind
+// tag. Payload types pack themselves in Encode/Decode; the generic
+// Send[V] makes the encode a static call on the concrete type. The old
+// engine stored payloads in an interface field, which heap-allocated on
+// every send (any non-pointer value boxed into an interface escapes) and
+// made every queue a GC scan target. Word encoding also matches the
+// model: a payload IS O(log n) bits, so it fits in O(1) machine words.
+//
+// Queues are rings over persistent slabs. Each directed edge owns a ring
+// buffer whose power-of-two backing array survives rounds and runs at its
+// high-water size; delivery pops in place. The old per-edge []Message
+// slices were nil-ed after delivery and re-allocated the next time the
+// edge carried traffic — the dominant allocation source in walk
+// workloads, where the same few edges fill and drain every round. Send
+// looks up the directed edge with a binary search in a flat sorted
+// per-node neighbor index (nbrTo/nbrEdge) instead of a per-node
+// map[NodeID][]int32; parallel edges sit contiguously in adjacency order,
+// so the least-loaded tie-break picks the same edge the map index did.
+//
+// Determinism argument: delivery iterates edges in ascending directed
+// index (drain order = old sorted order); within an edge, FIFO; node
+// steps run in ascending node ID; Send validation, capacity clamping,
+// crash handling and the Result counters are computed at the same points
+// with the same values as the pre-rewrite engine. The engine itself
+// consumes no randomness. Hence for a fixed seed the message trace, the
+// RNG consumption and every Result field are identical to the original
+// sort-and-box engine — verified by the golden counter tests.
+//
+// Allocation discipline: steady-state delivery is zero-alloc (engine
+// micro-benchmarks hold at 2-6 allocs per whole run, from protocol state,
+// vs 10^2-10^4 before). Growth paths (ring doubling, inbox append) are
+// amortized and retain capacity; reset clears by draining, never by
+// re-allocating.
+package congest

@@ -20,13 +20,29 @@ type Tree struct {
 	Height int
 }
 
+// Payload kinds local to the BFS protocol run.
+const (
+	kindAnnounce uint16 = 1
+	kindChildAck uint16 = 2
+)
+
 type announce struct{ depth int32 }
 
-func (announce) Words() int { return 1 }
+func (announce) Words() int   { return 1 }
+func (announce) Kind() uint16 { return kindAnnounce }
+func (a announce) Encode() [PayloadWords]uint64 {
+	return [PayloadWords]uint64{uint64(uint32(a.depth))}
+}
+func (announce) Decode(w [PayloadWords]uint64) announce {
+	return announce{depth: int32(uint32(w[0]))}
+}
 
 type childAck struct{}
 
-func (childAck) Words() int { return 1 }
+func (childAck) Words() int                           { return 1 }
+func (childAck) Kind() uint16                         { return kindChildAck }
+func (childAck) Encode() [PayloadWords]uint64         { return [PayloadWords]uint64{} }
+func (childAck) Decode([PayloadWords]uint64) childAck { return childAck{} }
 
 type bfsProto struct {
 	root     graph.NodeID
@@ -44,28 +60,29 @@ func (p *bfsProto) Init(ctx *Ctx) {
 	p.visited[v] = true
 	p.depth[v] = 0
 	for _, h := range ctx.Neighbors() {
-		ctx.Send(h.To, announce{depth: 1})
+		Send(ctx, h.To, announce{depth: 1})
 	}
 }
 
 func (p *bfsProto) Step(ctx *Ctx) {
 	v := ctx.Node()
 	for _, m := range ctx.Inbox() {
-		switch pl := m.Payload.(type) {
-		case announce:
+		switch m.Kind {
+		case kindAnnounce:
 			if p.visited[v] {
 				continue
 			}
+			pl := As[announce](m)
 			p.visited[v] = true
 			p.parent[v] = m.From
 			p.depth[v] = pl.depth
-			ctx.Send(m.From, childAck{})
+			Send(ctx, m.From, childAck{})
 			for _, h := range ctx.Neighbors() {
 				if h.To != m.From {
-					ctx.Send(h.To, announce{depth: pl.depth + 1})
+					Send(ctx, h.To, announce{depth: pl.depth + 1})
 				}
 			}
-		case childAck:
+		case kindChildAck:
 			p.children[v] = append(p.children[v], m.From)
 		}
 	}
@@ -110,7 +127,7 @@ func BuildBFSTree(net *Network, root graph.NodeID) (*Tree, Result, error) {
 	return t, res, nil
 }
 
-type broadcastProto[V Payload] struct {
+type broadcastProto[V WirePayload[V]] struct {
 	t       *Tree
 	payload V
 	visit   func(graph.NodeID, V)
@@ -125,22 +142,23 @@ func (p *broadcastProto[V]) Init(ctx *Ctx) {
 		p.visit(v, p.payload)
 	}
 	for _, c := range p.t.Children[v] {
-		ctx.Send(c, p.payload)
+		Send(ctx, c, p.payload)
 	}
 }
 
 func (p *broadcastProto[V]) Step(ctx *Ctx) {
 	v := ctx.Node()
+	var z V
 	for _, m := range ctx.Inbox() {
-		pl, ok := m.Payload.(V)
-		if !ok {
+		if m.Kind != z.Kind() {
 			continue
 		}
+		pl := z.Decode(m.W)
 		if p.visit != nil {
 			p.visit(v, pl)
 		}
 		for _, c := range p.t.Children[v] {
-			ctx.Send(c, pl)
+			Send(ctx, c, pl)
 		}
 	}
 }
@@ -148,11 +166,11 @@ func (p *broadcastProto[V]) Step(ctx *Ctx) {
 // Broadcast floods payload from the root to every node over tree edges
 // (Height rounds). visit is called at every node, root included, when the
 // payload arrives; it may be nil.
-func Broadcast[V Payload](net *Network, t *Tree, payload V, visit func(graph.NodeID, V)) (Result, error) {
+func Broadcast[V WirePayload[V]](net *Network, t *Tree, payload V, visit func(graph.NodeID, V)) (Result, error) {
 	return net.Run(&broadcastProto[V]{t: t, payload: payload, visit: visit})
 }
 
-type convergecastProto[V Payload] struct {
+type convergecastProto[V WirePayload[V]] struct {
 	t       *Tree
 	initVal func(graph.NodeID) V
 	merge   func(graph.NodeID, V, V) V
@@ -174,12 +192,12 @@ func (p *convergecastProto[V]) Init(ctx *Ctx) {
 
 func (p *convergecastProto[V]) Step(ctx *Ctx) {
 	v := ctx.Node()
+	var z V
 	for _, m := range ctx.Inbox() {
-		pl, ok := m.Payload.(V)
-		if !ok {
+		if m.Kind != z.Kind() {
 			continue
 		}
-		p.acc[v] = p.merge(v, p.acc[v], pl)
+		p.acc[v] = p.merge(v, p.acc[v], z.Decode(m.W))
 		p.pending[v]--
 		if p.pending[v] == 0 {
 			p.emit(ctx, v)
@@ -193,7 +211,7 @@ func (p *convergecastProto[V]) emit(ctx *Ctx, v graph.NodeID) {
 		p.done = true
 		return
 	}
-	ctx.Send(p.t.Parent[v], p.acc[v])
+	Send(ctx, p.t.Parent[v], p.acc[v])
 }
 
 // Convergecast aggregates a value up the tree in Height rounds: each node
@@ -201,7 +219,7 @@ func (p *convergecastProto[V]) emit(ctx *Ctx, v graph.NodeID) {
 // merge(node, acc, childVal); the root's final aggregate is returned.
 // merge must be associative-enough for the caller's purpose (children
 // arrive in delivery order).
-func Convergecast[V Payload](
+func Convergecast[V WirePayload[V]](
 	net *Network,
 	t *Tree,
 	initVal func(graph.NodeID) V,
@@ -221,7 +239,7 @@ func Convergecast[V Payload](
 	return p.out, res, nil
 }
 
-type broadcastManyProto[V Payload] struct {
+type broadcastManyProto[V WirePayload[V]] struct {
 	t     *Tree
 	items []V
 	visit func(graph.NodeID, V)
@@ -237,23 +255,24 @@ func (p *broadcastManyProto[V]) Init(ctx *Ctx) {
 			p.visit(v, it)
 		}
 		for _, c := range p.t.Children[v] {
-			ctx.Send(c, it)
+			Send(ctx, c, it)
 		}
 	}
 }
 
 func (p *broadcastManyProto[V]) Step(ctx *Ctx) {
 	v := ctx.Node()
+	var z V
 	for _, m := range ctx.Inbox() {
-		pl, ok := m.Payload.(V)
-		if !ok {
+		if m.Kind != z.Kind() {
 			continue
 		}
+		pl := z.Decode(m.W)
 		if p.visit != nil {
 			p.visit(v, pl)
 		}
 		for _, c := range p.t.Children[v] {
-			ctx.Send(c, pl)
+			Send(ctx, c, pl)
 		}
 	}
 }
@@ -261,11 +280,11 @@ func (p *broadcastManyProto[V]) Step(ctx *Ctx) {
 // BroadcastMany floods a batch of payloads from the root to every node,
 // pipelined one message per edge per round: O(len(items) + Height) rounds.
 // visit is called at every node for every item; it may be nil.
-func BroadcastMany[V Payload](net *Network, t *Tree, items []V, visit func(graph.NodeID, V)) (Result, error) {
+func BroadcastMany[V WirePayload[V]](net *Network, t *Tree, items []V, visit func(graph.NodeID, V)) (Result, error) {
 	return net.Run(&broadcastManyProto[V]{t: t, items: items, visit: visit})
 }
 
-type upcastProto[V Payload] struct {
+type upcastProto[V WirePayload[V]] struct {
 	t         *Tree
 	items     func(graph.NodeID) []V
 	collected []V
@@ -277,22 +296,23 @@ func (p *upcastProto[V]) Init(ctx *Ctx) {
 		if v == p.t.Root {
 			p.collected = append(p.collected, it)
 		} else {
-			ctx.Send(p.t.Parent[v], it)
+			Send(ctx, p.t.Parent[v], it)
 		}
 	}
 }
 
 func (p *upcastProto[V]) Step(ctx *Ctx) {
 	v := ctx.Node()
+	var z V
 	for _, m := range ctx.Inbox() {
-		pl, ok := m.Payload.(V)
-		if !ok {
+		if m.Kind != z.Kind() {
 			continue
 		}
+		pl := z.Decode(m.W)
 		if v == p.t.Root {
 			p.collected = append(p.collected, pl)
 		} else {
-			ctx.Send(p.t.Parent[v], pl)
+			Send(ctx, p.t.Parent[v], pl)
 		}
 	}
 }
@@ -302,7 +322,7 @@ func (p *upcastProto[V]) Step(ctx *Ctx) {
 // Peleg's book). With a total of s items the run takes O(s + Height)
 // rounds, which the engine's queueing measures naturally. Items arrive in
 // a deterministic order.
-func Upcast[V Payload](net *Network, t *Tree, items func(graph.NodeID) []V) ([]V, Result, error) {
+func Upcast[V WirePayload[V]](net *Network, t *Tree, items func(graph.NodeID) []V) ([]V, Result, error) {
 	p := &upcastProto[V]{t: t, items: items}
 	res, err := net.Run(p)
 	if err != nil {

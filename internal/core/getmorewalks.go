@@ -19,7 +19,15 @@ type gmwMsg struct {
 	steps int32
 }
 
-func (gmwMsg) Words() int { return 3 }
+func (gmwMsg) Words() int   { return 3 }
+func (gmwMsg) Kind() uint16 { return kindGMWMsg }
+func (t gmwMsg) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(t.batch), congest.Pack2(t.count, t.steps)}
+}
+func (gmwMsg) Decode(w [congest.PayloadWords]uint64) gmwMsg {
+	count, steps := congest.Unpack2(w[1])
+	return gmwMsg{batch: int64(w[0]), count: count, steps: steps}
+}
 
 // gmwProto refills the exhausted connector v with ⌊ℓ/λ⌋ fresh short walks.
 // Tokens walk λ fixed steps and are then extended by reservoir sampling:
@@ -43,8 +51,11 @@ func (p *gmwProto) Init(ctx *congest.Ctx) {
 
 func (p *gmwProto) Step(ctx *congest.Ctx) {
 	for _, m := range ctx.Inbox() {
-		t, ok := m.Payload.(gmwMsg)
-		if !ok || t.batch != p.batch {
+		if m.Kind != kindGMWMsg {
+			continue
+		}
+		t := congest.As[gmwMsg](m)
+		if t.batch != p.batch {
 			continue
 		}
 		p.processTokens(ctx, t.count, t.steps)
@@ -84,7 +95,7 @@ func (p *gmwProto) processTokens(ctx *congest.Ctx, count, steps int32) {
 	for _, key := range keys {
 		c := out[key]
 		p.w.st.recordGMWSend(v, gmwKey{batch: p.batch, step: key.steps, nbr: key.nbr}, c)
-		ctx.Send(key.nbr, gmwMsg{batch: p.batch, count: c, steps: key.steps})
+		congest.Send(ctx, key.nbr, gmwMsg{batch: p.batch, count: c, steps: key.steps})
 	}
 }
 

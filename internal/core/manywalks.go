@@ -251,10 +251,10 @@ func (p *naiveManyProto) Init(ctx *congest.Ctx) {
 
 func (p *naiveManyProto) Step(ctx *congest.Ctx) {
 	for _, m := range ctx.Inbox() {
-		t, ok := m.Payload.(naiveToken)
-		if !ok {
+		if m.Kind != kindNaiveToken {
 			continue
 		}
+		t := congest.As[naiveToken](m)
 		if _, mine := p.start[t.walkID]; !mine {
 			continue
 		}
@@ -271,5 +271,5 @@ func (p *naiveManyProto) forward(ctx *congest.Ctx, t naiveToken) {
 	}
 	p.w.st.recordHop(v, t.walkID, next)
 	t.remaining = rem
-	ctx.Send(next, t)
+	congest.Send(ctx, next, t)
 }

@@ -17,7 +17,15 @@ type naiveToken struct {
 	total     int32
 }
 
-func (naiveToken) Words() int { return 3 }
+func (naiveToken) Words() int   { return 3 }
+func (naiveToken) Kind() uint16 { return kindNaiveToken }
+func (t naiveToken) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(t.walkID), congest.Pack2(t.remaining, t.total)}
+}
+func (naiveToken) Decode(w [congest.PayloadWords]uint64) naiveToken {
+	rem, total := congest.Unpack2(w[1])
+	return naiveToken{walkID: int64(w[0]), remaining: rem, total: total}
+}
 
 // destReport carries the walk outcome to the source over the BFS tree.
 // The destination includes its own degree so the receiver can compute the
@@ -29,7 +37,15 @@ type destReport struct {
 	deg    int32
 }
 
-func (destReport) Words() int { return 3 }
+func (destReport) Words() int   { return 3 }
+func (destReport) Kind() uint16 { return kindDestReport }
+func (r destReport) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(r.walkID), congest.Pack2(int32(r.dest), r.deg)}
+}
+func (destReport) Decode(w [congest.PayloadWords]uint64) destReport {
+	dest, deg := congest.Unpack2(w[1])
+	return destReport{walkID: int64(w[0]), dest: graph.NodeID(dest), deg: deg}
+}
 
 type naiveProto struct {
 	w      *Walker
@@ -55,8 +71,11 @@ func (p *naiveProto) Init(ctx *congest.Ctx) {
 
 func (p *naiveProto) Step(ctx *congest.Ctx) {
 	for _, m := range ctx.Inbox() {
-		t, ok := m.Payload.(naiveToken)
-		if !ok || t.walkID != p.walkID {
+		if m.Kind != kindNaiveToken {
+			continue
+		}
+		t := congest.As[naiveToken](m)
+		if t.walkID != p.walkID {
 			continue
 		}
 		p.forward(ctx, t)
@@ -73,7 +92,7 @@ func (p *naiveProto) forward(ctx *congest.Ctx, t naiveToken) {
 	}
 	p.w.st.recordHop(v, t.walkID, next)
 	t.remaining = rem
-	ctx.Send(next, t)
+	congest.Send(ctx, next, t)
 }
 
 // naiveSegment walks `steps` hops from start by token forwarding, recording

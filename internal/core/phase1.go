@@ -17,7 +17,15 @@ type walkToken struct {
 	total     int32
 }
 
-func (walkToken) Words() int { return 3 }
+func (walkToken) Words() int   { return 3 }
+func (walkToken) Kind() uint16 { return kindWalkToken }
+func (t walkToken) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(t.walkID), congest.Pack2(t.remaining, t.total)}
+}
+func (walkToken) Decode(w [congest.PayloadWords]uint64) walkToken {
+	rem, total := congest.Unpack2(w[1])
+	return walkToken{walkID: int64(w[0]), remaining: rem, total: total}
+}
 
 // phase1Proto performs Phase 1 of SINGLE-RANDOM-WALK: every node v starts
 // η·deg(v) independent short walks (η with UniformCounts), each of length
@@ -58,11 +66,10 @@ func (p *phase1Proto) Init(ctx *congest.Ctx) {
 
 func (p *phase1Proto) Step(ctx *congest.Ctx) {
 	for _, m := range ctx.Inbox() {
-		t, ok := m.Payload.(walkToken)
-		if !ok {
+		if m.Kind != kindWalkToken {
 			continue
 		}
-		p.forward(ctx, t)
+		p.forward(ctx, congest.As[walkToken](m))
 	}
 }
 
@@ -83,5 +90,5 @@ func (p *phase1Proto) forward(ctx *congest.Ctx, t walkToken) {
 	}
 	p.w.st.recordHop(v, t.walkID, next)
 	t.remaining = rem
-	ctx.Send(next, t)
+	congest.Send(ctx, next, t)
 }

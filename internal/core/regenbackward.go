@@ -32,7 +32,14 @@ type gmwQuery struct {
 	step  int32
 }
 
-func (gmwQuery) Words() int { return 2 }
+func (gmwQuery) Words() int   { return 2 }
+func (gmwQuery) Kind() uint16 { return kindGMWQuery }
+func (q gmwQuery) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(q.batch), uint64(uint32(q.step))}
+}
+func (gmwQuery) Decode(w [congest.PayloadWords]uint64) gmwQuery {
+	return gmwQuery{batch: int64(w[0]), step: int32(uint32(w[1]))}
+}
 
 type gmwReply struct {
 	batch int64
@@ -40,7 +47,15 @@ type gmwReply struct {
 	count int32
 }
 
-func (gmwReply) Words() int { return 3 }
+func (gmwReply) Words() int   { return 3 }
+func (gmwReply) Kind() uint16 { return kindGMWReply }
+func (r gmwReply) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(r.batch), congest.Pack2(r.step, r.count)}
+}
+func (gmwReply) Decode(w [congest.PayloadWords]uint64) gmwReply {
+	step, count := congest.Unpack2(w[1])
+	return gmwReply{batch: int64(w[0]), step: step, count: count}
+}
 
 type gmwClaim struct {
 	batch int64
@@ -48,7 +63,15 @@ type gmwClaim struct {
 	pos   int32 // walk position of the claiming node
 }
 
-func (gmwClaim) Words() int { return 3 }
+func (gmwClaim) Words() int   { return 3 }
+func (gmwClaim) Kind() uint16 { return kindGMWClaim }
+func (c gmwClaim) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(c.batch), congest.Pack2(c.step, c.pos)}
+}
+func (gmwClaim) Decode(w [congest.PayloadWords]uint64) gmwClaim {
+	step, pos := congest.Unpack2(w[1])
+	return gmwClaim{batch: int64(w[0]), step: step, pos: pos}
+}
 
 // backwardProto retraces one refill segment.
 type backwardProto struct {
@@ -85,21 +108,22 @@ func (p *backwardProto) Init(ctx *congest.Ctx) {
 func (p *backwardProto) Step(ctx *congest.Ctx) {
 	v := ctx.Node()
 	for _, m := range ctx.Inbox() {
-		switch msg := m.Payload.(type) {
-		case gmwQuery:
+		switch m.Kind {
+		case kindGMWQuery:
 			// "How many batch tokens did you route to me (arriving at hop
 			// counter step) that are still unclaimed?" — the ledger at this
 			// node is keyed by the asking neighbor.
+			msg := congest.As[gmwQuery](m)
 			key := gmwKey{batch: msg.batch, step: msg.step, nbr: m.From}
-			ctx.Send(m.From, gmwReply{
+			congest.Send(ctx, m.From, gmwReply{
 				batch: msg.batch,
 				step:  msg.step,
 				count: p.w.st.gmwAvailable(v, key),
 			})
-		case gmwReply:
-			p.onReply(ctx, m.From, msg)
-		case gmwClaim:
-			p.onClaim(ctx, m.From, msg)
+		case kindGMWReply:
+			p.onReply(ctx, m.From, congest.As[gmwReply](m))
+		case kindGMWClaim:
+			p.onClaim(ctx, m.From, congest.As[gmwClaim](m))
 		}
 	}
 }
@@ -127,7 +151,7 @@ func (p *backwardProto) query(ctx *congest.Ctx, step, pos int32) {
 	p.pending.remaining = len(p.pending.nbrs)
 	p.pending.active = true
 	for _, nbr := range p.pending.nbrs {
-		ctx.Send(nbr, gmwQuery{batch: p.seg.Batch, step: step})
+		congest.Send(ctx, nbr, gmwQuery{batch: p.seg.Batch, step: step})
 	}
 }
 
@@ -172,7 +196,7 @@ func (p *backwardProto) onReply(ctx *congest.Ctx, from graph.NodeID, msg gmwRepl
 	// This node now knows its position and first-visit predecessor.
 	p.trace.record(v, p.pending.pos, pred)
 	p.pending.active = false
-	ctx.Send(pred, gmwClaim{batch: p.seg.Batch, step: p.pending.step, pos: p.pending.pos})
+	congest.Send(ctx, pred, gmwClaim{batch: p.seg.Batch, step: p.pending.step, pos: p.pending.pos})
 }
 
 func (p *backwardProto) onClaim(ctx *congest.Ctx, from graph.NodeID, msg gmwClaim) {

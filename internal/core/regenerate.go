@@ -36,7 +36,14 @@ type regenToken struct {
 	pos    int32
 }
 
-func (regenToken) Words() int { return 2 }
+func (regenToken) Words() int   { return 2 }
+func (regenToken) Kind() uint16 { return kindRegenToken }
+func (t regenToken) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(t.walkID), uint64(uint32(t.pos))}
+}
+func (regenToken) Decode(w [congest.PayloadWords]uint64) regenToken {
+	return regenToken{walkID: int64(w[0]), pos: int32(uint32(w[1]))}
+}
 
 type regenEmit struct {
 	walkID   int64
@@ -63,10 +70,10 @@ func (p *regenProto) Init(ctx *congest.Ctx) {
 func (p *regenProto) Step(ctx *congest.Ctx) {
 	v := ctx.Node()
 	for _, m := range ctx.Inbox() {
-		t, ok := m.Payload.(regenToken)
-		if !ok {
+		if m.Kind != kindRegenToken {
 			continue
 		}
+		t := congest.As[regenToken](m)
 		if tr := p.traceOf[t.walkID]; tr != nil {
 			tr.record(v, t.pos, m.From)
 		}
@@ -88,7 +95,7 @@ func (p *regenProto) advance(ctx *congest.Ctx, walkID int64, pos int32) {
 		return // segment ends here
 	}
 	p.cursor[v][walkID] = c + 1
-	ctx.Send(succ[c], regenToken{walkID: walkID, pos: pos + 1})
+	congest.Send(ctx, succ[c], regenToken{walkID: walkID, pos: pos + 1})
 }
 
 // record notes that the walk was at v at position pos, arriving from

@@ -33,14 +33,28 @@ type sampleRequest struct {
 	owner graph.NodeID
 }
 
-func (sampleRequest) Words() int { return 1 }
+func (sampleRequest) Words() int   { return 1 }
+func (sampleRequest) Kind() uint16 { return kindSampleRequest }
+func (r sampleRequest) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(uint32(r.owner))}
+}
+func (sampleRequest) Decode(w [congest.PayloadWords]uint64) sampleRequest {
+	return sampleRequest{owner: graph.NodeID(uint32(w[0]))}
+}
 
 // sampleAnnounce is flooded down the tree (sweep 2).
 type sampleAnnounce struct {
 	owner graph.NodeID
 }
 
-func (sampleAnnounce) Words() int { return 1 }
+func (sampleAnnounce) Words() int   { return 1 }
+func (sampleAnnounce) Kind() uint16 { return kindSampleAnnounce }
+func (a sampleAnnounce) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{uint64(uint32(a.owner))}
+}
+func (sampleAnnounce) Decode(w [congest.PayloadWords]uint64) sampleAnnounce {
+	return sampleAnnounce{owner: graph.NodeID(uint32(w[0]))}
+}
 
 // sampleCand is a weighted candidate in the convergecast (sweep 3).
 type sampleCand struct {
@@ -52,7 +66,28 @@ type sampleCand struct {
 	batch  int64
 }
 
-func (sampleCand) Words() int { return 4 }
+func (sampleCand) Words() int   { return 4 }
+func (sampleCand) Kind() uint16 { return kindSampleCand }
+func (c sampleCand) Encode() [congest.PayloadWords]uint64 {
+	// length is a short-walk length (non-negative, far below 2^31), so its
+	// top packed bit is free to carry the refill flag.
+	w3 := congest.Pack2(int32(c.dest), c.length)
+	if c.refill {
+		w3 |= 1 << 63
+	}
+	return [congest.PayloadWords]uint64{uint64(c.count), uint64(c.walkID), uint64(c.batch), w3}
+}
+func (sampleCand) Decode(w [congest.PayloadWords]uint64) sampleCand {
+	dest, length := congest.Unpack2(w[3] &^ (1 << 63))
+	return sampleCand{
+		count:  int64(w[0]),
+		walkID: int64(w[1]),
+		batch:  int64(w[2]),
+		dest:   graph.NodeID(dest),
+		length: length,
+		refill: w[3]>>63 != 0,
+	}
+}
 
 // sampleResult is flooded down the tree (sweep 4). found=false means the
 // owner has no unused coupons left and must call GET-MORE-WALKS.
@@ -66,7 +101,32 @@ type sampleResult struct {
 	batch  int64
 }
 
-func (sampleResult) Words() int { return 4 }
+func (sampleResult) Words() int   { return 4 }
+func (sampleResult) Kind() uint16 { return kindSampleResult }
+func (r sampleResult) Encode() [congest.PayloadWords]uint64 {
+	w3 := uint64(uint32(r.length))
+	if r.found {
+		w3 |= 1 << 62
+	}
+	if r.refill {
+		w3 |= 1 << 63
+	}
+	return [congest.PayloadWords]uint64{
+		uint64(r.walkID), uint64(r.batch), congest.Pack2(int32(r.owner), int32(r.dest)), w3,
+	}
+}
+func (sampleResult) Decode(w [congest.PayloadWords]uint64) sampleResult {
+	owner, dest := congest.Unpack2(w[2])
+	return sampleResult{
+		walkID: int64(w[0]),
+		batch:  int64(w[1]),
+		owner:  graph.NodeID(owner),
+		dest:   graph.NodeID(dest),
+		length: int32(uint32(w[3])),
+		found:  w[3]>>62&1 != 0,
+		refill: w[3]>>63 != 0,
+	}
+}
 
 // sampleDestination runs the four sweeps for connector v and returns the
 // sampled coupon (if any) plus the exact round cost.

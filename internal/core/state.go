@@ -28,6 +28,13 @@ type gmwKey struct {
 	nbr   graph.NodeID
 }
 
+// hopRec is one recorded walk departure: walk walkID left this node
+// towards next.
+type hopRec struct {
+	walkID int64
+	next   graph.NodeID
+}
+
 // netState is the per-node persistent state of the walk system: short-walk
 // coupons, hop records for retracing, and local walk-ID sequencing. Indexed
 // by node; each node only ever touches its own slot, preserving the
@@ -36,9 +43,16 @@ type netState struct {
 	// coupons[v][owner] lists unused coupons held at v for walks started
 	// at owner.
 	coupons []map[graph.NodeID][]coupon
-	// hops[v][walkID] lists the successors taken each time walk walkID
-	// left node v, in visit order; regeneration replays them FIFO.
-	hops []map[int64][]graph.NodeID
+	// hopLog[v] records walk departures from v in visit order. Recording a
+	// hop is the hottest per-message operation of Phase 1 and the naive
+	// walks, so it is a plain append; the per-walk FIFO view that
+	// regeneration needs is folded into hopIdx lazily (hopIndexed[v] marks
+	// how much of the log is already indexed). Walk-time stays hash-free
+	// and the indexing cost is paid once, only by walks that are actually
+	// regenerated.
+	hopLog     [][]hopRec
+	hopIdx     []map[int64][]graph.NodeID
+	hopIndexed []int32
 	// gmwSent[v] counts v's count-aggregated GET-MORE-WALKS token flows;
 	// gmwUsed[v] counts how many of each flow earlier backward retraces
 	// consumed (sampling without replacement keeps joint retraces exact).
@@ -50,11 +64,13 @@ type netState struct {
 
 func newNetState(n int) *netState {
 	return &netState{
-		coupons: make([]map[graph.NodeID][]coupon, n),
-		hops:    make([]map[int64][]graph.NodeID, n),
-		gmwSent: make([]map[gmwKey]int32, n),
-		gmwUsed: make([]map[gmwKey]int32, n),
-		seq:     make([]uint32, n),
+		coupons:    make([]map[graph.NodeID][]coupon, n),
+		hopLog:     make([][]hopRec, n),
+		hopIdx:     make([]map[int64][]graph.NodeID, n),
+		hopIndexed: make([]int32, n),
+		gmwSent:    make([]map[gmwKey]int32, n),
+		gmwUsed:    make([]map[gmwKey]int32, n),
+		seq:        make([]uint32, n),
 	}
 }
 
@@ -119,15 +135,27 @@ func (s *netState) localCoupons(at, owner graph.NodeID) []coupon {
 
 // recordHop remembers that walk walkID left node at towards next.
 func (s *netState) recordHop(at graph.NodeID, walkID int64, next graph.NodeID) {
-	if s.hops[at] == nil {
-		s.hops[at] = make(map[int64][]graph.NodeID)
-	}
-	s.hops[at][walkID] = append(s.hops[at][walkID], next)
+	s.hopLog[at] = append(s.hopLog[at], hopRec{walkID: walkID, next: next})
 }
 
-// hopsOf returns the recorded successors of walkID at node at.
+// hopsOf returns the recorded successors of walkID at node at, in visit
+// order, indexing any log entries appended since the last call. No hops
+// are recorded while regeneration replays run, so returned slices stay
+// valid for the duration of a replay.
 func (s *netState) hopsOf(at graph.NodeID, walkID int64) []graph.NodeID {
-	return s.hops[at][walkID]
+	log := s.hopLog[at]
+	if int(s.hopIndexed[at]) < len(log) {
+		idx := s.hopIdx[at]
+		if idx == nil {
+			idx = make(map[int64][]graph.NodeID)
+			s.hopIdx[at] = idx
+		}
+		for _, r := range log[s.hopIndexed[at]:] {
+			idx[r.walkID] = append(idx[r.walkID], r.next)
+		}
+		s.hopIndexed[at] = int32(len(log))
+	}
+	return s.hopIdx[at][walkID]
 }
 
 // couponTotal counts all unused coupons in the network owned by owner

@@ -1,0 +1,19 @@
+package core
+
+// Payload kind tags for this package's protocols. Kinds only need to be
+// distinct within a single engine run, but keeping one flat namespace per
+// package makes collisions impossible as protocols evolve.
+const (
+	kindWalkToken uint16 = iota + 1
+	kindNaiveToken
+	kindDestReport
+	kindRegenToken
+	kindSampleRequest
+	kindSampleAnnounce
+	kindSampleCand
+	kindSampleResult
+	kindGMWMsg
+	kindGMWQuery
+	kindGMWReply
+	kindGMWClaim
+)

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"distwalk/internal/graph"
+)
+
+func path(t *testing.T, n int) *graph.G {
+	t.Helper()
+	g, err := graph.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPointAndUniform(t *testing.T) {
+	p, err := Point(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sum() != 1 || p[2] != 1 {
+		t.Fatalf("point mass wrong: %v", p)
+	}
+	if _, err := Point(4, 5); err == nil {
+		t.Fatal("out-of-range point accepted")
+	}
+	u := Uniform(5)
+	if math.Abs(u.Sum()-1) > 1e-12 || u[0] != 0.2 {
+		t.Fatalf("uniform wrong: %v", u)
+	}
+}
+
+func TestWalkDistPath(t *testing.T) {
+	g := path(t, 3)
+	// One step from the middle of a 3-path: 1/2 to each endpoint.
+	p, err := WalkDist(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vec{0.5, 0, 0.5}
+	if p.L1(want) > 1e-12 {
+		t.Fatalf("1-step dist = %v, want %v", p, want)
+	}
+	// Two steps from an endpoint return or reach the other endpoint.
+	p, err = WalkDist(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = Vec{0.5, 0, 0.5}
+	if p.L1(want) > 1e-12 {
+		t.Fatalf("2-step dist = %v, want %v", p, want)
+	}
+	if _, err := WalkDist(g, 0, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestWeightedStepMatchesEdgeWeights(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddWeightedEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddWeightedEdge(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := WalkDist(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vec{0, 0.75, 0.25}
+	if p.L1(want) > 1e-12 {
+		t.Fatalf("weighted step = %v, want %v", p, want)
+	}
+}
+
+func TestStationaryIsFixedPoint(t *testing.T) {
+	g, err := graph.Candy(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := Stationary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi.Sum()-1) > 1e-12 {
+		t.Fatalf("stationary mass %v", pi.Sum())
+	}
+	next, err := Step(g, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pi.L1(next); d > 1e-12 {
+		t.Fatalf("stationary moved by %v", d)
+	}
+}
+
+func TestMHUniformIsFixedPoint(t *testing.T) {
+	g, err := graph.Star(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Uniform(g.N())
+	next, err := MHStep(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := u.L1(next); d > 1e-12 {
+		t.Fatalf("uniform moved by %v under MH", d)
+	}
+	p, err := MHWalkDist(g, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Sum()-1) > 1e-9 {
+		t.Fatalf("MH mass %v", p.Sum())
+	}
+}
+
+func TestIsolatedNodeErrors(t *testing.T) {
+	g := graph.New(2) // no edges
+	if _, err := WalkDist(g, 0, 1); err == nil {
+		t.Fatal("walk from isolated node accepted")
+	}
+	if _, err := Stationary(g); err == nil {
+		t.Fatal("stationary of edgeless graph accepted")
+	}
+}
+
+func TestTVHalvesL1(t *testing.T) {
+	p := Vec{1, 0}
+	q := Vec{0, 1}
+	if p.L1(q) != 2 || p.TV(q) != 1 {
+		t.Fatalf("L1=%v TV=%v", p.L1(q), p.TV(q))
+	}
+}

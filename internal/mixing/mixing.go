@@ -63,11 +63,31 @@ type Estimate struct {
 
 type floatPayload float64
 
-func (floatPayload) Words() int { return 2 }
+func (floatPayload) Words() int   { return 2 }
+func (floatPayload) Kind() uint16 { return 1 }
+func (f floatPayload) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{math.Float64bits(float64(f))}
+}
+func (floatPayload) Decode(w [congest.PayloadWords]uint64) floatPayload {
+	return floatPayload(math.Float64frombits(w[0]))
+}
 
 type bucketPayload Bucket
 
-func (bucketPayload) Words() int { return 5 }
+func (bucketPayload) Words() int   { return 5 }
+func (bucketPayload) Kind() uint16 { return 2 }
+func (b bucketPayload) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{
+		math.Float64bits(b.Mass), math.Float64bits(b.Mass2), uint64(b.Count),
+	}
+}
+func (bucketPayload) Decode(w [congest.PayloadWords]uint64) bucketPayload {
+	return bucketPayload{
+		Mass:  math.Float64frombits(w[0]),
+		Mass2: math.Float64frombits(w[1]),
+		Count: int64(w[2]),
+	}
+}
 
 // EstimateTau runs the decentralized mixing-time estimation from source x.
 func EstimateTau(w *core.Walker, x graph.NodeID, opt Options) (*Estimate, error) {

@@ -1,0 +1,44 @@
+package pathverify
+
+import (
+	"testing"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// TestGoldenVerifyCounters pins the interval protocol's simulated cost on
+// the hard instance G_n so engine refactors cannot silently change it
+// (captured from the original sort-and-box engine; the rewritten engine
+// must reproduce it exactly). The run is repeated to check determinism.
+func TestGoldenVerifyCounters(t *testing.T) {
+	want := congest.Result{Rounds: 28, Messages: 31538, Words: 94614, MaxQueue: 1}
+	const wantVerifier = graph.NodeID(302)
+
+	run := func() *Result {
+		lb, err := graph.NewLowerBound(256, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := GnOrder(lb, lb.PathLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := congest.NewNetwork(lb.G, 42)
+		res, err := Verify(net, order, lb.PathLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for i := 0; i < 2; i++ {
+		res := run()
+		if !res.Verified || res.Verifier != wantVerifier {
+			t.Fatalf("run %d: verified=%v verifier=%d, want true, %d", i, res.Verified, res.Verifier, wantVerifier)
+		}
+		if res.Cost != want {
+			t.Fatalf("run %d: golden counters changed:\n got %+v\nwant %+v", i, res.Cost, want)
+		}
+	}
+}

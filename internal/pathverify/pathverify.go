@@ -28,7 +28,17 @@ type ivMsg struct {
 	senderOrder int32
 }
 
-func (ivMsg) Words() int { return 3 }
+const kindIvMsg uint16 = 1
+
+func (ivMsg) Words() int   { return 3 }
+func (ivMsg) Kind() uint16 { return kindIvMsg }
+func (m ivMsg) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{congest.Pack2(m.lo, m.hi), uint64(uint32(m.senderOrder))}
+}
+func (ivMsg) Decode(w [congest.PayloadWords]uint64) ivMsg {
+	lo, hi := congest.Unpack2(w[0])
+	return ivMsg{lo: lo, hi: hi, senderOrder: int32(uint32(w[1]))}
+}
 
 // Result reports a PATH-VERIFICATION run.
 type Result struct {
@@ -89,10 +99,10 @@ func (p *proto) Step(ctx *congest.Ctx) {
 	v := ctx.Node()
 	myOrder := p.order[v]
 	for _, m := range ctx.Inbox() {
-		msg, ok := m.Payload.(ivMsg)
-		if !ok {
+		if m.Kind != kindIvMsg {
 			continue
 		}
+		msg := congest.As[ivMsg](m)
 		got := iv{lo: msg.lo, hi: msg.hi}
 		// Edge-witness extension: the message came over a real edge from
 		// the segment's endpoint, and this node is the next/previous path
@@ -142,7 +152,7 @@ func (p *proto) flush(ctx *congest.Ctx) {
 				continue
 			}
 			p.sent[v][key] = true
-			ctx.Send(h.To, ivMsg{lo: cand.lo, hi: cand.hi, senderOrder: p.order[v]})
+			congest.Send(ctx, h.To, ivMsg{lo: cand.lo, hi: cand.hi, senderOrder: p.order[v]})
 			break
 		}
 		p.out[v][i] = q

@@ -66,13 +66,32 @@ type Result struct {
 
 type boolPayload bool
 
-func (boolPayload) Words() int { return 1 }
+func (boolPayload) Words() int   { return 1 }
+func (boolPayload) Kind() uint16 { return 1 }
+func (b boolPayload) Encode() [congest.PayloadWords]uint64 {
+	var w [congest.PayloadWords]uint64
+	if b {
+		w[0] = 1
+	}
+	return w
+}
+func (boolPayload) Decode(w [congest.PayloadWords]uint64) boolPayload {
+	return boolPayload(w[0] != 0)
+}
 
 type edgeReport struct {
 	child, parent graph.NodeID
 }
 
-func (edgeReport) Words() int { return 2 }
+func (edgeReport) Words() int   { return 2 }
+func (edgeReport) Kind() uint16 { return 2 }
+func (r edgeReport) Encode() [congest.PayloadWords]uint64 {
+	return [congest.PayloadWords]uint64{congest.Pack2(int32(r.child), int32(r.parent))}
+}
+func (edgeReport) Decode(w [congest.PayloadWords]uint64) edgeReport {
+	child, parent := congest.Unpack2(w[0])
+	return edgeReport{child: graph.NodeID(child), parent: graph.NodeID(parent)}
+}
 
 // RandomSpanningTree samples a uniform spanning tree of w's graph rooted
 // at root.
