@@ -7,9 +7,12 @@
 //
 //	mixtime -family regular -n 64
 //	mixtime -family cycle -n 101 -source 5
+//	mixtime -family rgg -n 256 -trials 80 -timeout 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,11 +30,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mixtime", flag.ContinueOnError)
 	var (
-		family = fs.String("family", "regular", "graph family: cycle|torus|complete|candy|regular|er|rgg")
-		n      = fs.Int("n", 64, "approximate node count")
-		seed   = fs.Uint64("seed", 1, "random seed")
-		source = fs.Int("source", 0, "source node x for τ^x")
-		exact  = fs.Bool("exact", true, "also compute the exact τ^x by matrix iteration")
+		family  = fs.String("family", "regular", "graph family: cycle|torus|complete|candy|regular|er|rgg")
+		n       = fs.Int("n", 64, "approximate node count")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		key     = fs.Uint64("key", 1, "request key (same key, same estimate)")
+		source  = fs.Int("source", 0, "source node x for τ^x")
+		trials  = fs.Int("trials", 0, "walks per tested length K (0 = the default ⌈6√n⌉)")
+		exact   = fs.Bool("exact", true, "also compute the exact τ^x by matrix iteration")
+		timeout = fs.Duration("timeout", 0, "abort the estimation after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,13 +46,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := distwalk.NewWalker(g, *seed, distwalk.DefaultParams())
+	svc, err := distwalk.NewService(g, *seed)
 	if err != nil {
 		return err
 	}
+	defer svc.Close()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	x := distwalk.NodeID(*source)
-	est, err := distwalk.EstimateMixingTime(w, x, distwalk.MixingOptions{})
+	var opts []distwalk.Option
+	if *trials > 0 {
+		opts = append(opts, distwalk.WithTrials(*trials))
+	}
+	est, err := svc.EstimateMixingTime(ctx, *key, x, opts...)
 	if err != nil {
+		if errors.Is(err, distwalk.ErrNoMixing) {
+			return fmt.Errorf("%w — bipartite families (even cycles/tori) never mix; pick odd sizes", err)
+		}
 		return err
 	}
 	fmt.Printf("graph: %s (n=%d, m=%d)\n", desc, g.N(), g.M())

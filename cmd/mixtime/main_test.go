@@ -45,3 +45,12 @@ func TestRunBadFamily(t *testing.T) {
 		t.Fatal("bad family accepted")
 	}
 }
+
+func TestRunTrialsAndTimeoutFlags(t *testing.T) {
+	if err := run([]string{"-family", "regular", "-n", "16", "-trials", "12", "-exact=false", "-timeout", "1m"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "regular", "-n", "24", "-timeout", "1ns"}); err == nil {
+		t.Fatal("expired deadline produced an estimate")
+	}
+}

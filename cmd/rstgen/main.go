@@ -6,9 +6,12 @@
 //
 //	rstgen -family torus -n 64 -seed 1
 //	rstgen -family rgg -n 200 -edges
+//	rstgen -family candy -n 128 -timeout 10s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,25 +29,40 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rstgen", flag.ContinueOnError)
 	var (
-		family = fs.String("family", "torus", "graph family: torus|grid|cycle|complete|candy|regular|er|rgg|hypercube")
-		n      = fs.Int("n", 64, "approximate node count")
-		seed   = fs.Uint64("seed", 1, "random seed")
-		root   = fs.Int("root", 0, "tree root")
-		edges  = fs.Bool("edges", false, "print every tree edge")
+		family  = fs.String("family", "torus", "graph family: torus|grid|cycle|complete|candy|regular|er|rgg|hypercube")
+		n       = fs.Int("n", 64, "approximate node count")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		key     = fs.Uint64("key", 1, "request key (same key, same tree)")
+		root    = fs.Int("root", 0, "tree root")
+		edges   = fs.Bool("edges", false, "print every tree edge")
+		timeout = fs.Duration("timeout", 0, "abort the sampling after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	g, desc, err := makeGraph(*family, *n, *seed)
 	if err != nil {
+		if errors.Is(err, distwalk.ErrRetryExhausted) {
+			return fmt.Errorf("%w (raise -n or pick denser parameters)", err)
+		}
 		return err
 	}
-	w, err := distwalk.NewWalker(g, *seed, distwalk.DefaultParams())
+	svc, err := distwalk.NewService(g, *seed)
 	if err != nil {
 		return err
 	}
-	res, err := distwalk.RandomSpanningTree(w, distwalk.NodeID(*root), distwalk.RSTOptions{})
+	defer svc.Close()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := svc.RandomSpanningTree(ctx, *key, distwalk.NodeID(*root))
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("sampling exceeded %v: %w", *timeout, err)
+		}
 		return err
 	}
 	if err := distwalk.ValidateSpanningTree(g, res.Root, res.Parent); err != nil {

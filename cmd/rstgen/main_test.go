@@ -42,3 +42,18 @@ func TestIntSqrt(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWithTimeoutFlag(t *testing.T) {
+	// A generous timeout must not interfere with a small sample.
+	if err := run([]string{"-family", "complete", "-n", "8", "-timeout", "1m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimeoutAborts(t *testing.T) {
+	// A 1ns deadline trips inside the simulated run and must surface as an
+	// error, not a bad tree.
+	if err := run([]string{"-family", "torus", "-n", "64", "-timeout", "1ns"}); err == nil {
+		t.Fatal("expired deadline produced a tree")
+	}
+}

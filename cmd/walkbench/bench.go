@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -15,8 +16,10 @@ import (
 // machine-readable BENCH_<name>.json per workload, so the perf trajectory
 // (wall time, allocation discipline, and the paper's simulated round/
 // message costs) is tracked across PRs by diffing checked-in or archived
-// snapshots. Simulated counters are deterministic in the seed; ns/op and
-// allocs/op measure the engine itself.
+// snapshots (see -bench-diff). Workloads run through the Service API on a
+// single-worker pool: per-request determinism makes the simulated counters
+// a pure function of (seed, request key), while ns/op and allocs/op
+// measure the engine itself without scheduler noise.
 
 // benchRecord is the schema of a BENCH_*.json file.
 type benchRecord struct {
@@ -32,15 +35,16 @@ type benchRecord struct {
 	WordsPerOp    int64  `json:"words_per_op"`
 }
 
-// benchWorkload is one measured workload: run executes a single op and
-// returns its simulated cost.
+// benchWorkload is one measured workload: run executes a single request
+// against the shared service and returns its simulated cost.
 type benchWorkload struct {
 	name  string
 	graph string
-	run   func(seed uint64) (distwalk.Cost, error)
+	svc   *distwalk.Service
+	run   func(svc *distwalk.Service, key uint64) (distwalk.Cost, error)
 }
 
-func benchWorkloads() ([]benchWorkload, error) {
+func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 	torus, err := distwalk.Torus(16, 16)
 	if err != nil {
 		return nil, err
@@ -49,16 +53,22 @@ func benchWorkloads() ([]benchWorkload, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One single-worker service per graph: requests stay serial (clean
+	// ns/op) and every request key maps to a deterministic execution.
+	torusSvc, err := distwalk.NewService(torus, seed, distwalk.WithWorkers(1))
+	if err != nil {
+		return nil, err
+	}
+	regularSvc, err := distwalk.NewService(regular, seed, distwalk.WithWorkers(1))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
 	return []benchWorkload{
 		{
-			name:  "SingleRandomWalk",
-			graph: "torus16x16",
-			run: func(seed uint64) (distwalk.Cost, error) {
-				w, err := distwalk.NewWalker(torus, seed, distwalk.DefaultParams())
-				if err != nil {
-					return distwalk.Cost{}, err
-				}
-				res, err := w.SingleRandomWalk(0, 4096)
+			name: "SingleRandomWalk", graph: "torus16x16", svc: torusSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				res, err := svc.SingleRandomWalk(ctx, key, 0, 4096)
 				if err != nil {
 					return distwalk.Cost{}, err
 				}
@@ -66,15 +76,10 @@ func benchWorkloads() ([]benchWorkload, error) {
 			},
 		},
 		{
-			name:  "ManyRandomWalks",
-			graph: "torus16x16",
-			run: func(seed uint64) (distwalk.Cost, error) {
-				w, err := distwalk.NewWalker(torus, seed, distwalk.DefaultParams())
-				if err != nil {
-					return distwalk.Cost{}, err
-				}
+			name: "ManyRandomWalks", graph: "torus16x16", svc: torusSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
 				sources := make([]distwalk.NodeID, 8)
-				res, err := w.ManyRandomWalks(sources, 1024)
+				res, err := svc.ManyRandomWalks(ctx, key, sources, 1024)
 				if err != nil {
 					return distwalk.Cost{}, err
 				}
@@ -82,14 +87,9 @@ func benchWorkloads() ([]benchWorkload, error) {
 			},
 		},
 		{
-			name:  "NaiveWalk",
-			graph: "torus16x16",
-			run: func(seed uint64) (distwalk.Cost, error) {
-				w, err := distwalk.NewWalker(torus, seed, distwalk.DefaultParams())
-				if err != nil {
-					return distwalk.Cost{}, err
-				}
-				res, err := w.NaiveWalk(0, 2048)
+			name: "NaiveWalk", graph: "torus16x16", svc: torusSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				res, err := svc.NaiveWalk(ctx, key, 0, 2048)
 				if err != nil {
 					return distwalk.Cost{}, err
 				}
@@ -97,14 +97,9 @@ func benchWorkloads() ([]benchWorkload, error) {
 			},
 		},
 		{
-			name:  "RandomSpanningTree",
-			graph: "torus16x16",
-			run: func(seed uint64) (distwalk.Cost, error) {
-				w, err := distwalk.NewWalker(torus, seed, distwalk.DefaultParams())
-				if err != nil {
-					return distwalk.Cost{}, err
-				}
-				res, err := distwalk.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
+			name: "RandomSpanningTree", graph: "torus16x16", svc: torusSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				res, err := svc.RandomSpanningTree(ctx, key, 0)
 				if err != nil {
 					return distwalk.Cost{}, err
 				}
@@ -112,14 +107,9 @@ func benchWorkloads() ([]benchWorkload, error) {
 			},
 		},
 		{
-			name:  "EstimateMixingTime",
-			graph: "regular64x4",
-			run: func(seed uint64) (distwalk.Cost, error) {
-				w, err := distwalk.NewWalker(regular, seed, distwalk.DefaultParams())
-				if err != nil {
-					return distwalk.Cost{}, err
-				}
-				est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+			name: "EstimateMixingTime", graph: "regular64x4", svc: regularSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				est, err := svc.EstimateMixingTime(ctx, key, 0)
 				if err != nil {
 					return distwalk.Cost{}, err
 				}
@@ -138,7 +128,7 @@ func runBenchJSON(dir string, seed uint64, reps int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	workloads, err := benchWorkloads()
+	workloads, err := benchWorkloads(seed)
 	if err != nil {
 		return err
 	}
@@ -164,7 +154,7 @@ func runBenchJSON(dir string, seed uint64, reps int) error {
 func measure(wl benchWorkload, seed uint64, reps int) (*benchRecord, error) {
 	// Warm-up op: pull one-time lazy work (tree slabs, ring growth) out of
 	// the measured window so allocs/op reflects steady state.
-	if _, err := wl.run(seed); err != nil {
+	if _, err := wl.run(wl.svc, 0); err != nil {
 		return nil, err
 	}
 	var total distwalk.Cost
@@ -173,7 +163,7 @@ func measure(wl benchWorkload, seed uint64, reps int) (*benchRecord, error) {
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		cost, err := wl.run(seed + uint64(i))
+		cost, err := wl.run(wl.svc, 1+uint64(i))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The -bench-diff mode compares two BENCH_*.json snapshot directories —
+// typically the committed baseline (bench/baseline) against a fresh
+// -bench-json run — and fails when the candidate regresses. Two checks:
+//
+//   - ns/op may not regress by more than the tolerance (default 20%);
+//     improvements and missing-in-baseline workloads only warn.
+//   - The simulated counters (rounds/messages/words per op) are
+//     deterministic in (seed, key), so any drift at all is a semantic
+//     change to the cost model and fails the diff; regenerate the
+//     baseline deliberately when the change is intended.
+
+// loadSnapshots reads every BENCH_*.json in dir, keyed by workload name.
+func loadSnapshots(dir string) (map[string]*benchRecord, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json snapshots in %s", dir)
+	}
+	out := make(map[string]*benchRecord, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		rec := &benchRecord{}
+		if err := json.Unmarshal(data, rec); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if rec.Name == "" {
+			return nil, fmt.Errorf("%s: snapshot has no name", p)
+		}
+		out[rec.Name] = rec
+	}
+	return out, nil
+}
+
+// diffSnapshots compares candidate against baseline and returns the list
+// of human-readable regressions (empty = pass). tol is the allowed
+// fractional ns/op growth, e.g. 0.20 for +20%.
+func diffSnapshots(baseline, candidate map[string]*benchRecord, tol float64) (regressions, notes []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cand, ok := candidate[name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from candidate", name))
+			continue
+		}
+		if base.Seed != cand.Seed || base.Reps != cand.Reps {
+			// The simulated counters are averages over request keys
+			// 1..reps derived from the seed — comparable only when both
+			// match. Refuse rather than misreport a cost-model drift.
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: run configs differ (seed %d reps %d vs seed %d reps %d); re-run -bench-json with the baseline's -seed/-bench-reps",
+				name, base.Seed, base.Reps, cand.Seed, cand.Reps))
+			continue
+		}
+		if base.NsPerOp > 0 {
+			ratio := float64(cand.NsPerOp) / float64(base.NsPerOp)
+			line := fmt.Sprintf("%s: ns/op %d -> %d (%.2fx)", name, base.NsPerOp, cand.NsPerOp, ratio)
+			if ratio > 1+tol {
+				regressions = append(regressions, line+fmt.Sprintf(" exceeds +%.0f%% tolerance", tol*100))
+			} else {
+				notes = append(notes, line)
+			}
+		}
+		if cand.RoundsPerOp != base.RoundsPerOp || cand.MessagesPerOp != base.MessagesPerOp ||
+			cand.WordsPerOp != base.WordsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: simulated counters drifted: rounds %d -> %d, messages %d -> %d, words %d -> %d (cost model changed; regenerate the baseline if intended)",
+				name, base.RoundsPerOp, cand.RoundsPerOp, base.MessagesPerOp, cand.MessagesPerOp,
+				base.WordsPerOp, cand.WordsPerOp))
+		}
+	}
+	for name := range candidate {
+		if _, ok := baseline[name]; !ok {
+			notes = append(notes, fmt.Sprintf("%s: new workload (not in baseline)", name))
+		}
+	}
+	return regressions, notes
+}
+
+// runBenchDiff loads both directories, prints the comparison, and returns
+// an error when the candidate regressed.
+func runBenchDiff(baselineDir, candidateDir string, tol float64) error {
+	baseline, err := loadSnapshots(baselineDir)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	candidate, err := loadSnapshots(candidateDir)
+	if err != nil {
+		return fmt.Errorf("candidate: %w", err)
+	}
+	regressions, notes := diffSnapshots(baseline, candidate, tol)
+	for _, n := range notes {
+		fmt.Println("ok:", n)
+	}
+	for _, r := range regressions {
+		fmt.Println("REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s) against %s", len(regressions), baselineDir)
+	}
+	fmt.Printf("bench diff clean: %d workloads within +%.0f%% of %s\n", len(baseline), tol*100, baselineDir)
+	return nil
+}

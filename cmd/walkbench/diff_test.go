@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir string, rec benchRecord) {
+	t.Helper()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+rec.Name+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func baseRecord(name string) benchRecord {
+	return benchRecord{
+		Name: name, Graph: "torus", Seed: 42, Reps: 3,
+		NsPerOp: 1_000_000, RoundsPerOp: 500, MessagesPerOp: 9000, WordsPerOp: 27000,
+	}
+}
+
+func TestBenchDiffClean(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	rec := baseRecord("A")
+	rec.NsPerOp = 1_150_000 // +15%: within the 20% tolerance
+	writeSnapshot(t, cand, rec)
+	if err := runBenchDiff(base, cand, 0.20); err != nil {
+		t.Fatalf("clean diff failed: %v", err)
+	}
+}
+
+func TestBenchDiffNsRegression(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	rec := baseRecord("A")
+	rec.NsPerOp = 1_300_000 // +30%: over tolerance
+	writeSnapshot(t, cand, rec)
+	err := runBenchDiff(base, cand, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("ns/op regression not flagged: %v", err)
+	}
+}
+
+func TestBenchDiffCounterDrift(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	rec := baseRecord("A")
+	rec.MessagesPerOp++ // deterministic counters may not drift at all
+	writeSnapshot(t, cand, rec)
+	if err := runBenchDiff(base, cand, 0.20); err == nil {
+		t.Fatal("counter drift not flagged")
+	}
+}
+
+func TestBenchDiffMissingWorkload(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	writeSnapshot(t, base, baseRecord("B"))
+	writeSnapshot(t, cand, baseRecord("A"))
+	if err := runBenchDiff(base, cand, 0.20); err == nil {
+		t.Fatal("missing workload not flagged")
+	}
+}
+
+func TestBenchDiffFlagParsing(t *testing.T) {
+	if err := run([]string{"-bench-diff", "only-one-dir"}); err == nil {
+		t.Fatal("malformed -bench-diff accepted")
+	}
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	writeSnapshot(t, cand, baseRecord("A"))
+	if err := run([]string{"-bench-diff", base + "," + cand}); err != nil {
+		t.Fatalf("identical snapshots flagged: %v", err)
+	}
+}
+
+func TestBenchDiffRunConfigMismatch(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	rec := baseRecord("A")
+	rec.Reps = 5 // counters averaged over a different key set: not comparable
+	writeSnapshot(t, cand, rec)
+	err := runBenchDiff(base, cand, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("reps mismatch not refused: %v", err)
+	}
+}

@@ -8,6 +8,7 @@
 //	walkbench -scale medium -seed 7
 //	walkbench -list
 //	walkbench -bench-json out/     # write BENCH_*.json perf snapshots
+//	walkbench -bench-diff bench/baseline,out  # fail on perf/cost regression
 package main
 
 import (
@@ -36,9 +37,18 @@ func run(args []string) error {
 		list      = fs.Bool("list", false, "list experiments and exit")
 		benchDir  = fs.String("bench-json", "", "run the headline workloads and write BENCH_*.json into this directory, then exit")
 		benchReps = fs.Int("bench-reps", 5, "repetitions per workload in -bench-json mode")
+		benchDiff = fs.String("bench-diff", "", "compare two BENCH_*.json dirs given as 'baseline,candidate'; exit non-zero on regression")
+		benchTol  = fs.Float64("bench-tol", 0.20, "allowed fractional ns/op growth in -bench-diff mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchDiff != "" {
+		base, cand, ok := strings.Cut(*benchDiff, ",")
+		if !ok || base == "" || cand == "" {
+			return fmt.Errorf("-bench-diff wants 'baselineDir,candidateDir', got %q", *benchDiff)
+		}
+		return runBenchDiff(base, cand, *benchTol)
 	}
 	if *benchDir != "" {
 		return runBenchJSON(*benchDir, *seed, *benchReps)

@@ -6,16 +6,37 @@
 //
 // The headline algorithm samples the endpoint of an ℓ-step random walk in
 // Õ(√(ℓD)) communication rounds — sublinear in ℓ — by preparing many short
-// walks in parallel and stitching them together (Theorem 2.5):
+// walks in parallel and stitching them together (Theorem 2.5).
+//
+// # Service API
+//
+// The entry point is Service: a long-lived, concurrency-safe pool that
+// serves walk requests, walk batches, spanning trees and mixing estimates
+// over one topology — walk sampling as a reusable network primitive, which
+// is how the paper frames it. Every request takes a context (cancellation
+// reaches down into the simulated round loop), is identified by a request
+// key that fully determines its result (per-key determinism, independent
+// of concurrency and call order), and reports its exact simulated
+// round/message cost:
 //
 //	g, _ := distwalk.Torus(32, 32)
-//	w, _ := distwalk.NewWalker(g, 42, distwalk.DefaultParams())
-//	res, _ := w.SingleRandomWalk(0, 100_000)
+//	svc, _ := distwalk.NewService(g, 42)
+//	defer svc.Close()
+//	res, _ := svc.SingleRandomWalk(ctx, 1, 0, 100_000)
 //	fmt.Println(res.Destination, res.Cost.Rounds) // ≪ 100000 rounds
 //
-// Everything is deterministic given the seed, and every operation reports
-// its exact simulated round/message cost, which is what the experiment
-// harness (cmd/walkbench) uses to reproduce the paper's claims.
+// Tuning is functional-options style (WithEta, WithTheory, WithMetropolis,
+// WithTrials, ...), at construction for service defaults and per request
+// for overrides. Failures wrap the exported sentinel errors (ErrBadNode,
+// ErrBudgetExceeded, ErrDisconnected, ...) and are errors.Is-able; see
+// errors.go for the taxonomy.
+//
+// # Legacy Walker surface
+//
+// The original single-threaded Walker API (NewWalker, Params, RSTOptions,
+// MixingOptions) remains as a thin deprecated shim so existing code and
+// the golden cost-model tests keep working bit-identically. New code
+// should use Service.
 package distwalk
 
 import (
@@ -36,9 +57,13 @@ type (
 	Graph = graph.G
 	// NodeID identifies a vertex (0..n-1).
 	NodeID = graph.NodeID
-	// Params tunes the walk algorithms; see DefaultParams.
+	// Params tunes the walk algorithms; see DefaultParams. Prefer the
+	// functional options (WithEta, WithTheory, ...) with Service.
 	Params = core.Params
 	// Walker runs the paper's walk algorithms over one simulated network.
+	//
+	// Deprecated: Walker is the single-threaded legacy surface; it remains
+	// for the golden cost-model tests and existing callers. Use Service.
 	Walker = core.Walker
 	// WalkResult describes one completed walk and its simulated cost.
 	WalkResult = core.WalkResult
@@ -48,11 +73,13 @@ type (
 	Trace = core.Trace
 	// Cost aggregates rounds, messages and queueing of simulated runs.
 	Cost = congest.Result
-	// RSTOptions tunes the random-spanning-tree driver.
+	// RSTOptions tunes the random-spanning-tree driver; see the
+	// WithStartLength/WithWalksPerPhase/WithDeliverTree options.
 	RSTOptions = spanning.Options
 	// RSTResult is a sampled spanning tree plus its cost.
 	RSTResult = spanning.Result
-	// MixingOptions tunes the mixing-time estimator.
+	// MixingOptions tunes the mixing-time estimator; see the
+	// WithTrials/WithEps/WithMaxEll options.
 	MixingOptions = mixing.Options
 	// MixingEstimate is the decentralized mixing-time estimate.
 	MixingEstimate = mixing.Estimate
@@ -66,6 +93,10 @@ const None = graph.None
 func NewGraph(n int) *Graph { return graph.New(n) }
 
 // NewWalker builds a Walker over g; seed drives all randomness.
+//
+// Deprecated: NewWalker is the single-threaded legacy entry point, kept so
+// the golden cost-model tests stay bit-identical. Use NewService: it adds
+// concurrency, contexts, per-request determinism and typed errors.
 func NewWalker(g *Graph, seed uint64, p Params) (*Walker, error) {
 	return core.NewWalker(g, seed, p)
 }
@@ -130,6 +161,8 @@ func GeometricRandom(n int, radius float64, seed uint64) (*Graph, error) {
 
 // RandomSpanningTree samples a uniformly random spanning tree rooted at
 // root in Õ(√(mD)) rounds (Theorem 4.1).
+//
+// Deprecated: use Service.RandomSpanningTree.
 func RandomSpanningTree(w *Walker, root NodeID, opt RSTOptions) (*RSTResult, error) {
 	return spanning.RandomSpanningTree(w, root, opt)
 }
@@ -141,6 +174,8 @@ func ValidateSpanningTree(g *Graph, root NodeID, parent []NodeID) error {
 
 // EstimateMixingTime estimates τ^x_mix decentralized, in
 // Õ(n^{1/2} + n^{1/4}√(Dτ)) rounds (Theorem 4.6).
+//
+// Deprecated: use Service.EstimateMixingTime.
 func EstimateMixingTime(w *Walker, x NodeID, opt MixingOptions) (*MixingEstimate, error) {
 	return mixing.EstimateTau(w, x, opt)
 }

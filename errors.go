@@ -1,0 +1,65 @@
+package distwalk
+
+import (
+	"errors"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/core"
+	"distwalk/internal/graph"
+	"distwalk/internal/mixing"
+	"distwalk/internal/spanning"
+)
+
+// Exported failure taxonomy. Every error returned through the public
+// surface wraps one of these sentinels, so callers dispatch with
+// errors.Is/errors.As instead of string matching:
+//
+//	_, err := svc.SingleRandomWalk(ctx, key, src, ell)
+//	switch {
+//	case errors.Is(err, distwalk.ErrBadNode):         // caller bug
+//	case errors.Is(err, distwalk.ErrBudgetExceeded):  // raise WithMaxRounds
+//	case errors.Is(err, context.DeadlineExceeded):    // request timed out
+//	}
+//
+// Context cancellation surfaces as the standard context.Canceled /
+// context.DeadlineExceeded (wrapped, errors.Is-able); there is no separate
+// sentinel for it.
+var (
+	// ErrBadNode reports a node ID outside [0, n).
+	ErrBadNode = core.ErrBadNode
+	// ErrBadLength reports a negative walk length.
+	ErrBadLength = core.ErrBadLength
+	// ErrGraphTooSmall reports an operation that needs more nodes than the
+	// graph has (walks need n >= 2).
+	ErrGraphTooSmall = core.ErrGraphTooSmall
+	// ErrBadParams reports an invalid parameterization.
+	ErrBadParams = core.ErrBadParams
+	// ErrConcurrentUse reports overlapping calls into one (deprecated,
+	// single-threaded) Walker. The Service never returns it.
+	ErrConcurrentUse = core.ErrConcurrentUse
+	// ErrBudgetExceeded reports a simulated run that exceeded its round
+	// budget (see WithMaxRounds).
+	ErrBudgetExceeded = congest.ErrRoundLimit
+	// ErrDisconnected reports a disconnected input graph.
+	ErrDisconnected = graph.ErrDisconnected
+	// ErrRetryExhausted reports a randomized graph generator that ran out
+	// of attempts; errors.As against *GenRetryError exposes the budget.
+	ErrRetryExhausted = graph.ErrRetryExhausted
+	// ErrNoMixing reports that the mixing estimator found no passing walk
+	// length (bipartite graphs never mix).
+	ErrNoMixing = mixing.ErrNoMixing
+	// ErrNoCover reports that the spanning-tree driver found no covering
+	// walk within its length budget.
+	ErrNoCover = spanning.ErrNoCover
+	// ErrServiceClosed reports a request submitted to a closed Service.
+	ErrServiceClosed = errors.New("distwalk: service closed")
+	// ErrNoRegen reports a walk that cannot be regenerated
+	// (Metropolis-Hastings walks leave no hop trail).
+	ErrNoRegen = core.ErrNoRegen
+)
+
+// GenRetryError is the typed generator retry-exhaustion error; it carries
+// the generator name and attempt count, and matches ErrRetryExhausted
+// (plus ErrDisconnected when connectivity was the failing check) under
+// errors.Is.
+type GenRetryError = graph.RetryError

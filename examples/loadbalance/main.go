@@ -1,15 +1,20 @@
 // Load-balancing example: the paper's motivating network application —
 // random walks as a lightweight node-sampling service (Section 1:
 // "token management and load balancing ... search, routing"). A
-// coordinator picks k servers by running k independent random walks past
-// the mixing time with MANY-RANDOM-WALKS; the samples follow the
-// stationary (degree-proportional) distribution, so better-connected
-// servers receive proportionally more load without any global state.
+// coordinator picks servers by running independent random walks past the
+// mixing time; the samples follow the stationary (degree-proportional)
+// distribution, so better-connected servers receive proportionally more
+// load without any global state. The batches are independent requests, so
+// the Service runs them concurrently across its worker pool — this is
+// exactly the "walk sampling as a shared primitive under concurrent
+// demand" shape the service API exists for.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"distwalk"
 )
@@ -26,14 +31,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	w, err := distwalk.NewWalker(g, 5, distwalk.DefaultParams())
+	svc, err := distwalk.NewService(g, 5)
 	if err != nil {
 		return err
 	}
+	defer svc.Close()
+	ctx := context.Background()
 
 	// Walk length: past the (estimated) mixing time so samples are
 	// stationary.
-	est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+	est, err := svc.EstimateMixingTime(ctx, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -41,29 +48,45 @@ func run() error {
 	fmt.Printf("overlay: n=%d, m=%d; estimated τ̃=%d, sampling with ℓ=%d\n",
 		g.N(), g.M(), est.Tau, ell)
 
-	// Assign 500 jobs by stationary node sampling, 50 walks at a time.
-	const jobs = 500
+	// Assign 500 jobs by stationary node sampling, 50 walks per batch,
+	// all batches in flight at once.
+	const jobs, batch = 500, 50
 	coordinator := distwalk.NodeID(0)
 	load := make([]int, g.N())
 	totalRounds := 0
-	for assigned := 0; assigned < jobs; {
-		batch := 50
-		if jobs-assigned < batch {
-			batch = jobs - assigned
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for assigned := 0; assigned < jobs; assigned += batch {
+		k := batch
+		if jobs-assigned < k {
+			k = jobs - assigned
 		}
-		sources := make([]distwalk.NodeID, batch)
+		sources := make([]distwalk.NodeID, k)
 		for i := range sources {
 			sources[i] = coordinator
 		}
-		res, err := w.ManyRandomWalks(sources, ell)
-		if err != nil {
-			return err
-		}
-		for _, dest := range res.Destinations {
-			load[dest]++
-		}
-		totalRounds += res.Cost.Rounds
-		assigned += batch
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			res, err := svc.ManyRandomWalks(ctx, key, sources, ell)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for _, dest := range res.Destinations {
+				load[dest]++
+			}
+			totalRounds += res.Cost.Rounds
+		}(1 + uint64(assigned/batch))
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
 	}
 
 	// Stationary sampling loads nodes proportionally to degree: report the

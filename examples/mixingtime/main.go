@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,16 +26,18 @@ func run() error {
 		{"ring (cycle 65)", func() (*distwalk.Graph, error) { return distwalk.Cycle(65) }},
 		{"expander (4-regular, 64)", func() (*distwalk.Graph, error) { return distwalk.RandomRegular(64, 4, 3) }},
 	}
+	ctx := context.Background()
 	for _, fam := range families {
 		g, err := fam.make()
 		if err != nil {
 			return err
 		}
-		w, err := distwalk.NewWalker(g, 11, distwalk.DefaultParams())
+		svc, err := distwalk.NewService(g, 11)
 		if err != nil {
 			return err
 		}
-		est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+		est, err := svc.EstimateMixingTime(ctx, 1, 0)
+		svc.Close()
 		if err != nil {
 			return err
 		}

@@ -1,11 +1,15 @@
 // Quickstart: sample the endpoint of a long random walk on a torus with
 // the Õ(√(ℓD))-round algorithm of Das Sarma et al. (PODC 2010) and compare
-// against the naive ℓ-round token walk.
+// against the naive ℓ-round token walk. Both requests go through the
+// Service — the concurrent, context-aware entry point — and run in
+// parallel on the pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"distwalk"
 )
@@ -25,28 +29,43 @@ func run() error {
 		source = distwalk.NodeID(0)
 		ell    = 50_000
 	)
+	svc, err := distwalk.NewService(g, 42)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
 
-	fast, err := distwalk.NewWalker(g, 42, distwalk.DefaultParams())
-	if err != nil {
-		return err
+	// Every request gets a deadline and a key; the key alone determines
+	// the result, so re-running this program reproduces it exactly.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	type walkOut struct {
+		res *distwalk.WalkResult
+		err error
 	}
-	res, err := fast.SingleRandomWalk(source, ell)
-	if err != nil {
-		return err
+	fastCh := make(chan walkOut, 1)
+	slowCh := make(chan walkOut, 1)
+	go func() {
+		res, err := svc.SingleRandomWalk(ctx, 1, source, ell)
+		fastCh <- walkOut{res, err}
+	}()
+	go func() {
+		res, err := svc.NaiveWalk(ctx, 2, source, ell)
+		slowCh <- walkOut{res, err}
+	}()
+	fast, slow := <-fastCh, <-slowCh
+	if fast.err != nil {
+		return fast.err
 	}
-	fmt.Printf("fast walk:  ℓ=%d from node %d landed on node %d\n", ell, source, res.Destination)
+	if slow.err != nil {
+		return slow.err
+	}
+
+	fmt.Printf("fast walk:  ℓ=%d from node %d landed on node %d\n", ell, source, fast.res.Destination)
 	fmt.Printf("            %d rounds (λ=%d, %d stitched segments)\n",
-		res.Cost.Rounds, res.Lambda, len(res.Segments))
-
-	slow, err := distwalk.NewWalker(g, 42, distwalk.DefaultParams())
-	if err != nil {
-		return err
-	}
-	naive, err := slow.NaiveWalk(source, ell)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("naive walk: %d rounds (one hop per round)\n", naive.Cost.Rounds)
-	fmt.Printf("speedup:    %.1fx\n", float64(naive.Cost.Rounds)/float64(res.Cost.Rounds))
+		fast.res.Cost.Rounds, fast.res.Lambda, len(fast.res.Segments))
+	fmt.Printf("naive walk: %d rounds (one hop per round)\n", slow.res.Cost.Rounds)
+	fmt.Printf("speedup:    %.1fx\n", float64(slow.res.Cost.Rounds)/float64(fast.res.Cost.Rounds))
 	return nil
 }

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	"distwalk"
 )
@@ -27,11 +29,14 @@ func run() error {
 	}
 	fmt.Printf("random geometric graph: n=%d, m=%d\n", g.N(), g.M())
 
-	w, err := distwalk.NewWalker(g, 7, distwalk.DefaultParams())
+	svc, err := distwalk.NewService(g, 7)
 	if err != nil {
 		return err
 	}
-	res, err := distwalk.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := svc.RandomSpanningTree(ctx, 1, 0)
 	if err != nil {
 		return err
 	}

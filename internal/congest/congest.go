@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -127,6 +128,10 @@ func (r *Result) Add(other Result) {
 // within the configured round budget.
 var ErrRoundLimit = errors.New("congest: round limit exceeded")
 
+// DefaultMaxRounds is the per-run round budget applied when no
+// WithMaxRounds/SetMaxRounds override is in effect.
+const DefaultMaxRounds = 50_000_000
+
 // Network is a simulated CONGEST network over a fixed graph.
 type Network struct {
 	g       *graph.G
@@ -157,7 +162,13 @@ type Network struct {
 	res      Result
 	runErr   error
 	maxRound int
+	ctx      context.Context // optional; checked periodically by Run
 }
+
+// ctxCheckMask controls how often Run polls the context: every
+// (ctxCheckMask+1) rounds. Rounds are microseconds, so cancellation
+// latency stays negligible while the common case pays one nil check.
+const ctxCheckMask = 63
 
 // Option configures a Network.
 type Option func(*Network)
@@ -228,7 +239,7 @@ func NewNetwork(g *graph.G, seed uint64, opts ...Option) *Network {
 	net := &Network{
 		g:        g,
 		cap:      1,
-		maxRound: 50_000_000,
+		maxRound: DefaultMaxRounds,
 		nodeRNG:  make([]*rng.RNG, n),
 		off:      make([]int32, n+1),
 		inbox:    make([][]Message, n),
@@ -269,15 +280,50 @@ func NewNetwork(g *graph.G, seed uint64, opts ...Option) *Network {
 // Graph returns the underlying topology.
 func (n *Network) Graph() *graph.G { return n.g }
 
+// SetContext installs ctx for subsequent runs: Run polls it periodically
+// and aborts with an error wrapping ctx.Err() (errors.Is-able against
+// context.Canceled / context.DeadlineExceeded) once it is done. Pass nil
+// to clear. The check is amortized to one nil comparison per round, so
+// uncancellable runs pay nothing.
+func (n *Network) SetContext(ctx context.Context) { n.ctx = ctx }
+
+// SetMaxRounds adjusts the per-run round budget after construction (the
+// service layer re-applies a per-request budget on pooled networks).
+// Values < 1 are ignored.
+func (n *Network) SetMaxRounds(r int) {
+	if r >= 1 {
+		n.maxRound = r
+	}
+}
+
+// Reseed re-derives every per-node RNG stream from seed, exactly as
+// NewNetwork does, so a pooled network can be reused for a fresh
+// deterministic execution: after Reseed(s) the network behaves bit for bit
+// like a newly built NewNetwork(g, s). Ring and inbox slabs carry no
+// protocol state, only capacity, and any in-flight messages left by an
+// aborted run are dropped by the next Run's reset.
+func (n *Network) Reseed(seed uint64) {
+	base := rng.New(seed)
+	for v := range n.nodeRNG {
+		n.nodeRNG[v] = base.Stream(uint64(v))
+	}
+}
+
 // NodeRNG returns node v's persistent random stream. Protocol code uses it
 // through Ctx; tests may use it directly.
 func (n *Network) NodeRNG(v graph.NodeID) *rng.RNG { return n.nodeRNG[v] }
 
-// Run executes p until quiescence, a Halter stop, or the round budget.
-// It returns the cost of this run; the Result is also retained so drivers
-// can sum sequential phases.
+// Run executes p until quiescence, a Halter stop, the round budget, or —
+// when a context is installed with SetContext — cancellation. It returns
+// the cost of this run; the Result is also retained so drivers can sum
+// sequential phases.
 func (n *Network) Run(p Proto) (Result, error) {
 	n.reset()
+	if n.ctx != nil {
+		if err := n.ctx.Err(); err != nil {
+			return n.res, fmt.Errorf("congest: run aborted before round 1: %w", err)
+		}
+	}
 	ctx := &Ctx{net: n}
 	for v := 0; v < n.g.N(); v++ {
 		ctx.node = graph.NodeID(v)
@@ -295,6 +341,11 @@ func (n *Network) Run(p Proto) (Result, error) {
 		if n.round >= n.maxRound {
 			return n.res, fmt.Errorf("%w after %d rounds", ErrRoundLimit, n.round)
 		}
+		if n.ctx != nil && n.round&ctxCheckMask == 0 {
+			if err := n.ctx.Err(); err != nil {
+				return n.res, fmt.Errorf("congest: run aborted at round %d: %w", n.round, err)
+			}
+		}
 		n.round++
 		n.res.Rounds = n.round
 		n.deliver()
@@ -310,8 +361,9 @@ func (n *Network) Run(p Proto) (Result, error) {
 }
 
 // reset clears transient run state (queues are empty between runs by
-// construction: a run only ends at quiescence, halt, error or budget; on
-// the latter three we still drop leftovers so the next run starts clean).
+// construction: a run only ends at quiescence, halt, error, budget or
+// cancellation; on the non-quiescent ends we still drop leftovers so the
+// next run starts clean).
 // Ring buffers and inbox slices keep their capacity: the steady state of
 // repeated runs allocates nothing.
 func (n *Network) reset() {

@@ -73,4 +73,21 @@
 // vs 10^2-10^4 before). Growth paths (ring doubling, inbox append) are
 // amortized and retain capacity; reset clears by draining, never by
 // re-allocating.
+//
+// # Cancellation and pooling
+//
+// The round loop is context-aware: SetContext installs a context.Context
+// that Run polls every ctxCheckMask+1 rounds (one pointer nil-check per
+// round when no context is set, so the golden counters and the hot loop
+// are unaffected). A run aborted by cancellation returns an error wrapping
+// ctx.Err(), and the in-flight messages it leaves behind are dropped by
+// the next Run's reset, so an aborted network is immediately reusable.
+//
+// Reseed re-derives the per-node RNG streams from a fresh seed using the
+// same construction as NewNetwork. Together with the reset discipline this
+// makes a Network poolable: the service layer (distwalk.Service) keeps one
+// Network per worker and reseeds it with a request-key-derived seed before
+// each request, which yields per-request determinism — the result of a
+// request depends only on (graph, service seed, request key), never on
+// which worker ran it or what ran on that worker before.
 package congest

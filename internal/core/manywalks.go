@@ -31,6 +31,14 @@ type ManyResult struct {
 // λ = Θ(√(kℓD)+k), then the walks are stitched one at a time; if λ > ℓ the
 // k walks run as parallel naive tokens instead.
 func (w *Walker) ManyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, error) {
+	if err := w.acquire(); err != nil {
+		return nil, err
+	}
+	defer w.release()
+	return w.manyRandomWalks(sources, ell)
+}
+
+func (w *Walker) manyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("core: no sources")
 	}
@@ -40,7 +48,7 @@ func (w *Walker) ManyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, 
 		}
 	}
 	if ell < 0 {
-		return nil, fmt.Errorf("core: negative walk length %d", ell)
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, ell)
 	}
 	out := &ManyResult{
 		Destinations: make([]graph.NodeID, len(sources)),
@@ -54,7 +62,7 @@ func (w *Walker) ManyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, 
 		return out, nil
 	}
 	if w.g.N() == 1 {
-		return nil, fmt.Errorf("core: cannot walk on a single-node graph")
+		return nil, fmt.Errorf("%w: cannot walk on a single-node graph", ErrGraphTooSmall)
 	}
 
 	treeRes, err := w.ensureTree(sources[0])

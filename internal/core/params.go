@@ -84,15 +84,20 @@ func DNP09Params(ell, diam int) Params {
 	}
 }
 
+// Validate reports whether p is a usable parameterization; failures wrap
+// ErrBadParams. The service layer validates options before building its
+// worker pool.
+func (p Params) Validate() error { return p.validate() }
+
 func (p Params) validate() error {
 	if p.Lambda == 0 && p.LambdaC <= 0 && !p.Theory {
-		return fmt.Errorf("core: params need positive LambdaC or Lambda (use DefaultParams)")
+		return fmt.Errorf("%w: need positive LambdaC or Lambda (use DefaultParams)", ErrBadParams)
 	}
 	if p.Eta < 1 {
-		return fmt.Errorf("core: params need Eta >= 1, got %d", p.Eta)
+		return fmt.Errorf("%w: need Eta >= 1, got %d", ErrBadParams, p.Eta)
 	}
 	if p.Lambda < 0 {
-		return fmt.Errorf("core: negative Lambda %d", p.Lambda)
+		return fmt.Errorf("%w: negative Lambda %d", ErrBadParams, p.Lambda)
 	}
 	return nil
 }

@@ -117,7 +117,11 @@ func (tr *Trace) record(v graph.NodeID, pos int32, from graph.NodeID) {
 // retraced backward through their recorded flow counts, one at a time so
 // the without-replacement claims stay exact.
 func (w *Walker) Regenerate(res *WalkResult) (*Trace, error) {
-	traces, err := w.RegenerateMany([]*WalkResult{res})
+	if err := w.acquire(); err != nil {
+		return nil, err
+	}
+	defer w.release()
+	traces, err := w.regenerateMany([]*WalkResult{res})
 	if err != nil {
 		return nil, err
 	}
@@ -131,11 +135,19 @@ func (w *Walker) Regenerate(res *WalkResult) (*Trace, error) {
 // roughly one walk's replay rounds for all of them, keeping regeneration
 // within the Phase 1 budget as Section 2.2 claims.
 func (w *Walker) RegenerateMany(walks []*WalkResult) ([]*Trace, error) {
+	if err := w.acquire(); err != nil {
+		return nil, err
+	}
+	defer w.release()
+	return w.regenerateMany(walks)
+}
+
+func (w *Walker) regenerateMany(walks []*WalkResult) ([]*Trace, error) {
 	if len(walks) == 0 {
 		return nil, fmt.Errorf("core: no walks to regenerate")
 	}
 	if w.prm.Metropolis {
-		return nil, fmt.Errorf("core: regeneration is not supported for Metropolis-Hastings walks (stay steps leave no hop trail)")
+		return nil, fmt.Errorf("%w: Metropolis-Hastings stay steps leave no hop trail", ErrNoRegen)
 	}
 	n := w.g.N()
 	type refillAt struct {

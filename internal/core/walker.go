@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"distwalk/internal/congest"
 	"distwalk/internal/graph"
@@ -64,7 +66,13 @@ type WalkResult struct {
 // walks exactly as in MANY-RANDOM-WALKS (Phase 1 provisions once, Phase 2
 // stitches per walk and refills on demand).
 //
-// A Walker is not safe for concurrent use.
+// A Walker is NOT safe for concurrent use: its per-node netState is one
+// shared simulation, and interleaving two walks would corrupt coupon
+// inventories and hop logs. Every exported method holds an atomic in-use
+// flag for its duration and returns an error wrapping ErrConcurrentUse if
+// another call is already in flight, instead of corrupting state. For
+// concurrent workloads use distwalk.Service, which multiplexes requests
+// over a pool of independent walkers.
 type Walker struct {
 	g   *graph.G
 	net *congest.Network
@@ -74,13 +82,15 @@ type Walker struct {
 	tree     *congest.Tree
 	lambda   int // λ of the current coupon inventory (0 = none)
 	prepared bool
+
+	busy atomic.Bool // in-use flag; see ErrConcurrentUse
 }
 
 // NewWalker builds a Walker over g with the given parameters; seed drives
 // all randomness (same seed, same execution).
 func NewWalker(g *graph.G, seed uint64, prm Params) (*Walker, error) {
 	if g == nil || g.N() == 0 {
-		return nil, fmt.Errorf("core: walker needs a non-empty graph")
+		return nil, fmt.Errorf("%w: walker needs a non-empty graph", ErrGraphTooSmall)
 	}
 	if err := prm.validate(); err != nil {
 		return nil, err
@@ -92,6 +102,42 @@ func NewWalker(g *graph.G, seed uint64, prm Params) (*Walker, error) {
 		st:  newNetState(g.N()),
 	}, nil
 }
+
+// NewWalkerOn builds a Walker over an existing simulated network. The
+// caller controls the network's seed (NewNetwork or Network.Reseed);
+// walker state (coupons, hop logs, walk IDs) starts fresh. This is the
+// pooling constructor: distwalk.Service keeps one Network per worker and
+// builds a throwaway Walker on it per request.
+func NewWalkerOn(net *congest.Network, prm Params) (*Walker, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: NewWalkerOn needs a non-nil network")
+	}
+	g := net.Graph()
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("%w: walker needs a non-empty graph", ErrGraphTooSmall)
+	}
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	return &Walker{g: g, net: net, prm: prm, st: newNetState(g.N())}, nil
+}
+
+// SetContext installs ctx on the underlying network: any simulated run
+// started afterwards aborts (with an error matching context.Canceled or
+// context.DeadlineExceeded) once ctx is done. Pass nil to clear.
+func (w *Walker) SetContext(ctx context.Context) { w.net.SetContext(ctx) }
+
+// acquire claims the walker for one exported call; it fails instead of
+// blocking because overlapping calls are a caller bug, not a scheduling
+// problem.
+func (w *Walker) acquire() error {
+	if w.busy.Swap(true) {
+		return fmt.Errorf("%w (overlapping call)", ErrConcurrentUse)
+	}
+	return nil
+}
+
+func (w *Walker) release() { w.busy.Store(false) }
 
 // Graph returns the underlying topology.
 func (w *Walker) Graph() *graph.G { return w.g }
@@ -107,6 +153,10 @@ func (w *Walker) Tree() *congest.Tree { return w.tree }
 // returning the round cost. Applications call it when they need tree
 // primitives before the first walk.
 func (w *Walker) Prepare(source graph.NodeID) (congest.Result, error) {
+	if err := w.acquire(); err != nil {
+		return congest.Result{}, err
+	}
+	defer w.release()
 	if err := w.checkNode(source); err != nil {
 		return congest.Result{}, err
 	}
@@ -118,18 +168,26 @@ func (w *Walker) Prepare(source graph.NodeID) (congest.Result, error) {
 // composition and exact simulated cost. The returned destination is an
 // exact sample of the ℓ-step walk distribution (Theorem 2.5: Las Vegas).
 func (w *Walker) SingleRandomWalk(source graph.NodeID, ell int) (*WalkResult, error) {
+	if err := w.acquire(); err != nil {
+		return nil, err
+	}
+	defer w.release()
+	return w.singleRandomWalk(source, ell)
+}
+
+func (w *Walker) singleRandomWalk(source graph.NodeID, ell int) (*WalkResult, error) {
 	if err := w.checkNode(source); err != nil {
 		return nil, err
 	}
 	if ell < 0 {
-		return nil, fmt.Errorf("core: negative walk length %d", ell)
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, ell)
 	}
 	out := &WalkResult{Source: source, Destination: source, Length: ell}
 	if ell == 0 {
 		return out, nil
 	}
 	if w.g.N() == 1 {
-		return nil, fmt.Errorf("core: cannot walk on a single-node graph")
+		return nil, fmt.Errorf("%w: cannot walk on a single-node graph", ErrGraphTooSmall)
 	}
 	treeRes, err := w.ensureTree(source)
 	if err != nil {
@@ -261,18 +319,22 @@ func (w *Walker) report(out *WalkResult) error {
 // plus the destination report. It shares the Walker's BFS tree so the
 // comparison with SINGLE-RANDOM-WALK is infrastructure-for-infrastructure.
 func (w *Walker) NaiveWalk(source graph.NodeID, ell int) (*WalkResult, error) {
+	if err := w.acquire(); err != nil {
+		return nil, err
+	}
+	defer w.release()
 	if err := w.checkNode(source); err != nil {
 		return nil, err
 	}
 	if ell < 0 {
-		return nil, fmt.Errorf("core: negative walk length %d", ell)
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, ell)
 	}
 	out := &WalkResult{Source: source, Destination: source, Length: ell, Naive: true}
 	if ell == 0 {
 		return out, nil
 	}
 	if w.g.N() == 1 {
-		return nil, fmt.Errorf("core: cannot walk on a single-node graph")
+		return nil, fmt.Errorf("%w: cannot walk on a single-node graph", ErrGraphTooSmall)
 	}
 	treeRes, err := w.ensureTree(source)
 	if err != nil {
@@ -347,7 +409,7 @@ func (w *Walker) advanceToken(ctx *congest.Ctx, remaining int32) (graph.NodeID, 
 
 func (w *Walker) checkNode(v graph.NodeID) error {
 	if v < 0 || int(v) >= w.g.N() {
-		return fmt.Errorf("core: node %d out of range [0,%d)", v, w.g.N())
+		return fmt.Errorf("%w: node %d not in [0,%d)", ErrBadNode, v, w.g.N())
 	}
 	return nil
 }

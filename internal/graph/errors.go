@@ -6,11 +6,50 @@ import (
 )
 
 // ErrDisconnected is returned by whole-graph computations (diameter,
-// distributed algorithms) that require a connected graph.
-var errDisconnected = errors.New("graph: graph is disconnected")
+// distributed algorithms) and connected-sample generators that require a
+// connected graph.
+var ErrDisconnected = errors.New("graph: graph is disconnected")
+
+// errDisconnected is the historical internal name; kept so existing wrap
+// sites read unchanged.
+var errDisconnected = ErrDisconnected
 
 // Disconnected reports whether err indicates a disconnected input.
-func Disconnected(err error) bool { return errors.Is(err, errDisconnected) }
+// Equivalent to errors.Is(err, ErrDisconnected).
+func Disconnected(err error) bool { return errors.Is(err, ErrDisconnected) }
+
+// ErrRetryExhausted is the sentinel matched (via errors.Is) by every
+// generator retry-budget failure: ConnectedER, ConnectedRandomRegular and
+// ConnectedRGG resample until connected, and RandomRegular's configuration
+// model rejects pairings with loops or parallel edges; when the attempt
+// budget runs out they return a *RetryError wrapping this sentinel.
+var ErrRetryExhausted = errors.New("graph: generator retry budget exhausted")
+
+// errNoSimplePairing is the per-attempt failure of the configuration
+// model: the sampled pairing contained a loop or a parallel edge.
+var errNoSimplePairing = errors.New("graph: pairing produced a loop or parallel edge")
+
+// RetryError reports that a randomized generator exhausted its attempt
+// budget. It matches ErrRetryExhausted and its Last cause (typically
+// ErrDisconnected) under errors.Is, and carries the attempt count for
+// callers that want to retune the budget.
+type RetryError struct {
+	// Op names the generator, e.g. "ER" or "random regular".
+	Op string
+	// Tries is the number of attempts made.
+	Tries int
+	// Last is the failure of the final attempt.
+	Last error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("graph: %s: no admissible sample in %d tries: %v", e.Op, e.Tries, e.Last)
+}
+
+// Unwrap exposes both the sentinel and the last per-attempt failure, so
+// errors.Is(err, ErrRetryExhausted) and errors.Is(err, ErrDisconnected)
+// both hold for a connectivity-retry exhaustion.
+func (e *RetryError) Unwrap() []error { return []error{ErrRetryExhausted, e.Last} }
 
 func errOutOfRange(v NodeID, n int) error {
 	return fmt.Errorf("graph: node %d out of range [0,%d)", v, n)

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"distwalk/internal/rng"
+)
+
+// The connected-sample generators promise typed retry-exhaustion errors:
+// errors.Is against ErrRetryExhausted (and ErrDisconnected when that was
+// the per-attempt failure), errors.As against *RetryError for the budget.
+
+func TestConnectedERRetryExhaustion(t *testing.T) {
+	// p=0 on n=3 can never be connected: every attempt fails.
+	_, err := ConnectedER(3, 0, rng.New(1), 7)
+	if err == nil {
+		t.Fatal("ConnectedER(p=0) succeeded")
+	}
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("err %v does not match ErrRetryExhausted", err)
+	}
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err %v does not match ErrDisconnected", err)
+	}
+	if !Disconnected(err) {
+		t.Fatalf("Disconnected(%v) = false", err)
+	}
+	var retry *RetryError
+	if !errors.As(err, &retry) {
+		t.Fatalf("err %v is not a *RetryError", err)
+	}
+	if retry.Tries != 7 {
+		t.Fatalf("Tries = %d, want 7", retry.Tries)
+	}
+}
+
+func TestConnectedRGGRetryExhaustion(t *testing.T) {
+	// A radius far below the ~sqrt(ln n / pi n) threshold leaves isolated
+	// points in every attempt.
+	_, err := ConnectedRGG(64, 0.001, rng.New(2), 5)
+	if !errors.Is(err, ErrRetryExhausted) || !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err %v does not match ErrRetryExhausted+ErrDisconnected", err)
+	}
+}
+
+func TestConnectedRandomRegularRetryExhaustion(t *testing.T) {
+	// 1-regular graphs are perfect matchings: disconnected for n > 2, so
+	// every attempt fails the connectivity check.
+	_, err := ConnectedRandomRegular(8, 1, rng.New(3), 4)
+	if !errors.Is(err, ErrRetryExhausted) || !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err %v does not match ErrRetryExhausted+ErrDisconnected", err)
+	}
+	var retry *RetryError
+	if !errors.As(err, &retry) || retry.Tries != 4 {
+		t.Fatalf("err %v: want *RetryError with Tries=4", err)
+	}
+}
+
+func TestConnectedGeneratorsSurfaceParamErrorsImmediately(t *testing.T) {
+	// Parameter errors cannot improve with retries; they must pass through
+	// unwrapped rather than consuming the budget.
+	_, err := ConnectedER(0, 0.5, rng.New(1), 1000)
+	if err == nil || errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("ConnectedER(n=0): got %v, want a bare parameter error", err)
+	}
+	_, err = ConnectedRandomRegular(5, 3, rng.New(1), 1000) // n*d odd
+	if err == nil || errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("ConnectedRandomRegular(5,3): got %v, want a bare parameter error", err)
+	}
+}

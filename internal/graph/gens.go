@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -222,7 +223,7 @@ func ER(n int, p float64, r *rng.RNG) (*G, error) {
 // ConnectedER resamples G(n, p) until a connected graph is found, up to
 // maxTries attempts.
 func ConnectedER(n int, p float64, r *rng.RNG, maxTries int) (*G, error) {
-	return retryConnected(maxTries, func() (*G, error) { return ER(n, p, r) })
+	return retryConnected(fmt.Sprintf("ER(n=%d, p=%v)", n, p), maxTries, func() (*G, error) { return ER(n, p, r) })
 }
 
 // RandomRegular returns a random d-regular simple graph on n nodes via the
@@ -243,7 +244,11 @@ func RandomRegular(n, d int, r *rng.RNG) (*G, error) {
 			return g, nil
 		}
 	}
-	return nil, fmt.Errorf("graph: pairing model failed after %d tries (n=%d d=%d)", maxTries, n, d)
+	return nil, &RetryError{
+		Op:    fmt.Sprintf("random regular pairing (n=%d d=%d)", n, d),
+		Tries: maxTries,
+		Last:  errNoSimplePairing,
+	}
 }
 
 func tryPairing(n, d int, r *rng.RNG) *G {
@@ -276,7 +281,7 @@ func tryPairing(n, d int, r *rng.RNG) *G {
 
 // ConnectedRandomRegular resamples a random d-regular graph until connected.
 func ConnectedRandomRegular(n, d int, r *rng.RNG, maxTries int) (*G, error) {
-	return retryConnected(maxTries, func() (*G, error) { return RandomRegular(n, d, r) })
+	return retryConnected(fmt.Sprintf("random regular(n=%d, d=%d)", n, d), maxTries, func() (*G, error) { return RandomRegular(n, d, r) })
 }
 
 // RGG returns a random geometric graph: n points uniform in the unit
@@ -342,7 +347,7 @@ func RGG(n int, radius float64, r *rng.RNG) (*G, error) {
 // connectivity threshold is radius ~ sqrt(ln n / (pi n)); pass a radius
 // comfortably above it to keep the retry count low.
 func ConnectedRGG(n int, radius float64, r *rng.RNG, maxTries int) (*G, error) {
-	return retryConnected(maxTries, func() (*G, error) { return RGG(n, radius, r) })
+	return retryConnected(fmt.Sprintf("RGG(n=%d, r=%v)", n, radius), maxTries, func() (*G, error) { return RGG(n, radius, r) })
 }
 
 // RGGThresholdRadius returns a radius moderately above the connectivity
@@ -354,7 +359,7 @@ func RGGThresholdRadius(n int) float64 {
 	return 1.5 * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
 }
 
-func retryConnected(maxTries int, gen func() (*G, error)) (*G, error) {
+func retryConnected(op string, maxTries int, gen func() (*G, error)) (*G, error) {
 	if maxTries < 1 {
 		maxTries = 1
 	}
@@ -362,15 +367,21 @@ func retryConnected(maxTries int, gen func() (*G, error)) (*G, error) {
 	for i := 0; i < maxTries; i++ {
 		g, err := gen()
 		if err != nil {
+			// Parameter errors cannot improve with retries; surface them
+			// immediately rather than burning the budget.
+			var retry *RetryError
+			if !errors.As(err, &retry) {
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
 		if g.Connected() {
 			return g, nil
 		}
-		lastErr = errDisconnected
+		lastErr = ErrDisconnected
 	}
-	return nil, fmt.Errorf("graph: no connected sample in %d tries: %w", maxTries, lastErr)
+	return nil, &RetryError{Op: op, Tries: maxTries, Last: lastErr}
 }
 
 // mustAdd adds an edge produced by a generator; generators only produce

@@ -11,6 +11,7 @@
 package mixing
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -19,6 +20,11 @@ import (
 	"distwalk/internal/graph"
 	"distwalk/internal/spectral"
 )
+
+// ErrNoMixing is wrapped by EstimateTau when no tested walk length up to
+// MaxEll passes the closeness test — on a connected graph this indicates
+// bipartiteness (the walk distribution never converges).
+var ErrNoMixing = errors.New("mixing: no tested length passed the closeness test")
 
 // Options tunes the estimator; the zero value uses the defaults below.
 type Options struct {
@@ -94,7 +100,7 @@ func EstimateTau(w *core.Walker, x graph.NodeID, opt Options) (*Estimate, error)
 	g := w.Graph()
 	n := g.N()
 	if n < 2 {
-		return nil, fmt.Errorf("mixing: graph too small (n=%d)", n)
+		return nil, fmt.Errorf("%w: mixing estimation needs n >= 2, got %d", core.ErrGraphTooSmall, n)
 	}
 	if opt.Samples <= 0 {
 		opt.Samples = int(math.Ceil(6 * math.Sqrt(float64(n))))
@@ -139,7 +145,7 @@ func EstimateTau(w *core.Walker, x graph.NodeID, opt Options) (*Estimate, error)
 	ell := 1
 	for {
 		if ell > opt.MaxEll {
-			return nil, fmt.Errorf("mixing: no ℓ ≤ %d passed the ε=%v test (bipartite graph?)", opt.MaxEll, opt.Eps)
+			return nil, fmt.Errorf("%w: no ℓ ≤ %d passed at ε=%v (bipartite graph?)", ErrNoMixing, opt.MaxEll, opt.Eps)
 		}
 		pass, err := test(ell)
 		if err != nil {

@@ -19,6 +19,7 @@
 package spanning
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -29,6 +30,12 @@ import (
 	"distwalk/internal/core"
 	"distwalk/internal/graph"
 )
+
+// ErrNoCover is wrapped by RandomSpanningTree when no walk up to MaxLength
+// covered the graph — the doubling schedule ran out before the O(mD)
+// expected cover time was reached, which indicates MaxLength was set far
+// too low for the topology.
+var ErrNoCover = errors.New("spanning: no covering walk within the length budget")
 
 // Options tunes the RST driver. The zero value follows the paper.
 type Options struct {
@@ -99,7 +106,7 @@ func RandomSpanningTree(w *core.Walker, root graph.NodeID, opt Options) (*Result
 	g := w.Graph()
 	n := g.N()
 	if root < 0 || int(root) >= n {
-		return nil, fmt.Errorf("spanning: root %d out of range [0,%d)", root, n)
+		return nil, fmt.Errorf("%w: root %d not in [0,%d)", core.ErrBadNode, root, n)
 	}
 	if n == 1 {
 		return &Result{Root: root, Parent: []graph.NodeID{graph.None}}, nil
@@ -170,7 +177,7 @@ func RandomSpanningTree(w *core.Walker, root graph.NodeID, opt Options) (*Result
 			return out, nil
 		}
 	}
-	return nil, fmt.Errorf("spanning: no covering walk up to ℓ=%d (max %d)", ell/2, maxLen)
+	return nil, fmt.Errorf("%w: tried up to ℓ=%d (max %d)", ErrNoCover, ell/2, maxLen)
 }
 
 // coverCheck is the distributed AND over "was I visited?" — a single

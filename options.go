@@ -1,0 +1,125 @@
+package distwalk
+
+import (
+	"runtime"
+
+	"distwalk/internal/core"
+)
+
+// config is the resolved tuning of a Service (and, per request, of one
+// call). It layers the pre-existing option structs — core.Params,
+// spanning.Options, mixing.Options — under one functional-options surface,
+// so the structs remain the single source of truth for semantics.
+type config struct {
+	params Params
+	rst    RSTOptions
+	mix    MixingOptions
+	// workers is the size of the worker pool (construction-time only).
+	workers int
+	// maxRounds caps the simulated rounds of every engine run within a
+	// request (0 = the engine default of 50,000,000).
+	maxRounds int
+}
+
+func defaultConfig() config {
+	return config{
+		params:  core.DefaultParams(),
+		workers: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Option configures a Service at construction and/or a single request at
+// the call site: NewService's options set the service defaults, and every
+// request method accepts further options that override them for that
+// request only.
+type Option func(*config)
+
+func (c *config) apply(opts []Option) {
+	for _, o := range opts {
+		o(c)
+	}
+}
+
+// --- Walk parameterization (core.Params) ---
+
+// WithParams replaces the whole walk parameterization. Use the finer
+// options below for single-knob changes.
+func WithParams(p Params) Option { return func(c *config) { c.params = p } }
+
+// WithLambda pins the short-walk base length λ directly (tests/ablations).
+func WithLambda(lambda int) Option { return func(c *config) { c.params.Lambda = lambda } }
+
+// WithLambdaC scales the practical short-walk length λ = ⌈c·√(ℓD)⌉.
+func WithLambdaC(cc float64) Option { return func(c *config) { c.params.LambdaC = cc } }
+
+// WithEta sets η, the Phase 1 short walks prepared per unit of degree.
+func WithEta(eta int) Option { return func(c *config) { c.params.Eta = eta } }
+
+// WithTheory applies the paper's constants verbatim
+// (λ = 24·√(ℓD)·(log₂ n)³, η = 1).
+func WithTheory() Option { return func(c *config) { c.params.Theory = true } }
+
+// WithMetropolis samples the Metropolis-Hastings walk with uniform target
+// distribution instead of the simple walk.
+func WithMetropolis() Option { return func(c *config) { c.params.Metropolis = true } }
+
+// WithDNP09 applies the PODC 2009 baseline parameterization
+// (Õ(ℓ^{2/3}D^{1/3}) rounds) for the given walk length and diameter.
+func WithDNP09(ell, diam int) Option {
+	return func(c *config) { c.params = core.DNP09Params(ell, diam) }
+}
+
+// --- Spanning-tree driver (spanning.Options) ---
+
+// WithRSTOptions replaces the whole random-spanning-tree tuning.
+func WithRSTOptions(o RSTOptions) Option { return func(c *config) { c.rst = o } }
+
+// WithStartLength sets the initial walk length ℓ of the RST cover search.
+func WithStartLength(ell int) Option { return func(c *config) { c.rst.StartLength = ell } }
+
+// WithWalksPerPhase sets the number of candidate walks per RST doubling
+// phase (default ⌈log₂ n⌉).
+func WithWalksPerPhase(k int) Option { return func(c *config) { c.rst.WalksPerPhase = k } }
+
+// WithDeliverTree additionally upcasts the sampled tree's edges to the
+// root (the paper's optional O(n) delivery).
+func WithDeliverTree() Option { return func(c *config) { c.rst.Deliver = true } }
+
+// --- Mixing-time estimator (mixing.Options) ---
+
+// WithMixingOptions replaces the whole mixing-estimator tuning.
+func WithMixingOptions(o MixingOptions) Option { return func(c *config) { c.mix = o } }
+
+// WithTrials sets K, the walks sampled per tested length in the
+// mixing-time estimator (default ⌈6·√n⌉).
+func WithTrials(k int) Option { return func(c *config) { c.mix.Samples = k } }
+
+// WithEps sets the target ℓ₁ closeness of the mixing test (default 1/2e,
+// the paper's τ_mix definition).
+func WithEps(eps float64) Option { return func(c *config) { c.mix.Eps = eps } }
+
+// WithMaxEll caps the mixing estimator's doubling search.
+func WithMaxEll(ell int) Option { return func(c *config) { c.mix.MaxEll = ell } }
+
+// --- Service-level knobs ---
+
+// WithWorkers sets the worker-pool size, i.e. how many requests execute
+// concurrently (default GOMAXPROCS). Construction-time only: per-request
+// use is ignored, since the pool is already built.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n >= 1 {
+			c.workers = n
+		}
+	}
+}
+
+// WithMaxRounds caps the simulated rounds of every engine run performed
+// for a request; runs that exceed it fail with ErrBudgetExceeded.
+func WithMaxRounds(r int) Option {
+	return func(c *config) {
+		if r >= 1 {
+			c.maxRounds = r
+		}
+	}
+}

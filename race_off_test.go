@@ -1,0 +1,5 @@
+//go:build !race
+
+package distwalk_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package distwalk_test
+
+// raceEnabled reports that this binary was built with -race; wall-clock
+// speedup assertions are meaningless under the detector's overhead.
+const raceEnabled = true

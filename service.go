@@ -1,0 +1,238 @@
+package distwalk
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/core"
+	"distwalk/internal/mixing"
+	"distwalk/internal/rng"
+	"distwalk/internal/spanning"
+)
+
+// Service is the concurrent entry point to the paper's algorithms: a
+// long-lived pool that multiplexes many simultaneous requests — single
+// walks, walk batches, spanning trees, mixing estimates — over one shared
+// topology. This is the shape the paper itself motivates: walk sampling as
+// a reusable network primitive serving higher-level applications (token
+// management, load balancing, search), many of which are in flight at
+// once.
+//
+// Each of the pool's workers owns an independent simulated CONGEST
+// network. A request is identified by a caller-chosen request key; before
+// executing, the worker reseeds its network with a seed derived from
+// (service seed, key) and builds a fresh walker on it. Determinism is
+// therefore per request key, not per call order: the result of
+// (graph, service seed, key, request) is bit-identical no matter how many
+// requests run concurrently, which worker serves it, or what ran before —
+// the property the golden stress tests pin.
+//
+// All entry points take a context.Context; cancellation and deadlines are
+// checked inside the engine's round loop, so even a multi-million-round
+// simulated run aborts promptly. Failures wrap the exported sentinel
+// errors (see errors.go).
+//
+// A Service is safe for concurrent use. The graph must not be mutated
+// while the service is alive.
+type Service struct {
+	g    *Graph
+	seed uint64
+	cfg  config
+
+	jobs chan func(*congest.Network)
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewService builds a service over g. seed drives all randomness: together
+// with a request key it fully determines every result. Options set the
+// service-wide defaults; request methods accept per-request overrides.
+func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("%w: service needs a non-empty graph", ErrGraphTooSmall)
+	}
+	cfg := defaultConfig()
+	cfg.apply(opts)
+	if err := cfg.params.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		g:    g,
+		seed: seed,
+		cfg:  cfg,
+		jobs: make(chan func(*congest.Network)),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < cfg.workers; i++ {
+		net := congest.NewNetwork(g, seed)
+		s.wg.Add(1)
+		go s.worker(net)
+	}
+	return s, nil
+}
+
+// worker serves requests on its own network until the service closes.
+func (s *Service) worker(net *congest.Network) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case job := <-s.jobs:
+			job(net)
+		}
+	}
+}
+
+// Workers returns the size of the worker pool.
+func (s *Service) Workers() int { return s.cfg.workers }
+
+// Graph returns the served topology.
+func (s *Service) Graph() *Graph { return s.g }
+
+// Close shuts the pool down. In-flight requests finish; requests not yet
+// picked up by a worker (and all later ones) fail with ErrServiceClosed.
+// Close is idempotent and safe to call concurrently with requests.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.wg.Wait()
+	})
+	return nil
+}
+
+// deriveSeed maps (service seed, request key) to the seed of the
+// request's private simulated network, using the rng package's splittable
+// stream construction so distinct keys give statistically independent
+// executions.
+func deriveSeed(seed, key uint64) uint64 {
+	return rng.New(seed).Stream(key).Uint64()
+}
+
+// submit runs fn on a pool worker and waits for it (or for ctx/closure).
+func (s *Service) submit(ctx context.Context, key uint64, opts []Option, fn func(w *Walker, cfg config) error) error {
+	cfg := s.cfg
+	cfg.apply(opts)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
+	}
+	done := make(chan error, 1)
+	job := func(net *congest.Network) {
+		done <- s.execute(ctx, key, cfg, net, fn)
+	}
+	select {
+	case s.jobs <- job:
+	case <-s.quit:
+		return fmt.Errorf("%w (request %d)", ErrServiceClosed, key)
+	case <-ctx.Done():
+		return fmt.Errorf("distwalk: request %d not started: %w", key, ctx.Err())
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// The worker aborts on its own via the network's context check;
+		// its late write lands in the buffered channel and is dropped.
+		return fmt.Errorf("distwalk: request %d canceled: %w", key, ctx.Err())
+	}
+}
+
+// execute prepares the worker's network for this request and runs fn.
+func (s *Service) execute(ctx context.Context, key uint64, cfg config, net *congest.Network, fn func(w *Walker, cfg config) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
+	}
+	net.Reseed(deriveSeed(s.seed, key))
+	net.SetContext(ctx)
+	defer net.SetContext(nil)
+	if cfg.maxRounds > 0 {
+		net.SetMaxRounds(cfg.maxRounds)
+	} else {
+		net.SetMaxRounds(congest.DefaultMaxRounds)
+	}
+	w, err := core.NewWalkerOn(net, cfg.params)
+	if err != nil {
+		return err
+	}
+	return fn(w, cfg)
+}
+
+// SingleRandomWalk samples the endpoint of an ℓ-step random walk from
+// source in Õ(√(ℓD)) simulated rounds (Theorem 2.5). key identifies the
+// request: same key, same result, regardless of concurrency.
+func (s *Service) SingleRandomWalk(ctx context.Context, key uint64, source NodeID, ell int, opts ...Option) (*WalkResult, error) {
+	var out *WalkResult
+	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
+		res, err := w.SingleRandomWalk(source, ell)
+		out = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NaiveWalk runs the O(ℓ)-round token-forwarding baseline.
+func (s *Service) NaiveWalk(ctx context.Context, key uint64, source NodeID, ell int, opts ...Option) (*WalkResult, error) {
+	var out *WalkResult
+	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
+		res, err := w.NaiveWalk(source, ell)
+		out = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ManyRandomWalks samples k independent ℓ-step walks from the given (not
+// necessarily distinct) sources in Õ(min(√(kℓD)+k, k+ℓ)) simulated rounds
+// (Theorem 2.8), as one request.
+func (s *Service) ManyRandomWalks(ctx context.Context, key uint64, sources []NodeID, ell int, opts ...Option) (*ManyResult, error) {
+	var out *ManyResult
+	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
+		res, err := w.ManyRandomWalks(sources, ell)
+		out = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RandomSpanningTree samples a uniformly random spanning tree rooted at
+// root in Õ(√(mD)) simulated rounds (Theorem 4.1).
+func (s *Service) RandomSpanningTree(ctx context.Context, key uint64, root NodeID, opts ...Option) (*RSTResult, error) {
+	var out *RSTResult
+	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
+		res, err := spanning.RandomSpanningTree(w, root, cfg.rst)
+		out = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EstimateMixingTime estimates τ^x_mix decentralized, in
+// Õ(n^{1/2} + n^{1/4}√(Dτ)) simulated rounds (Theorem 4.6).
+func (s *Service) EstimateMixingTime(ctx context.Context, key uint64, x NodeID, opts ...Option) (*MixingEstimate, error) {
+	var out *MixingEstimate
+	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
+		res, err := mixing.EstimateTau(w, x, cfg.mix)
+		out = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package distwalk
+
+import (
+	"context"
+	"testing"
+)
+
+// TestServiceMatchesDerivedSeedWalker pins the sharding contract: a
+// request served by a pooled, reseeded network is bit-identical to a
+// fresh legacy Walker built with the request's derived seed. This is what
+// makes the deprecated shim and the service the same algorithm, not two.
+func TestServiceMatchesDerivedSeedWalker(t *testing.T) {
+	g, err := Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed, key = 42, 987
+	svc, err := NewService(g, seed, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	got, err := svc.SingleRandomWalk(context.Background(), key, 3, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalker(g, deriveSeed(seed, key), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.SingleRandomWalk(3, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Destination != want.Destination || got.Cost != want.Cost {
+		t.Fatalf("service (dest %d, %+v) != derived-seed walker (dest %d, %+v)",
+			got.Destination, got.Cost, want.Destination, want.Cost)
+	}
+}
