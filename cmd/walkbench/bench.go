@@ -107,6 +107,38 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 			},
 		},
 		{
+			// Regeneration hot path (Section 2.2): one walk plus the full
+			// parallel replay so every node learns its positions.
+			name: "WalkTrace", graph: "torus16x16", svc: torusSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				walk, trace, err := svc.WalkTrace(ctx, key, 0, 2048)
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				cost := walk.Cost
+				cost.Add(trace.Cost)
+				return cost, nil
+			},
+		},
+		{
+			// GET-MORE-WALKS hot path: a deliberately under-provisioned
+			// Phase 1 (one coupon per node, pinned short λ) forces dozens of
+			// refills per batch, measuring Algorithm 2's token aggregation
+			// and the flow-ledger writes.
+			name: "RefillWalks", graph: "torus16x16", svc: torusSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				p := distwalk.DefaultParams()
+				p.UniformCounts = true
+				p.Lambda = 64
+				sources := make([]distwalk.NodeID, 16)
+				res, err := svc.ManyRandomWalks(ctx, key, sources, 1024, distwalk.WithParams(p))
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return res.Cost, nil
+			},
+		},
+		{
 			name: "EstimateMixingTime", graph: "regular64x4", svc: regularSvc,
 			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
 				est, err := svc.EstimateMixingTime(ctx, key, 0)

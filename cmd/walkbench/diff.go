@@ -10,10 +10,16 @@ import (
 
 // The -bench-diff mode compares two BENCH_*.json snapshot directories —
 // typically the committed baseline (bench/baseline) against a fresh
-// -bench-json run — and fails when the candidate regresses. Two checks:
+// -bench-json run — and fails when the candidate regresses. Three checks:
 //
 //   - ns/op may not regress by more than the tolerance (default 20%);
 //     improvements and missing-in-baseline workloads only warn.
+//   - allocs/op may not regress by more than the same tolerance, plus a
+//     small absolute slack (allocAbsSlack) so that near-zero-alloc
+//     workloads do not flap on runtime noise. Allocation discipline is a
+//     ratchet: once a workload goes flat, a change that quietly
+//     reintroduces per-op allocation fails here before it shows up as a
+//     wall-time regression.
 //   - The simulated counters (rounds/messages/words per op) are
 //     deterministic in (seed, key), so any drift at all is a semantic
 //     change to the cost model and fails the diff; regenerate the
@@ -46,9 +52,16 @@ func loadSnapshots(dir string) (map[string]*benchRecord, error) {
 	return out, nil
 }
 
+// allocAbsSlack is the absolute allocs/op headroom granted on top of the
+// fractional tolerance: runtime-internal allocations (GC metadata, map
+// growth in the harness, channel ops of the service pool) jitter by a few
+// dozen per op, which would otherwise dominate the ratio on workloads
+// whose own allocations are near zero.
+const allocAbsSlack = 64
+
 // diffSnapshots compares candidate against baseline and returns the list
 // of human-readable regressions (empty = pass). tol is the allowed
-// fractional ns/op growth, e.g. 0.20 for +20%.
+// fractional growth of ns/op and allocs/op, e.g. 0.20 for +20%.
 func diffSnapshots(baseline, candidate map[string]*benchRecord, tol float64) (regressions, notes []string) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
@@ -79,6 +92,17 @@ func diffSnapshots(baseline, candidate map[string]*benchRecord, tol float64) (re
 			} else {
 				notes = append(notes, line)
 			}
+		}
+		// Unlike ns/op, an allocs/op baseline of 0 is meaningful (a fully
+		// warm workload), so the gate always applies; the absolute slack
+		// keeps a zero baseline from flagging runtime noise.
+		allowed := int64(float64(base.AllocsPerOp)*(1+tol)) + allocAbsSlack
+		line := fmt.Sprintf("%s: allocs/op %d -> %d", name, base.AllocsPerOp, cand.AllocsPerOp)
+		if cand.AllocsPerOp > allowed {
+			regressions = append(regressions, line+fmt.Sprintf(
+				" exceeds +%.0f%%+%d tolerance (allocation discipline regressed)", tol*100, allocAbsSlack))
+		} else {
+			notes = append(notes, line)
 		}
 		if cand.RoundsPerOp != base.RoundsPerOp || cand.MessagesPerOp != base.MessagesPerOp ||
 			cand.WordsPerOp != base.WordsPerOp {

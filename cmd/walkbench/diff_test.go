@@ -22,7 +22,8 @@ func writeSnapshot(t *testing.T, dir string, rec benchRecord) {
 func baseRecord(name string) benchRecord {
 	return benchRecord{
 		Name: name, Graph: "torus", Seed: 42, Reps: 3,
-		NsPerOp: 1_000_000, RoundsPerOp: 500, MessagesPerOp: 9000, WordsPerOp: 27000,
+		NsPerOp: 1_000_000, AllocsPerOp: 1000,
+		RoundsPerOp: 500, MessagesPerOp: 9000, WordsPerOp: 27000,
 	}
 }
 
@@ -57,6 +58,37 @@ func TestBenchDiffCounterDrift(t *testing.T) {
 	writeSnapshot(t, cand, rec)
 	if err := runBenchDiff(base, cand, 0.20); err == nil {
 		t.Fatal("counter drift not flagged")
+	}
+}
+
+func TestBenchDiffAllocsRegression(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	rec := baseRecord("A")
+	rec.AllocsPerOp = 1500 // +50%: far over tolerance + slack
+	writeSnapshot(t, cand, rec)
+	err := runBenchDiff(base, cand, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("allocs/op regression not flagged: %v", err)
+	}
+}
+
+func TestBenchDiffAllocsSlack(t *testing.T) {
+	// Near-zero-alloc workloads may jitter by runtime noise: the absolute
+	// slack keeps the gate from flapping, while growth beyond it fails.
+	base, cand := t.TempDir(), t.TempDir()
+	rec := baseRecord("A")
+	rec.AllocsPerOp = 2
+	writeSnapshot(t, base, rec)
+	rec.AllocsPerOp = 40 // within the +64 absolute slack
+	writeSnapshot(t, cand, rec)
+	if err := runBenchDiff(base, cand, 0.20); err != nil {
+		t.Fatalf("allocs jitter within slack flagged: %v", err)
+	}
+	rec.AllocsPerOp = 200 // beyond slack: a real reintroduction
+	writeSnapshot(t, cand, rec)
+	if err := runBenchDiff(base, cand, 0.20); err == nil {
+		t.Fatal("allocs growth beyond slack not flagged")
 	}
 }
 

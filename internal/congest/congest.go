@@ -163,6 +163,41 @@ type Network struct {
 	runErr   error
 	maxRound int
 	ctx      context.Context // optional; checked periodically by Run
+
+	ns nodeScratch // reusable per-node scratch for tree protocols
+}
+
+// nodeScratch is per-node working memory the tree protocols (BFS build,
+// Convergecast) borrow instead of allocating O(n) arrays per call. It is
+// sized once, on first use, and "cleared" by bumping the epoch: a slot is
+// meaningful only when its stamp matches the current epoch, so starting a
+// fresh protocol run costs one increment, not a sweep. acc/pending carry
+// convergecast state as encoded payload words — runs execute one at a
+// time, so a single scratch serves every protocol on the network.
+type nodeScratch struct {
+	epoch   uint32
+	stamp   []uint32
+	acc     [][PayloadWords]uint64
+	pending []int32
+}
+
+// scratch hands out the node scratch for one protocol run, advancing the
+// epoch (and sweeping stamps on the rare uint32 wrap so stale stamps can
+// never collide).
+func (n *Network) scratch() *nodeScratch {
+	s := &n.ns
+	if s.stamp == nil {
+		nn := n.g.N()
+		s.stamp = make([]uint32, nn)
+		s.acc = make([][PayloadWords]uint64, nn)
+		s.pending = make([]int32, nn)
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	return s
 }
 
 // ctxCheckMask controls how often Run polls the context: every

@@ -90,4 +90,38 @@
 // each request, which yields per-request determinism — the result of a
 // request depends only on (graph, service seed, request key), never on
 // which worker ran it or what ran on that worker before.
+//
+// # Tree-protocol scratch and the epoch-stamp trick
+//
+// The tree primitives used to allocate their per-node working arrays per
+// call — Convergecast built two O(n) slices on every invocation, which in
+// walk workloads means every SAMPLE-DESTINATION stitch. The Network now
+// owns a single nodeScratch (stamp/acc/pending arrays sized once to n)
+// that each tree-protocol run borrows via scratch(). "Clearing" it is one
+// epoch increment: a slot is meaningful only while its stamp equals the
+// current epoch, so stale state from the previous run is unreachable
+// without ever sweeping the arrays (the rare uint32 wrap does one sweep).
+// Convergecast keeps its per-node aggregates in the scratch as encoded
+// payload words — every aggregate type is a WirePayload, so Encode/Decode
+// round-trips exactly (any value that survives a tree edge already does) —
+// and the BFS build marks visited nodes by stamping. One scratch suffices
+// because the engine executes one Run at a time.
+//
+// # Warm-reuse lifecycle
+//
+// Pooling now extends one layer above the engine. The protocol layer keeps
+// its own per-node state (coupon shelves, hop logs, GET-MORE-WALKS flow
+// ledgers — see internal/core's slab-backed netState) in flat growable
+// slabs whose clear operations truncate rather than free. A pooled
+// worker's lifecycle per request is therefore:
+//
+//	Reseed(derivedSeed)  -> fresh deterministic RNG streams
+//	Walker.Reset(params) -> shelves truncate, cursors re-epoch,
+//	                        tree slabs retire for recycling
+//	serve request        -> steady-state allocation-free
+//
+// Reset restores the exact observable state of a freshly built walker, so
+// warm reuse is invisible to the cost model: the golden counter tests and
+// the service determinism stress tests pin that a worker's Nth request is
+// bit-identical to the same request on a zero-history worker.
 package congest

@@ -46,18 +46,21 @@ func (childAck) Decode([PayloadWords]uint64) childAck { return childAck{} }
 
 type bfsProto struct {
 	root     graph.NodeID
-	visited  []bool
+	sc       *nodeScratch // stamp[v] == epoch marks v visited
 	parent   []graph.NodeID
 	children [][]graph.NodeID
 	depth    []int32
 }
+
+func (p *bfsProto) visited(v graph.NodeID) bool { return p.sc.stamp[v] == p.sc.epoch }
+func (p *bfsProto) visit(v graph.NodeID)        { p.sc.stamp[v] = p.sc.epoch }
 
 func (p *bfsProto) Init(ctx *Ctx) {
 	v := ctx.Node()
 	if v != p.root {
 		return
 	}
-	p.visited[v] = true
+	p.visit(v)
 	p.depth[v] = 0
 	for _, h := range ctx.Neighbors() {
 		Send(ctx, h.To, announce{depth: 1})
@@ -69,11 +72,11 @@ func (p *bfsProto) Step(ctx *Ctx) {
 	for _, m := range ctx.Inbox() {
 		switch m.Kind {
 		case kindAnnounce:
-			if p.visited[v] {
+			if p.visited(v) {
 				continue
 			}
 			pl := As[announce](m)
-			p.visited[v] = true
+			p.visit(v)
 			p.parent[v] = m.From
 			p.depth[v] = pl.depth
 			Send(ctx, m.From, childAck{})
@@ -92,16 +95,40 @@ func (p *bfsProto) Step(ctx *Ctx) {
 // the resulting tree and the run cost (O(D) rounds, O(m) messages). It
 // fails if the graph is disconnected.
 func BuildBFSTree(net *Network, root graph.NodeID) (*Tree, Result, error) {
+	return BuildBFSTreeReuse(net, root, nil)
+}
+
+// BuildBFSTreeReuse is BuildBFSTree recycling the slabs of a retired Tree
+// of the same network (pass nil for a fresh build). The recycled Tree must
+// no longer be referenced by its previous owner: its arrays are
+// overwritten in place. The build itself borrows the network's epoch-
+// stamped node scratch for the visited set, so a warm rebuild allocates
+// nothing.
+func BuildBFSTreeReuse(net *Network, root graph.NodeID, recycle *Tree) (*Tree, Result, error) {
 	n := net.Graph().N()
 	if root < 0 || int(root) >= n {
 		return nil, Result{}, fmt.Errorf("congest: BFS root %d out of range [0,%d)", root, n)
 	}
+	t := recycle
+	if t == nil || len(t.Parent) != n || len(t.Children) != n || len(t.Depth) != n {
+		t = &Tree{
+			Parent:   make([]graph.NodeID, n),
+			Children: make([][]graph.NodeID, n),
+			Depth:    make([]int32, n),
+		}
+	} else {
+		for v := range t.Children {
+			t.Children[v] = t.Children[v][:0]
+		}
+	}
+	t.Root = root
+	t.Height = 0
 	p := &bfsProto{
 		root:     root,
-		visited:  make([]bool, n),
-		parent:   make([]graph.NodeID, n),
-		children: make([][]graph.NodeID, n),
-		depth:    make([]int32, n),
+		sc:       net.scratch(),
+		parent:   t.Parent,
+		children: t.Children,
+		depth:    t.Depth,
 	}
 	for i := range p.parent {
 		p.parent[i] = graph.None
@@ -110,14 +137,8 @@ func BuildBFSTree(net *Network, root graph.NodeID) (*Tree, Result, error) {
 	if err != nil {
 		return nil, res, err
 	}
-	t := &Tree{
-		Root:     root,
-		Parent:   p.parent,
-		Children: p.children,
-		Depth:    p.depth,
-	}
 	for v := 0; v < n; v++ {
-		if !p.visited[v] {
+		if !p.visited(graph.NodeID(v)) {
 			return nil, res, fmt.Errorf("congest: BFS from %d did not reach node %d (graph disconnected?)", root, v)
 		}
 		if int(p.depth[v]) > t.Height {
@@ -170,22 +191,27 @@ func Broadcast[V WirePayload[V]](net *Network, t *Tree, payload V, visit func(gr
 	return net.Run(&broadcastProto[V]{t: t, payload: payload, visit: visit})
 }
 
+// convergecastProto keeps its per-node aggregates in the network's node
+// scratch as encoded payload words (every V is a WirePayload, so
+// Encode/Decode round-trips exactly — a value that survives a tree edge
+// survives the scratch). A convergecast therefore allocates nothing per
+// call; before the scratch, the two O(n) arrays here were the dominant
+// per-stitch allocation of SAMPLE-DESTINATION.
 type convergecastProto[V WirePayload[V]] struct {
 	t       *Tree
 	initVal func(graph.NodeID) V
 	merge   func(graph.NodeID, V, V) V
 
-	pending []int
-	acc     []V
-	out     V
-	done    bool
+	sc   *nodeScratch
+	out  V
+	done bool
 }
 
 func (p *convergecastProto[V]) Init(ctx *Ctx) {
 	v := ctx.Node()
-	p.acc[v] = p.initVal(v)
-	p.pending[v] = len(p.t.Children[v])
-	if p.pending[v] == 0 {
+	p.sc.acc[v] = p.initVal(v).Encode()
+	p.sc.pending[v] = int32(len(p.t.Children[v]))
+	if p.sc.pending[v] == 0 {
 		p.emit(ctx, v)
 	}
 }
@@ -197,21 +223,22 @@ func (p *convergecastProto[V]) Step(ctx *Ctx) {
 		if m.Kind != z.Kind() {
 			continue
 		}
-		p.acc[v] = p.merge(v, p.acc[v], z.Decode(m.W))
-		p.pending[v]--
-		if p.pending[v] == 0 {
+		p.sc.acc[v] = p.merge(v, z.Decode(p.sc.acc[v]), z.Decode(m.W)).Encode()
+		p.sc.pending[v]--
+		if p.sc.pending[v] == 0 {
 			p.emit(ctx, v)
 		}
 	}
 }
 
 func (p *convergecastProto[V]) emit(ctx *Ctx, v graph.NodeID) {
+	var z V
 	if v == p.t.Root {
-		p.out = p.acc[v]
+		p.out = z.Decode(p.sc.acc[v])
 		p.done = true
 		return
 	}
-	Send(ctx, p.t.Parent[v], p.acc[v])
+	Send(ctx, p.t.Parent[v], z.Decode(p.sc.acc[v]))
 }
 
 // Convergecast aggregates a value up the tree in Height rounds: each node
@@ -225,9 +252,7 @@ func Convergecast[V WirePayload[V]](
 	initVal func(graph.NodeID) V,
 	merge func(graph.NodeID, V, V) V,
 ) (V, Result, error) {
-	p := &convergecastProto[V]{t: t, initVal: initVal, merge: merge}
-	p.pending = make([]int, net.Graph().N())
-	p.acc = make([]V, net.Graph().N())
+	p := &convergecastProto[V]{t: t, initVal: initVal, merge: merge, sc: net.scratch()}
 	res, err := net.Run(p)
 	var zero V
 	if err != nil {

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"distwalk/internal/congest"
 	"distwalk/internal/graph"
@@ -62,13 +62,17 @@ func (p *gmwProto) Step(ctx *congest.Ctx) {
 	}
 }
 
-// gmwOut groups outgoing tokens by (neighbor, arrival step): with the
+// gmwFlow groups outgoing tokens by (neighbor, arrival step): with the
 // simple walk every token of a bundle leaves at the same step, so this is
 // one message per neighbor exactly as Algorithm 2 requires; Metropolis
 // stays can spread a bundle over a few arrival steps, still aggregated.
-type gmwOut struct {
+// Moves collect one entry each in the walker's reusable buffer and are
+// folded after the send-order sort brings equal pairs together — no
+// throwaway map, no per-token scans.
+type gmwFlow struct {
 	nbr   graph.NodeID
 	steps int32
+	count int32
 }
 
 // processTokens walks each of `count` tokens (having completed `steps`
@@ -77,32 +81,37 @@ type gmwOut struct {
 // aggregated into per-(neighbor, step) messages.
 func (p *gmwProto) processTokens(ctx *congest.Ctx, count, steps int32) {
 	v := ctx.Node()
-	out := make(map[gmwOut]int32)
+	out := p.w.gmwOutBuf[:0]
 	for j := int32(0); j < count; j++ {
-		p.walkOne(ctx, steps, out)
+		out = p.walkOne(ctx, steps, out)
 	}
-	// Deterministic send order: by neighbor, then arrival step.
-	keys := make([]gmwOut, 0, len(out))
-	for k := range out {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].nbr != keys[j].nbr {
-			return keys[i].nbr < keys[j].nbr
+	// Deterministic send order: by neighbor, then arrival step (the same
+	// order the map-based aggregation sorted its keys into). walkOne
+	// appends one entry per move, so after the sort equal (nbr, steps)
+	// pairs are adjacent and fold into one record in a single pass —
+	// O(c log c) per bundle regardless of the node's degree.
+	slices.SortFunc(out, func(a, b gmwFlow) int {
+		if a.nbr != b.nbr {
+			return int(a.nbr) - int(b.nbr)
 		}
-		return keys[i].steps < keys[j].steps
+		return int(a.steps) - int(b.steps)
 	})
-	for _, key := range keys {
-		c := out[key]
-		p.w.st.recordGMWSend(v, gmwKey{batch: p.batch, step: key.steps, nbr: key.nbr}, c)
-		congest.Send(ctx, key.nbr, gmwMsg{batch: p.batch, count: c, steps: key.steps})
+	for i := 0; i < len(out); {
+		f := out[i]
+		for i++; i < len(out) && out[i].nbr == f.nbr && out[i].steps == f.steps; i++ {
+			f.count += out[i].count
+		}
+		p.w.st.recordGMWSend(v, gmwKey{batch: p.batch, step: f.steps, nbr: f.nbr}, f.count)
+		congest.Send(ctx, f.nbr, gmwMsg{batch: p.batch, count: f.count, steps: f.steps})
 	}
+	p.w.gmwOutBuf = out[:0]
 }
 
 // walkOne advances a single token: stop with probability 1/(λ−i) at each
 // step s = λ+i (uniform length on [λ, 2λ−1], Lemma 2.4), otherwise take a
-// walk step; Metropolis stays advance s without leaving the node.
-func (p *gmwProto) walkOne(ctx *congest.Ctx, s int32, out map[gmwOut]int32) {
+// walk step; Metropolis stays advance s without leaving the node. Moves
+// accumulate into out, which is returned (it may grow).
+func (p *gmwProto) walkOne(ctx *congest.Ctx, s int32, out []gmwFlow) []gmwFlow {
 	v := ctx.Node()
 	for {
 		if s >= p.lambda {
@@ -114,7 +123,7 @@ func (p *gmwProto) walkOne(ctx *congest.Ctx, s int32, out map[gmwOut]int32) {
 					refill: true,
 					batch:  p.batch,
 				})
-				return
+				return out
 			}
 		}
 		if p.w.prm.Metropolis {
@@ -124,14 +133,14 @@ func (p *gmwProto) walkOne(ctx *congest.Ctx, s int32, out map[gmwOut]int32) {
 				continue
 			}
 			if err == nil {
-				out[gmwOut{nbr: next, steps: s + 1}]++
+				out = append(out, gmwFlow{nbr: next, steps: s + 1, count: 1})
 			}
-			return
+			return out
 		}
 		if next, err := p.w.g.Step(ctx.RNG(), v); err == nil {
-			out[gmwOut{nbr: next, steps: s + 1}]++
+			out = append(out, gmwFlow{nbr: next, steps: s + 1, count: 1})
 		}
-		return
+		return out
 	}
 }
 

@@ -130,23 +130,24 @@ func (p *backwardProto) Step(ctx *congest.Ctx) {
 
 // query starts a backward hop: node v (at walk position pos, hop counter
 // step) asks every distinct neighbor for its remaining flow toward v.
+// Neighbor dedup uses the state's epoch-stamped mark scratch and the reply
+// slots are reused slices, so a long retrace allocates nothing per hop.
 func (p *backwardProto) query(ctx *congest.Ctx, step, pos int32) {
 	v := ctx.Node()
 	p.pending.node = v
 	p.pending.step = step
 	p.pending.pos = pos
 	p.pending.nbrs = p.pending.nbrs[:0]
-	seen := make(map[graph.NodeID]bool, ctx.Degree())
+	p.w.st.beginMark()
 	for _, h := range ctx.Neighbors() {
-		if seen[h.To] {
+		if p.w.st.markNode(h.To) {
 			continue
 		}
-		seen[h.To] = true
 		p.pending.nbrs = append(p.pending.nbrs, h.To)
 	}
-	p.pending.counts = make([]int32, len(p.pending.nbrs))
-	for i := range p.pending.counts {
-		p.pending.counts[i] = -1
+	p.pending.counts = p.pending.counts[:0]
+	for range p.pending.nbrs {
+		p.pending.counts = append(p.pending.counts, -1)
 	}
 	p.pending.remaining = len(p.pending.nbrs)
 	p.pending.active = true

@@ -51,9 +51,8 @@ type regenEmit struct {
 }
 
 type regenProto struct {
-	w      *Walker
-	emits  map[graph.NodeID][]regenEmit
-	cursor []map[int64]int32
+	w     *Walker
+	emits map[graph.NodeID][]regenEmit
 
 	// traceOf routes each walk's visits to its own trace; walk IDs are
 	// network-unique, so many walks replay concurrently in one run.
@@ -82,20 +81,17 @@ func (p *regenProto) Step(ctx *congest.Ctx) {
 }
 
 // advance forwards the replay token along the next recorded hop, if any
-// remain at this node for this walk. Hop records are consumed FIFO: the
-// replay arrives in the same temporal order the original walk left.
+// remain at this node for this walk. Hop records are consumed FIFO via the
+// state's epoch-stamped replay cursors (reset for the whole network by the
+// beginReplay in regenerateMany): the replay arrives in the same temporal
+// order the original walk left.
 func (p *regenProto) advance(ctx *congest.Ctx, walkID int64, pos int32) {
 	v := ctx.Node()
-	succ := p.w.st.hopsOf(v, walkID)
-	if p.cursor[v] == nil {
-		p.cursor[v] = make(map[int64]int32)
-	}
-	c := p.cursor[v][walkID]
-	if int(c) >= len(succ) {
+	next, ok := p.w.st.replayNext(v, walkID)
+	if !ok {
 		return // segment ends here
 	}
-	p.cursor[v][walkID] = c + 1
-	congest.Send(ctx, succ[c], regenToken{walkID: walkID, pos: pos + 1})
+	congest.Send(ctx, next, regenToken{walkID: walkID, pos: pos + 1})
 }
 
 // record notes that the walk was at v at position pos, arriving from
@@ -195,10 +191,10 @@ func (w *Walker) regenerateMany(walks []*WalkResult) ([]*Trace, error) {
 		}
 	}
 
+	w.st.beginReplay()
 	p := &regenProto{
 		w:       w,
 		emits:   emits,
-		cursor:  make([]map[int64]int32, n),
 		traceOf: traceOf,
 	}
 	cost, err := w.net.Run(p)

@@ -36,65 +36,99 @@ type hopRec struct {
 }
 
 // netState is the per-node persistent state of the walk system: short-walk
-// coupons, hop records for retracing, and local walk-ID sequencing. Indexed
-// by node; each node only ever touches its own slot, preserving the
-// locality discipline of the model.
+// coupons, hop records for retracing, GET-MORE-WALKS flow ledgers, and
+// local walk-ID sequencing. Indexed by node; each node only ever touches
+// its own slot, preserving the locality discipline of the model.
+//
+// All three per-node stores are flat, slab-backed shelves (see slab.go)
+// rather than Go maps: lookups are open-addressed over int32 slot tables,
+// values live in growable slabs, and clearing truncates instead of
+// freeing. Together with reset this makes the whole structure warm-
+// reusable: a pooled worker serves request after request without
+// reallocating any of it, and the simulated execution stays bit-identical
+// to a freshly built state (the shelves preserve append order, swap-remove
+// semantics and exact-key lookup of the old maps).
 type netState struct {
-	// coupons[v][owner] lists unused coupons held at v for walks started
-	// at owner.
-	coupons []map[graph.NodeID][]coupon
-	// hopLog[v] records walk departures from v in visit order. Recording a
-	// hop is the hottest per-message operation of Phase 1 and the naive
-	// walks, so it is a plain append; the per-walk FIFO view that
-	// regeneration needs is folded into hopIdx lazily (hopIndexed[v] marks
-	// how much of the log is already indexed). Walk-time stays hash-free
-	// and the indexing cost is paid once, only by walks that are actually
-	// regenerated.
-	hopLog     [][]hopRec
-	hopIdx     []map[int64][]graph.NodeID
-	hopIndexed []int32
-	// gmwSent[v] counts v's count-aggregated GET-MORE-WALKS token flows;
-	// gmwUsed[v] counts how many of each flow earlier backward retraces
-	// consumed (sampling without replacement keeps joint retraces exact).
-	gmwSent []map[gmwKey]int32
-	gmwUsed []map[gmwKey]int32
+	// coupons[v] shelves the unused coupons held at v, bucketed by owner.
+	coupons []couponShelf
+	// hops[v] is v's departure log plus the lazily-indexed per-walk FIFO
+	// view regeneration replays. Recording a hop is the hottest
+	// per-message operation of Phase 1 and the naive walks, so it stays a
+	// plain append; the indexing cost is paid once, only by walks that are
+	// actually regenerated.
+	hops []hopShelf
+	// gmw[v] is v's count-aggregated GET-MORE-WALKS flow ledger: tokens
+	// sent per (batch, step, nbr) and how many of each flow earlier
+	// backward retraces consumed (sampling without replacement keeps joint
+	// retraces exact).
+	gmw []gmwShelf
 	// seq[v] is v's local counter for minting walk IDs.
 	seq []uint32
+
+	// replayEpoch stamps hop-replay cursors: beginReplay bumps it, which
+	// lazily resets every cursor without touching the slabs.
+	replayEpoch uint32
+	// mark/markEpoch is a reusable node-marking scratch (epoch-stamped
+	// visited set) for protocol steps that need a small dedup — e.g. the
+	// backward retrace's distinct-neighbor query fan-out.
+	mark      []uint32
+	markEpoch uint32
 }
 
 func newNetState(n int) *netState {
 	return &netState{
-		coupons:    make([]map[graph.NodeID][]coupon, n),
-		hopLog:     make([][]hopRec, n),
-		hopIdx:     make([]map[int64][]graph.NodeID, n),
-		hopIndexed: make([]int32, n),
-		gmwSent:    make([]map[gmwKey]int32, n),
-		gmwUsed:    make([]map[gmwKey]int32, n),
-		seq:        make([]uint32, n),
+		coupons: make([]couponShelf, n),
+		hops:    make([]hopShelf, n),
+		gmw:     make([]gmwShelf, n),
+		seq:     make([]uint32, n),
+		mark:    make([]uint32, n),
 	}
 }
 
-// recordGMWSend remembers that node at routed `count` tokens of `batch`
-// toward nbr, arriving there with hop counter step.
-func (s *netState) recordGMWSend(at graph.NodeID, key gmwKey, count int32) {
-	if s.gmwSent[at] == nil {
-		s.gmwSent[at] = make(map[gmwKey]int32)
+// reset returns the state to that of a freshly built netState — empty
+// shelves, zeroed walk-ID counters — while keeping every slab's capacity.
+// This is what lets a pooled worker's walker serve many sequential
+// requests warm: same observable behaviour as newNetState(n), none of the
+// allocation.
+func (s *netState) reset() {
+	for v := range s.coupons {
+		s.coupons[v].clear()
+		s.hops[v].clear()
+		s.gmw[v].clear()
 	}
-	s.gmwSent[at][key] += count
+	clear(s.seq)
+	// Epoch counters deliberately survive: stamps from before the reset
+	// are stale by construction.
+}
+
+// clearCoupons empties every node's coupon shelf (Phase 1 re-provisioning
+// drops the previous inventory; hop logs are kept so previously returned
+// walks remain retraceable).
+func (s *netState) clearCoupons() {
+	for v := range s.coupons {
+		s.coupons[v].clear()
+	}
+}
+
+// recordGMWSend remembers that node at routed `count` tokens of `key.batch`
+// toward key.nbr, arriving there with hop counter key.step.
+func (s *netState) recordGMWSend(at graph.NodeID, key gmwKey, count int32) {
+	s.gmw[at].rec(key, true).sent += count
 }
 
 // gmwAvailable returns how many tokens of the flow remain unclaimed by
 // backward retraces.
 func (s *netState) gmwAvailable(at graph.NodeID, key gmwKey) int32 {
-	return s.gmwSent[at][key] - s.gmwUsed[at][key]
+	r := s.gmw[at].rec(key, false)
+	if r == nil {
+		return 0
+	}
+	return r.sent - r.used
 }
 
 // claimGMW consumes one token of the flow.
 func (s *netState) claimGMW(at graph.NodeID, key gmwKey) {
-	if s.gmwUsed[at] == nil {
-		s.gmwUsed[at] = make(map[gmwKey]int32)
-	}
-	s.gmwUsed[at][key]++
+	s.gmw[at].rec(key, true).used++
 }
 
 // newWalkID mints a network-unique walk ID at node v.
@@ -108,62 +142,88 @@ func (s *netState) newWalkID(v graph.NodeID) int64 {
 func walkOwner(walkID int64) graph.NodeID { return graph.NodeID(walkID >> 32) }
 
 func (s *netState) addCoupon(at graph.NodeID, c coupon) {
-	if s.coupons[at] == nil {
-		s.coupons[at] = make(map[graph.NodeID][]coupon)
-	}
-	s.coupons[at][c.owner] = append(s.coupons[at][c.owner], c)
+	s.coupons[at].add(c)
 }
 
 // takeCoupon removes the coupon with the given walkID owned by owner from
-// node at, reporting whether it was present.
+// node at, reporting whether it was present. The scan is linear in node
+// at's coupons for that owner — O(local state), never O(network) — and
+// swap-remove keeps list order identical to the old map-backed store.
 func (s *netState) takeCoupon(at, owner graph.NodeID, walkID int64) bool {
-	list := s.coupons[at][owner]
-	for i, c := range list {
-		if c.walkID == walkID {
-			list[i] = list[len(list)-1]
-			s.coupons[at][owner] = list[:len(list)-1]
-			return true
-		}
-	}
-	return false
+	return s.coupons[at].take(owner, walkID)
 }
 
 // localCoupons returns node at's unused coupons owned by owner.
 func (s *netState) localCoupons(at, owner graph.NodeID) []coupon {
-	return s.coupons[at][owner]
+	return s.coupons[at].get(owner)
 }
 
 // recordHop remembers that walk walkID left node at towards next.
 func (s *netState) recordHop(at graph.NodeID, walkID int64, next graph.NodeID) {
-	s.hopLog[at] = append(s.hopLog[at], hopRec{walkID: walkID, next: next})
+	h := &s.hops[at]
+	h.log = append(h.log, hopRec{walkID: walkID, next: next})
+}
+
+// beginReplay starts a new replay pass: every hop cursor in the network
+// lazily resets to the front of its walk's recorded successors.
+func (s *netState) beginReplay() {
+	s.replayEpoch++
+	if s.replayEpoch == 0 { // wrapped: stale stamps could collide
+		for v := range s.hops {
+			clear(s.hops[v].cstamp)
+		}
+		s.replayEpoch = 1
+	}
+}
+
+// replayNext consumes the next recorded successor of walkID at node at,
+// in the FIFO order the original walk departed (indexing any log entries
+// appended since the last replay). ok=false means the walk's recorded
+// segment ends at this node.
+func (s *netState) replayNext(at graph.NodeID, walkID int64) (next graph.NodeID, ok bool) {
+	return s.hops[at].replayNext(walkID, s.replayEpoch)
 }
 
 // hopsOf returns the recorded successors of walkID at node at, in visit
-// order, indexing any log entries appended since the last call. No hops
-// are recorded while regeneration replays run, so returned slices stay
-// valid for the duration of a replay.
+// order (diagnostic/test view of the replay index).
 func (s *netState) hopsOf(at graph.NodeID, walkID int64) []graph.NodeID {
-	log := s.hopLog[at]
-	if int(s.hopIndexed[at]) < len(log) {
-		idx := s.hopIdx[at]
-		if idx == nil {
-			idx = make(map[int64][]graph.NodeID)
-			s.hopIdx[at] = idx
-		}
-		for _, r := range log[s.hopIndexed[at]:] {
-			idx[r.walkID] = append(idx[r.walkID], r.next)
-		}
-		s.hopIndexed[at] = int32(len(log))
+	h := &s.hops[at]
+	h.ensureIndexed()
+	idx := h.walkSlot(walkID, false)
+	if idx < 0 {
+		return nil
 	}
-	return s.hopIdx[at][walkID]
+	return h.nexts[idx]
+}
+
+// beginMark starts a fresh node-marking scratch epoch.
+func (s *netState) beginMark() {
+	s.markEpoch++
+	if s.markEpoch == 0 {
+		clear(s.mark)
+		s.markEpoch = 1
+	}
+}
+
+// markNode marks v in the current scratch epoch, reporting whether it was
+// already marked.
+func (s *netState) markNode(v graph.NodeID) bool {
+	if s.mark[v] == s.markEpoch {
+		return true
+	}
+	s.mark[v] = s.markEpoch
+	return false
 }
 
 // couponTotal counts all unused coupons in the network owned by owner
-// (test/diagnostic helper; protocols count locally instead).
+// (test/diagnostic helper; protocols count locally instead). It visits
+// each node's shelf once and reads only that owner's bucket, so the cost
+// is O(n) table probes — independent of how many coupons other owners
+// hold.
 func (s *netState) couponTotal(owner graph.NodeID) int {
 	total := 0
-	for _, m := range s.coupons {
-		total += len(m[owner])
+	for v := range s.coupons {
+		total += len(s.coupons[v].get(owner))
 	}
 	return total
 }

@@ -80,8 +80,13 @@ type Walker struct {
 	st  *netState
 
 	tree     *congest.Tree
-	lambda   int // λ of the current coupon inventory (0 = none)
+	spare    *congest.Tree // retired by Reset; its slabs are recycled by ensureTree
+	lambda   int           // λ of the current coupon inventory (0 = none)
 	prepared bool
+
+	// gmwOutBuf is the per-(node, arrival step) aggregation scratch of
+	// GET-MORE-WALKS token processing, reused across refills.
+	gmwOutBuf []gmwFlow
 
 	busy atomic.Bool // in-use flag; see ErrConcurrentUse
 }
@@ -126,6 +131,37 @@ func NewWalkerOn(net *congest.Network, prm Params) (*Walker, error) {
 // started afterwards aborts (with an error matching context.Canceled or
 // context.DeadlineExceeded) once ctx is done. Pass nil to clear.
 func (w *Walker) SetContext(ctx context.Context) { w.net.SetContext(ctx) }
+
+// Reset returns the walker to the observable state of a freshly built one
+// — empty coupon inventories, hop logs, flow ledgers and walk-ID counters,
+// no BFS tree — while keeping every slab's capacity, and installs prm as
+// the walker's parameters. Any previously returned Tree is invalidated
+// (its arrays are recycled by the next tree build).
+//
+// This is the warm-pooling half of NewWalkerOn: distwalk.Service keeps one
+// Walker per worker and Resets it per request instead of reallocating, so
+// sequential requests run allocation-free in steady state. Combined with
+// Network.Reseed the execution stays bit-identical to a fresh walker on a
+// fresh network — determinism is a function of (graph, seed, request),
+// never of what the walker served before.
+func (w *Walker) Reset(prm Params) error {
+	if err := w.acquire(); err != nil {
+		return err
+	}
+	defer w.release()
+	if err := prm.validate(); err != nil {
+		return err
+	}
+	w.prm = prm
+	w.st.reset()
+	if w.tree != nil {
+		w.spare = w.tree
+		w.tree = nil
+	}
+	w.lambda = 0
+	w.prepared = false
+	return nil
+}
 
 // acquire claims the walker for one exported call; it fails instead of
 // blocking because overlapping calls are a caller bug, not a scheduling
@@ -349,15 +385,17 @@ func (w *Walker) NaiveWalk(source graph.NodeID, ell int) (*WalkResult, error) {
 }
 
 // ensureTree (re)builds the BFS tree when the source changes; reuse across
-// walks from the same source is free.
+// walks from the same source is free. A tree retired by Reset donates its
+// slabs to the rebuild, so warm workers pay no tree allocation either.
 func (w *Walker) ensureTree(source graph.NodeID) (congest.Result, error) {
 	if w.tree != nil && w.tree.Root == source {
 		return congest.Result{}, nil
 	}
-	tree, res, err := congest.BuildBFSTree(w.net, source)
+	tree, res, err := congest.BuildBFSTreeReuse(w.net, source, w.spare)
 	if err != nil {
 		return res, fmt.Errorf("core: %w", err)
 	}
+	w.spare = nil
 	w.tree = tree
 	return res, nil
 }
@@ -371,9 +409,7 @@ func (w *Walker) ensurePhase1(lam int, extra map[graph.NodeID]int) (congest.Resu
 	if w.prepared && w.lambda == lam {
 		return congest.Result{}, nil
 	}
-	for v := range w.st.coupons {
-		w.st.coupons[v] = nil
-	}
+	w.st.clearCoupons()
 	res, err := w.net.Run(&phase1Proto{w: w, lambda: int32(lam), extra: extra})
 	if err != nil {
 		return res, fmt.Errorf("core: phase 1: %w", err)

@@ -18,6 +18,7 @@ import (
 
 	"distwalk/internal/congest"
 	"distwalk/internal/graph"
+	"distwalk/internal/rng"
 )
 
 // ivMsg is one verified segment in flight; senderOrder is the sender's
@@ -52,6 +53,133 @@ type Result struct {
 	Cost congest.Result
 }
 
+// sentKey identifies one deduplicated transmission: interval [lo, hi] to
+// neighbor nbr (parallel edges to the same neighbor share the entry, as
+// they should — resending a known interval on a second cable adds no
+// information).
+type sentKey struct {
+	nbr    graph.NodeID
+	lo, hi int32
+}
+
+// sentSet is an open-addressed, epoch-stamped set of sentKeys: a slot is
+// live only when its stamp matches the verifier's current run epoch, so
+// starting a new run clears every node's set for free. Slabs grow to the
+// node's high-water mark and are never freed.
+type sentSet struct {
+	stamp []uint32
+	keys  []sentKey
+	live  int32 // entries added this epoch
+}
+
+func sentHash(k sentKey) uint64 {
+	return rng.Mix64(uint64(uint32(k.lo))|uint64(uint32(k.hi))<<32) ^ rng.Mix64(uint64(uint32(k.nbr)))
+}
+
+// add inserts k for the given epoch, reporting whether it was absent.
+func (s *sentSet) add(epoch uint32, k sentKey) bool {
+	if len(s.keys) == 0 || 4*(int(s.live)+1) > 3*len(s.keys) {
+		n := 2 * len(s.keys)
+		if n < 8 {
+			n = 8
+		}
+		stamp := make([]uint32, n)
+		keys := make([]sentKey, n)
+		for i, st := range s.stamp {
+			if st != epoch {
+				continue
+			}
+			j := sentHash(s.keys[i]) & uint64(n-1)
+			for stamp[j] == epoch {
+				j = (j + 1) & uint64(n-1)
+			}
+			stamp[j], keys[j] = epoch, s.keys[i]
+		}
+		s.stamp, s.keys = stamp, keys
+	}
+	i := sentHash(k) & uint64(len(s.keys)-1)
+	for s.stamp[i] == epoch {
+		if s.keys[i] == k {
+			return false
+		}
+		i = (i + 1) & uint64(len(s.keys)-1)
+	}
+	s.stamp[i] = epoch
+	s.keys[i] = k
+	s.live++
+	return true
+}
+
+// ivQueue is one neighbor's pending-interval outbox: entries pop by
+// advancing head (never by reslicing items forward, which would abandon
+// the consumed prefix's capacity), and a drained queue rewinds to its
+// full backing array — so repeated runs really do stop allocating once
+// the high-water mark is reached.
+type ivQueue struct {
+	items []iv
+	head  int32
+}
+
+func (q *ivQueue) empty() bool { return int(q.head) >= len(q.items) }
+
+// push appends; pop and reset rewind the queue whenever it drains, so an
+// empty queue always sits at head 0 with its full capacity ahead.
+func (q *ivQueue) push(x iv) {
+	q.items = append(q.items, x)
+}
+
+func (q *ivQueue) pop() iv {
+	x := q.items[q.head]
+	q.head++
+	if q.empty() {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return x
+}
+
+func (q *ivQueue) reset() {
+	q.items = q.items[:0]
+	q.head = 0
+}
+
+// Verifier runs PATH-VERIFICATION instances over one network, owning all
+// per-node working state as flat, reusable slabs: interval sets, pending
+// outboxes laid out per directed half-edge (off[v]+i addresses node v's
+// i-th neighbor queue), and the per-(neighbor, interval) send dedup as
+// epoch-stamped open-addressed sets. Repeated Verify calls — the shape of
+// the lower-bound experiments, which sweep ℓ on one instance — reuse
+// everything and allocate only on high-water growth.
+//
+// A Verifier is not safe for concurrent use (it shares the network, which
+// is single-threaded anyway).
+type Verifier struct {
+	net   *congest.Network
+	off   []int32 // half-edge offsets: node v's queues are [off[v], off[v+1])
+	sets  []ivSet
+	out   []ivQueue
+	sent  []sentSet
+	seen  []bool // order-validation scratch, sized to the largest ℓ seen
+	epoch uint32
+}
+
+// NewVerifier builds a Verifier over net.
+func NewVerifier(net *congest.Network) *Verifier {
+	g := net.Graph()
+	n := g.N()
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(g.Degree(graph.NodeID(v)))
+	}
+	return &Verifier{
+		net:  net,
+		off:  off,
+		sets: make([]ivSet, n),
+		out:  make([]ivQueue, off[n]),
+		sent: make([]sentSet, n),
+	}
+}
+
 // proto is the verification protocol. Every node keeps a set of maximal
 // verified intervals and an outbox per neighbor; each round it sends at
 // most one interval per edge (the CONGEST budget). New information is
@@ -63,32 +191,16 @@ type Result struct {
 //	        (symmetrically at the front) — this is how Figure 1(b)'s
 //	        node b turns "1" from a into [1, 2].
 type proto struct {
+	vf     *Verifier
 	order  []int32 // 1-based path position per node, 0 if none
 	target iv
-
-	sets   []ivSet
-	out    [][][]iv         // per node, per neighbor index: pending queue
-	sent   []map[ivKey]bool // per node: intervals already sent, keyed with neighbor
-	nbrIdx []map[graph.NodeID]int
 
 	verified bool
 	verifier graph.NodeID
 }
 
-type ivKey struct {
-	nbr    graph.NodeID
-	lo, hi int32
-}
-
 func (p *proto) Init(ctx *congest.Ctx) {
 	v := ctx.Node()
-	hs := ctx.Neighbors()
-	p.out[v] = make([][]iv, len(hs))
-	p.nbrIdx[v] = make(map[graph.NodeID]int, len(hs))
-	for i, h := range hs {
-		p.nbrIdx[v][h.To] = i
-	}
-	p.sent[v] = make(map[ivKey]bool)
 	if o := p.order[v]; o > 0 {
 		p.learn(ctx, iv{lo: o, hi: o})
 	}
@@ -123,7 +235,7 @@ func (p *proto) Step(ctx *congest.Ctx) {
 // maximal interval is queued for every neighbor.
 func (p *proto) learn(ctx *congest.Ctx, x iv) {
 	v := ctx.Node()
-	merged, changed := p.sets[v].insert(x)
+	merged, changed := p.vf.sets[v].insert(x)
 	if !changed {
 		return
 	}
@@ -131,8 +243,9 @@ func (p *proto) learn(ctx *congest.Ctx, x iv) {
 		p.verified = true
 		p.verifier = v
 	}
-	for i := range p.out[v] {
-		p.out[v][i] = append(p.out[v][i], merged)
+	lo, hi := p.vf.off[v], p.vf.off[v+1]
+	for e := lo; e < hi; e++ {
+		p.vf.out[e].push(merged)
 	}
 }
 
@@ -141,22 +254,19 @@ func (p *proto) learn(ctx *congest.Ctx, x iv) {
 func (p *proto) flush(ctx *congest.Ctx) {
 	v := ctx.Node()
 	hs := ctx.Neighbors()
+	base := p.vf.off[v]
 	pending := false
 	for i, h := range hs {
-		q := p.out[v][i]
-		for len(q) > 0 {
-			cand := p.sets[v].maximalContaining(q[0])
-			q = q[1:]
-			key := ivKey{nbr: h.To, lo: cand.lo, hi: cand.hi}
-			if p.sent[v][key] {
+		q := &p.vf.out[base+int32(i)]
+		for !q.empty() {
+			cand := p.vf.sets[v].maximalContaining(q.pop())
+			if !p.vf.sent[v].add(p.vf.epoch, sentKey{nbr: h.To, lo: cand.lo, hi: cand.hi}) {
 				continue
 			}
-			p.sent[v][key] = true
 			congest.Send(ctx, h.To, ivMsg{lo: cand.lo, hi: cand.hi, senderOrder: p.order[v]})
 			break
 		}
-		p.out[v][i] = q
-		if len(q) > 0 {
+		if !q.empty() {
 			pending = true
 		}
 	}
@@ -165,20 +275,25 @@ func (p *proto) flush(ctx *congest.Ctx) {
 
 func (p *proto) Halted() bool { return p.verified }
 
-// Verify runs the protocol on net. order[v] gives node v's 1-based path
-// position (0 for nodes that are not part of the sequence); ell is the
-// path length to verify. It returns the measured rounds and whether some
-// node verified [1, ell]; with a valid path assignment verification always
-// succeeds, while an invalid sequence reaches quiescence unverified.
-func Verify(net *congest.Network, order []int32, ell int) (*Result, error) {
-	n := net.Graph().N()
+// Verify runs the protocol. order[v] gives node v's 1-based path position
+// (0 for nodes that are not part of the sequence); ell is the path length
+// to verify. It returns the measured rounds and whether some node verified
+// [1, ell]; with a valid path assignment verification always succeeds,
+// while an invalid sequence reaches quiescence unverified.
+func (vf *Verifier) Verify(order []int32, ell int) (*Result, error) {
+	n := vf.net.Graph().N()
 	if len(order) != n {
 		return nil, fmt.Errorf("pathverify: order has %d entries, want %d", len(order), n)
 	}
 	if ell < 1 {
 		return nil, fmt.Errorf("pathverify: ell must be >= 1, got %d", ell)
 	}
-	seen := make(map[int32]bool, ell)
+	if len(vf.seen) < ell+1 {
+		vf.seen = make([]bool, ell+1)
+	}
+	seen := vf.seen[:ell+1]
+	clear(seen)
+	assigned := 0
 	for _, o := range order {
 		if o < 0 || int(o) > ell {
 			return nil, fmt.Errorf("pathverify: order %d out of range [0,%d]", o, ell)
@@ -188,20 +303,36 @@ func Verify(net *congest.Network, order []int32, ell int) (*Result, error) {
 				return nil, fmt.Errorf("pathverify: duplicate order %d", o)
 			}
 			seen[o] = true
+			assigned++
 		}
 	}
-	if len(seen) != ell {
-		return nil, fmt.Errorf("pathverify: %d of %d positions assigned", len(seen), ell)
+	if assigned != ell {
+		return nil, fmt.Errorf("pathverify: %d of %d positions assigned", assigned, ell)
 	}
+
+	// Reset the run state: truncate slabs, bump the dedup epoch. O(n + m)
+	// pointer-free writes, no allocation.
+	for v := 0; v < n; v++ {
+		vf.sets[v].list = vf.sets[v].list[:0]
+		vf.sent[v].live = 0
+	}
+	for e := range vf.out {
+		vf.out[e].reset()
+	}
+	vf.epoch++
+	if vf.epoch == 0 { // wrapped: sweep stale stamps so they cannot collide
+		for v := range vf.sent {
+			clear(vf.sent[v].stamp)
+		}
+		vf.epoch = 1
+	}
+
 	p := &proto{
+		vf:     vf,
 		order:  order,
 		target: iv{lo: 1, hi: int32(ell)},
-		sets:   make([]ivSet, n),
-		out:    make([][][]iv, n),
-		sent:   make([]map[ivKey]bool, n),
-		nbrIdx: make([]map[graph.NodeID]int, n),
 	}
-	cost, err := net.Run(p)
+	cost, err := vf.net.Run(p)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +342,13 @@ func Verify(net *congest.Network, order []int32, ell int) (*Result, error) {
 		Rounds:   cost.Rounds,
 		Cost:     cost,
 	}, nil
+}
+
+// Verify runs one PATH-VERIFICATION instance on net (a one-shot
+// NewVerifier(net).Verify; loops over many instances should hold a
+// Verifier and reuse its slabs).
+func Verify(net *congest.Network, order []int32, ell int) (*Result, error) {
+	return NewVerifier(net).Verify(order, ell)
 }
 
 // GnOrder builds the order assignment for verifying the first ell path

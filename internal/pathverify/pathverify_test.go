@@ -264,3 +264,59 @@ func TestVerifyDeterministic(t *testing.T) {
 		t.Fatalf("verification rounds diverged: %d vs %d", a, b)
 	}
 }
+
+// TestVerifierReuse exercises the warm-reuse path the Verifier exists
+// for: one Verifier running many instances back to back must (a) return
+// bit-identical results to one-shot Verify calls — the epoch-stamped sent
+// sets, rewound queues and truncated interval sets may leak nothing
+// between runs — and (b) stop allocating once its slabs reach their
+// high-water marks.
+func TestVerifierReuse(t *testing.T) {
+	lb, err := graph.NewLowerBound(512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := congest.NewNetwork(lb.G, 11)
+	vf := NewVerifier(net)
+	// Alternate two different instance sizes so run N's state (queues,
+	// sent entries, interval sets from a longer path) would poison run
+	// N+1 if any reset were incomplete.
+	ells := []int{lb.PathLen, lb.PathLen / 2, lb.PathLen, lb.PathLen / 4, lb.PathLen}
+	for round, ell := range ells {
+		order, err := GnOrder(lb, ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := vf.Verify(order, ell)
+		if err != nil {
+			t.Fatalf("round %d (ell=%d): %v", round, ell, err)
+		}
+		fresh, err := Verify(congest.NewNetwork(lb.G, 11), order, ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *warm != *fresh {
+			t.Fatalf("round %d (ell=%d): warm verifier diverged\nwarm:  %+v\nfresh: %+v",
+				round, ell, warm, fresh)
+		}
+		if !warm.Verified {
+			t.Fatalf("round %d (ell=%d): not verified", round, ell)
+		}
+	}
+	// Allocation discipline: after the runs above settled the slabs,
+	// further runs reuse everything (the bound covers the Result, the
+	// engine's per-run bookkeeping and runtime noise, not per-node state,
+	// which alone would be thousands).
+	order, err := GnOrder(lb, lb.PathLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := vf.Verify(order, lb.PathLen); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 100 {
+		t.Fatalf("warm Verify allocated %.0f times; Verifier slabs are not being reused", allocs)
+	}
+}

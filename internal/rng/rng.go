@@ -133,3 +133,14 @@ func splitmix64(state uint64) (uint64, uint64) {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return state, z ^ (z >> 31)
 }
+
+// Mix64 applies the splitmix64 finalizer to x: a cheap, well-distributed
+// 64-bit mixer. The flat open-addressed tables of the protocol layer
+// (internal/core's shelves, pathverify's send-dedup sets) use it for
+// probe starts, so the magic constants live here, next to the generator
+// built from the same function.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -21,13 +21,17 @@ import (
 // once.
 //
 // Each of the pool's workers owns an independent simulated CONGEST
-// network. A request is identified by a caller-chosen request key; before
-// executing, the worker reseeds its network with a seed derived from
-// (service seed, key) and builds a fresh walker on it. Determinism is
-// therefore per request key, not per call order: the result of
-// (graph, service seed, key, request) is bit-identical no matter how many
-// requests run concurrently, which worker serves it, or what ran before —
-// the property the golden stress tests pin.
+// network and one long-lived walker on it. A request is identified by a
+// caller-chosen request key; before executing, the worker reseeds its
+// network with a seed derived from (service seed, key) and Resets its warm
+// walker — coupon shelves, hop logs, flow ledgers and tree slabs keep
+// their capacity across requests, so steady-state requests allocate
+// nothing for protocol state. Determinism is per request key, not per
+// call order or worker history: Reset restores the exact observable state
+// of a fresh walker, so the result of (graph, service seed, key, request)
+// is bit-identical no matter how many requests run concurrently, which
+// worker serves it, or what ran before — the property the golden stress
+// tests pin.
 //
 // All entry points take a context.Context; cancellation and deadlines are
 // checked inside the engine's round loop, so even a multi-million-round
@@ -41,11 +45,18 @@ type Service struct {
 	seed uint64
 	cfg  config
 
-	jobs chan func(*congest.Network)
+	jobs chan func(*poolWorker)
 	quit chan struct{}
 	wg   sync.WaitGroup
 
 	closeOnce sync.Once
+}
+
+// poolWorker is one worker's warm state: its private simulated network and
+// the walker reused (via Reset) across every request the worker serves.
+type poolWorker struct {
+	net *congest.Network
+	wkr *Walker
 }
 
 // NewService builds a service over g. seed drives all randomness: together
@@ -64,26 +75,25 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 		g:    g,
 		seed: seed,
 		cfg:  cfg,
-		jobs: make(chan func(*congest.Network)),
+		jobs: make(chan func(*poolWorker)),
 		quit: make(chan struct{}),
 	}
 	for i := 0; i < cfg.workers; i++ {
-		net := congest.NewNetwork(g, seed)
 		s.wg.Add(1)
-		go s.worker(net)
+		go s.worker(&poolWorker{net: congest.NewNetwork(g, seed)})
 	}
 	return s, nil
 }
 
-// worker serves requests on its own network until the service closes.
-func (s *Service) worker(net *congest.Network) {
+// worker serves requests on its own warm state until the service closes.
+func (s *Service) worker(pw *poolWorker) {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.quit:
 			return
 		case job := <-s.jobs:
-			job(net)
+			job(pw)
 		}
 	}
 }
@@ -121,8 +131,8 @@ func (s *Service) submit(ctx context.Context, key uint64, opts []Option, fn func
 		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
 	done := make(chan error, 1)
-	job := func(net *congest.Network) {
-		done <- s.execute(ctx, key, cfg, net, fn)
+	job := func(pw *poolWorker) {
+		done <- s.execute(ctx, key, cfg, pw, fn)
 	}
 	select {
 	case s.jobs <- job:
@@ -141,24 +151,33 @@ func (s *Service) submit(ctx context.Context, key uint64, opts []Option, fn func
 	}
 }
 
-// execute prepares the worker's network for this request and runs fn.
-func (s *Service) execute(ctx context.Context, key uint64, cfg config, net *congest.Network, fn func(w *Walker, cfg config) error) error {
+// execute prepares the worker's warm state for this request and runs fn:
+// reseed the network from (service seed, key), Reset the pooled walker
+// (first request builds it), and apply per-request knobs. Nothing here
+// depends on what the worker served before — that is the per-key
+// determinism contract.
+func (s *Service) execute(ctx context.Context, key uint64, cfg config, pw *poolWorker, fn func(w *Walker, cfg config) error) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
-	net.Reseed(deriveSeed(s.seed, key))
-	net.SetContext(ctx)
-	defer net.SetContext(nil)
+	pw.net.Reseed(deriveSeed(s.seed, key))
+	pw.net.SetContext(ctx)
+	defer pw.net.SetContext(nil)
 	if cfg.maxRounds > 0 {
-		net.SetMaxRounds(cfg.maxRounds)
+		pw.net.SetMaxRounds(cfg.maxRounds)
 	} else {
-		net.SetMaxRounds(congest.DefaultMaxRounds)
+		pw.net.SetMaxRounds(congest.DefaultMaxRounds)
 	}
-	w, err := core.NewWalkerOn(net, cfg.params)
-	if err != nil {
+	if pw.wkr == nil {
+		w, err := core.NewWalkerOn(pw.net, cfg.params)
+		if err != nil {
+			return err
+		}
+		pw.wkr = w
+	} else if err := pw.wkr.Reset(cfg.params); err != nil {
 		return err
 	}
-	return fn(w, cfg)
+	return fn(pw.wkr, cfg)
 }
 
 // SingleRandomWalk samples the endpoint of an ℓ-step random walk from
@@ -205,6 +224,35 @@ func (s *Service) ManyRandomWalks(ctx context.Context, key uint64, sources []Nod
 		return nil, err
 	}
 	return out, nil
+}
+
+// WalkTrace samples an ℓ-step walk from source and then regenerates it
+// (Section 2.2, "Regenerating the entire random walk") so every simulated
+// node learns its position(s) in the walk, as one request. The returned
+// Trace carries per-node positions and first-visit edges — the primitive
+// the spanning-tree application builds on — plus the regeneration cost;
+// the WalkResult carries the walk itself.
+func (s *Service) WalkTrace(ctx context.Context, key uint64, source NodeID, ell int, opts ...Option) (*WalkResult, *Trace, error) {
+	var (
+		walk  *WalkResult
+		trace *Trace
+	)
+	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
+		res, err := w.SingleRandomWalk(source, ell)
+		if err != nil {
+			return err
+		}
+		tr, err := w.Regenerate(res)
+		if err != nil {
+			return err
+		}
+		walk, trace = res, tr
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return walk, trace, nil
 }
 
 // RandomSpanningTree samples a uniformly random spanning tree rooted at
