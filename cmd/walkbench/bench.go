@@ -63,6 +63,14 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Batching service: a generous delay window so every 8-submission
+	// burst coalesces by hitting the size threshold, keeping the batch
+	// composition — and the simulated counters — deterministic per key.
+	batchedSvc, err := distwalk.NewService(torus, seed, distwalk.WithWorkers(1),
+		distwalk.WithBatching(8, time.Second))
+	if err != nil {
+		return nil, err
+	}
 	ctx := context.Background()
 	return []benchWorkload{
 		{
@@ -84,6 +92,32 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 					return distwalk.Cost{}, err
 				}
 				return res.Cost, nil
+			},
+		},
+		{
+			// Batching scheduler headline: 8 concurrent SubmitWalk requests
+			// with the same shape as the SingleRandomWalk workload (source
+			// 0, ℓ=4096) coalesce into one MANY-RANDOM-WALKS execution. The
+			// recorded cost is the amortized per-walk share of the batch —
+			// directly comparable against BENCH_SingleRandomWalk.json's
+			// rounds/messages per op, which is what batching amortizes.
+			name: "BatchedWalks", graph: "torus16x16", svc: batchedSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				const k = 8
+				handles := make([]*distwalk.WalkHandle, k)
+				for i := range handles {
+					h, err := svc.SubmitWalk(ctx, key*k+uint64(i), 0, 4096)
+					if err != nil {
+						return distwalk.Cost{}, err
+					}
+					handles[i] = h
+				}
+				for _, h := range handles {
+					if _, err := h.Result(); err != nil {
+						return distwalk.Cost{}, err
+					}
+				}
+				return handles[0].Batch().Amortized, nil
 			},
 		},
 		{

@@ -51,7 +51,7 @@ func TestRunBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
-		"SingleRandomWalk", "ManyRandomWalks", "NaiveWalk",
+		"SingleRandomWalk", "ManyRandomWalks", "BatchedWalks", "NaiveWalk",
 		"RandomSpanningTree", "EstimateMixingTime",
 	} {
 		path := filepath.Join(dir, "BENCH_"+name+".json")

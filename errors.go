@@ -7,6 +7,7 @@ import (
 	"distwalk/internal/core"
 	"distwalk/internal/graph"
 	"distwalk/internal/mixing"
+	"distwalk/internal/sched"
 	"distwalk/internal/spanning"
 )
 
@@ -56,6 +57,16 @@ var (
 	// ErrNoRegen reports a walk that cannot be regenerated
 	// (Metropolis-Hastings walks leave no hop trail).
 	ErrNoRegen = core.ErrNoRegen
+	// ErrQueueFull reports a SubmitWalk rejected because the batching
+	// scheduler's admission queue for that request's config is full —
+	// backpressure, not failure; shed load or retry (see
+	// WithBatchQueueLimit).
+	ErrQueueFull = sched.ErrQueueFull
+	// ErrBatchAborted reports a submitted walk whose batch never
+	// executed: the shared run failed as a whole, or the service closed
+	// while the request was pending. The wrapped cause is also
+	// errors.Is-able.
+	ErrBatchAborted = sched.ErrBatchAborted
 )
 
 // GenRetryError is the typed generator retry-exhaustion error; it carries

@@ -1,0 +1,63 @@
+package distwalk_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"distwalk"
+)
+
+// TestSentinelTaxonomy table-tests the exported sentinel set: every
+// sentinel must survive wrapping under errors.Is (the dispatch idiom the
+// package documents) and must not match any other sentinel, so callers
+// can switch on them safely.
+func TestSentinelTaxonomy(t *testing.T) {
+	sentinels := []struct {
+		name string
+		err  error
+	}{
+		{"ErrBadNode", distwalk.ErrBadNode},
+		{"ErrBadLength", distwalk.ErrBadLength},
+		{"ErrGraphTooSmall", distwalk.ErrGraphTooSmall},
+		{"ErrBadParams", distwalk.ErrBadParams},
+		{"ErrConcurrentUse", distwalk.ErrConcurrentUse},
+		{"ErrBudgetExceeded", distwalk.ErrBudgetExceeded},
+		{"ErrDisconnected", distwalk.ErrDisconnected},
+		{"ErrRetryExhausted", distwalk.ErrRetryExhausted},
+		{"ErrNoMixing", distwalk.ErrNoMixing},
+		{"ErrNoCover", distwalk.ErrNoCover},
+		{"ErrServiceClosed", distwalk.ErrServiceClosed},
+		{"ErrNoRegen", distwalk.ErrNoRegen},
+		{"ErrQueueFull", distwalk.ErrQueueFull},
+		{"ErrBatchAborted", distwalk.ErrBatchAborted},
+	}
+	for _, tc := range sentinels {
+		t.Run(tc.name, func(t *testing.T) {
+			wrapped := fmt.Errorf("outer context: %w", fmt.Errorf("inner: %w", tc.err))
+			if !errors.Is(wrapped, tc.err) {
+				t.Fatalf("%s does not match itself through two wraps", tc.name)
+			}
+			for _, other := range sentinels {
+				if other.name == tc.name {
+					continue
+				}
+				// ErrRetryExhausted deliberately may carry ErrDisconnected
+				// via RetryError, but the bare sentinels must not overlap.
+				if errors.Is(wrapped, other.err) {
+					t.Fatalf("%s unexpectedly matches %s", tc.name, other.name)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSentinelCauses pins the documented double-match: a batch
+// abort wraps both ErrBatchAborted and its cause, so callers can dispatch
+// on either.
+func TestBatchSentinelCauses(t *testing.T) {
+	err := fmt.Errorf("%w (request 7): %w", distwalk.ErrBatchAborted, distwalk.ErrServiceClosed)
+	if !errors.Is(err, distwalk.ErrBatchAborted) || !errors.Is(err, distwalk.ErrServiceClosed) {
+		t.Fatal("batch abort error must match both the sentinel and its cause")
+	}
+}

@@ -54,6 +54,7 @@ func run() error {
 	coordinator := distwalk.NodeID(0)
 	load := make([]int, g.N())
 	totalRounds := 0
+	amortized, shared := 0, 0
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -82,6 +83,10 @@ func run() error {
 				load[dest]++
 			}
 			totalRounds += res.Cost.Rounds
+			// Cost demux: each job's share of its batch, and the batch
+			// infrastructure (BFS tree, Phase 1, tails) no single job owns.
+			amortized += res.AmortizedCost().Rounds * len(res.Destinations)
+			shared += res.SharedCost().Rounds
 		}(1 + uint64(assigned/batch))
 	}
 	wg.Wait()
@@ -95,7 +100,8 @@ func run() error {
 	for v, l := range load {
 		byDegree[g.Degree(distwalk.NodeID(v))] = append(byDegree[g.Degree(distwalk.NodeID(v))], l)
 	}
-	fmt.Printf("assigned %d jobs in %d simulated rounds\n", jobs, totalRounds)
+	fmt.Printf("assigned %d jobs in %d simulated rounds (≈%.1f amortized rounds/job; %d rounds of shared batch infrastructure)\n",
+		jobs, totalRounds, float64(amortized)/float64(jobs), shared)
 	fmt.Println("average load by node degree (stationary sampling → proportional):")
 	for d := 1; d <= g.MaxDegree(); d++ {
 		ls := byDegree[d]

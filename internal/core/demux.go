@@ -1,0 +1,50 @@
+package core
+
+import "distwalk/internal/congest"
+
+// Demultiplexing hooks for multi-source results: a MANY-RANDOM-WALKS
+// batch computes k walks in one shared execution, and the batching layer
+// (internal/sched) hands each submitter its own walk plus a fair share of
+// the batch's cost. These helpers define that attribution in one place.
+
+// SplitCost returns c divided evenly across k walks — the amortized
+// per-walk share of a shared execution. Rounds, messages, words and drops
+// divide (integer floor, so shares are deterministic and never sum above
+// the total); MaxQueue is a maximum, not a sum, and carries over as is.
+func SplitCost(c congest.Result, k int) congest.Result {
+	if k <= 1 {
+		return c
+	}
+	return congest.Result{
+		Rounds:   c.Rounds / k,
+		Messages: c.Messages / int64(k),
+		Words:    c.Words / int64(k),
+		MaxQueue: c.MaxQueue,
+		Dropped:  c.Dropped / int64(k),
+	}
+}
+
+// AmortizedCost returns the batch's total cost split evenly across its
+// walks: the per-walk price of running them together, the quantity
+// Theorem 2.8 bounds by Õ(min(√(kℓD)+k, k+ℓ))/k.
+func (m *ManyResult) AmortizedCost() congest.Result {
+	if len(m.Walks) == 0 {
+		return m.Cost
+	}
+	return SplitCost(m.Cost, len(m.Walks))
+}
+
+// SharedCost returns the part of the batch's cost attributed to no single
+// walk: the BFS tree, Phase 1 short-walk preparation, the concurrent
+// tails and the batched destination notifications. Per-walk stitching
+// costs live on Walks[i].Cost; total = shared + Σ per-walk.
+func (m *ManyResult) SharedCost() congest.Result {
+	shared := m.Cost
+	for _, w := range m.Walks {
+		shared.Rounds -= w.Cost.Rounds
+		shared.Messages -= w.Cost.Messages
+		shared.Words -= w.Cost.Words
+		shared.Dropped -= w.Cost.Dropped
+	}
+	return shared
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+func TestSplitCost(t *testing.T) {
+	c := congest.Result{Rounds: 10, Messages: 103, Words: 205, MaxQueue: 7, Dropped: 9}
+	if got := SplitCost(c, 1); got != c {
+		t.Fatalf("k=1 must be identity, got %+v", got)
+	}
+	got := SplitCost(c, 4)
+	want := congest.Result{Rounds: 2, Messages: 25, Words: 51, MaxQueue: 7, Dropped: 2}
+	if got != want {
+		t.Fatalf("SplitCost = %+v, want %+v", got, want)
+	}
+	if got.Rounds*4 > c.Rounds || got.Messages*4 > c.Messages {
+		t.Fatal("shares sum above the total")
+	}
+}
+
+func TestManyResultCostDemux(t *testing.T) {
+	g, err := graph.Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalker(g, 42, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.ManyRandomWalks([]graph.NodeID{0, 9, 18, 27}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := m.AmortizedCost()
+	if am.Rounds <= 0 || am.Rounds > m.Cost.Rounds {
+		t.Fatalf("amortized rounds %d outside (0, total %d]", am.Rounds, m.Cost.Rounds)
+	}
+	shared := m.SharedCost()
+	if shared.Rounds < 0 || shared.Messages < 0 || shared.Words < 0 {
+		t.Fatalf("shared cost went negative: %+v", shared)
+	}
+	// total = shared + Σ per-walk, exactly.
+	sum := shared
+	for _, wr := range m.Walks {
+		sum.Rounds += wr.Cost.Rounds
+		sum.Messages += wr.Cost.Messages
+		sum.Words += wr.Cost.Words
+	}
+	if sum.Rounds != m.Cost.Rounds || sum.Messages != m.Cost.Messages || sum.Words != m.Cost.Words {
+		t.Fatalf("shared + per-walk = %+v, total %+v", sum, m.Cost)
+	}
+}

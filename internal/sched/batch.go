@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/core"
+	"distwalk/internal/graph"
+	"distwalk/internal/rng"
+)
+
+// Sentinel errors of the batching layer. distwalk re-exports ErrQueueFull
+// and ErrBatchAborted; ErrSchedulerClosed is mapped to the service's own
+// closed sentinel at the boundary.
+var (
+	// ErrQueueFull reports a Submit rejected because the request's group
+	// already has QueueLimit members pending (backpressure).
+	ErrQueueFull = errors.New("distwalk: batch queue full")
+	// ErrBatchAborted reports a batched request that was completed without
+	// executing its walk: the shared execution failed as a whole, or the
+	// scheduler shut down while the request was pending.
+	ErrBatchAborted = errors.New("distwalk: batch aborted")
+	// ErrSchedulerClosed reports a Submit after Close.
+	ErrSchedulerClosed = errors.New("sched: scheduler closed")
+)
+
+// Request is one walk-shaped admission: sample the endpoint of an
+// Ell-step walk from Source (and regenerate it when Trace is set), under
+// the given parameterization. Params, MaxRounds and Ell define the
+// request's compatibility group; Key identifies the request within the
+// batch seed derivation.
+type Request struct {
+	Key       uint64
+	Source    graph.NodeID
+	Ell       int
+	Trace     bool
+	Params    core.Params
+	MaxRounds int
+}
+
+// Result is one member's demultiplexed outcome. Exactly one Result is
+// delivered per admitted request, always: on success Walk (and Trace when
+// requested) are set; on failure Err wraps a sentinel (ErrBatchAborted,
+// a context error for pre-flush cancellation, ...).
+type Result struct {
+	Walk  *core.WalkResult
+	Trace *core.Trace
+	Batch BatchInfo
+	Err   error
+}
+
+// FlushReason records what triggered the batch that served a request.
+type FlushReason uint8
+
+const (
+	// ReasonUnbatched marks a request executed alone on the per-key
+	// deterministic path (no scheduler involved).
+	ReasonUnbatched FlushReason = iota
+	// ReasonSize marks a batch flushed by reaching MaxBatch members.
+	ReasonSize
+	// ReasonDelay marks a batch flushed by the MaxDelay window expiring.
+	ReasonDelay
+)
+
+func (r FlushReason) String() string {
+	switch r {
+	case ReasonSize:
+		return "size"
+	case ReasonDelay:
+		return "delay"
+	default:
+		return "unbatched"
+	}
+}
+
+// BatchInfo describes the shared execution that served a request: how
+// many walks rode together, the batch's derived seed, what flushed it,
+// and the batch's total and amortized (per-walk) simulated cost.
+type BatchInfo struct {
+	Size      int
+	Seed      uint64
+	Reason    FlushReason
+	Cost      congest.Result
+	Amortized congest.Result
+}
+
+// pending is one admitted, not-yet-executed request.
+type pending struct {
+	req Request
+	ctx context.Context
+	seq uint64 // admission order; last-resort sort tie-break
+	out chan Result
+	// stop releases the context.AfterFunc cancellation watcher; called
+	// when the member leaves the admission queue (flush, drop or close).
+	stop func() bool
+}
+
+// release stops the member's cancellation watcher, if any.
+func (p *pending) release() {
+	if p.stop != nil {
+		p.stop()
+	}
+}
+
+// Batch is a flushed group, ready to execute on a worker's walker. The
+// executor callback receives it, prepares a walker (network reseeded with
+// Seed, walker Reset with Params) and calls Execute — or Abort if no
+// walker could be prepared.
+type Batch struct {
+	Ell       int
+	Params    core.Params
+	MaxRounds int
+	// Seed is the batch's network seed, BatchSeed over the sorted member
+	// keys: determinism is per batch composition, not per member.
+	Seed   uint64
+	Reason FlushReason
+
+	sched   *Scheduler
+	members []*pending
+}
+
+// Size returns the number of member requests in the batch.
+func (b *Batch) Size() int { return len(b.members) }
+
+// BatchSeed derives a batch's network seed from the service seed and the
+// batch's member keys in sorted order, folding each key through the rng
+// package's splittable stream construction. Same composition, same seed;
+// any member added, dropped or renamed changes it. The member count is
+// folded first so that e.g. {0} and {0,0} differ.
+func BatchSeed(seed uint64, sortedKeys []uint64) uint64 {
+	s := rng.New(seed).Stream(uint64(len(sortedKeys))).Uint64()
+	for _, k := range sortedKeys {
+		s = rng.New(s).Stream(k).Uint64()
+	}
+	return s
+}
+
+// ExecGroup is the single group-execution path shared by coalesced
+// batches and the service's ManyRandomWalks entry point: one
+// MANY-RANDOM-WALKS run for all sources, then one shared RegenerateMany
+// pass for the walks selected by traceIdx (indices into sources; nil for
+// none). The returned traces align with traceIdx.
+func ExecGroup(w *core.Walker, sources []graph.NodeID, ell int, traceIdx []int) (*core.ManyResult, []*core.Trace, error) {
+	many, err := w.ManyRandomWalks(sources, ell)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(traceIdx) == 0 {
+		return many, nil, nil
+	}
+	walks := make([]*core.WalkResult, len(traceIdx))
+	for i, idx := range traceIdx {
+		walks[i] = many.Walks[idx]
+	}
+	traces, err := w.RegenerateMany(walks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return many, traces, nil
+}
+
+// Execute runs the batch as one shared group execution on w and delivers
+// every member's demultiplexed result: its own walk (endpoint, segments,
+// per-walk cost), its trace when requested, and the batch's total and
+// amortized cost. w must run on a network reseeded with b.Seed and have
+// been Reset with b.Params — the executor callback's contract.
+func (b *Batch) Execute(w *core.Walker) {
+	sources := make([]graph.NodeID, len(b.members))
+	var traceIdx []int
+	for i, p := range b.members {
+		sources[i] = p.req.Source
+		if p.req.Trace {
+			traceIdx = append(traceIdx, i)
+		}
+	}
+	many, traces, err := ExecGroup(w, sources, b.Ell, traceIdx)
+	if err != nil {
+		b.Abort(err)
+		return
+	}
+	cost := many.Cost
+	traceOf := make(map[int]*core.Trace, len(traceIdx))
+	for i, idx := range traceIdx {
+		traceOf[idx] = traces[i]
+		cost.Add(traces[i].Cost)
+	}
+	info := BatchInfo{
+		Size:      len(b.members),
+		Seed:      b.Seed,
+		Reason:    b.Reason,
+		Cost:      cost,
+		Amortized: core.SplitCost(cost, len(b.members)),
+	}
+	for i, p := range b.members {
+		p.out <- Result{Walk: many.Walks[i], Trace: traceOf[i], Batch: info}
+	}
+	if b.sched != nil {
+		b.sched.noteExecuted(info)
+	}
+}
+
+// Abort completes every member with cause wrapped in ErrBatchAborted. The
+// executor calls it when the batch could not run (worker preparation
+// failed, pool shutting down); Execute calls it when the shared run
+// itself failed, so a member error is always errors.Is-able against both
+// ErrBatchAborted and the underlying cause.
+func (b *Batch) Abort(cause error) {
+	for _, p := range b.members {
+		p.out <- Result{Err: fmt.Errorf("%w (request %d): %w", ErrBatchAborted, p.req.Key, cause)}
+	}
+	if b.sched != nil {
+		b.sched.noteAborted(len(b.members))
+	}
+}

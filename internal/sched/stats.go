@@ -1,0 +1,48 @@
+package sched
+
+import "distwalk/internal/congest"
+
+// Stats is a snapshot of the scheduler's counters (see Scheduler.Stats).
+// All member counts are requests; Batches counts executions.
+type Stats struct {
+	// Submitted counts requests admitted to a queue.
+	Submitted uint64
+	// Rejected counts Submits refused with ErrQueueFull.
+	Rejected uint64
+	// Cancelled counts members dropped from a pending batch because
+	// their context was done before flush.
+	Cancelled uint64
+	// Aborted counts members completed with ErrBatchAborted (execution
+	// failure or scheduler close).
+	Aborted uint64
+	// Batches counts flushed batch executions; FlushBySize and
+	// FlushByDelay attribute them to their trigger.
+	Batches      uint64
+	FlushBySize  uint64
+	FlushByDelay uint64
+	// Occupancy is the batch-size histogram: Occupancy[i] counts batches
+	// that executed with i+1 members (length MaxBatch).
+	Occupancy []uint64
+	// BatchedWalks counts walks successfully executed inside batches
+	// (every one delivered a result to its submitter); BatchCost sums
+	// those batches' total simulated cost (walks, shared phases, traces).
+	BatchedWalks uint64
+	BatchCost    congest.Result
+}
+
+// AmortizedRounds returns the mean simulated rounds per batched walk —
+// the number batching exists to push below the single-walk cost.
+func (st Stats) AmortizedRounds() float64 {
+	if st.BatchedWalks == 0 {
+		return 0
+	}
+	return float64(st.BatchCost.Rounds) / float64(st.BatchedWalks)
+}
+
+// AmortizedMessages returns the mean simulated messages per batched walk.
+func (st Stats) AmortizedMessages() float64 {
+	if st.BatchedWalks == 0 {
+		return 0
+	}
+	return float64(st.BatchCost.Messages) / float64(st.BatchedWalks)
+}

@@ -2,8 +2,10 @@ package distwalk
 
 import (
 	"runtime"
+	"time"
 
 	"distwalk/internal/core"
+	"distwalk/internal/sched"
 )
 
 // config is the resolved tuning of a Service (and, per request, of one
@@ -19,6 +21,10 @@ type config struct {
 	// maxRounds caps the simulated rounds of every engine run within a
 	// request (0 = the engine default of 50,000,000).
 	maxRounds int
+	// batchOn enables the request-coalescing scheduler, tuned by batch
+	// (construction-time only; see WithBatching).
+	batchOn bool
+	batch   sched.Config
 }
 
 func defaultConfig() config {
@@ -120,6 +126,40 @@ func WithMaxRounds(r int) Option {
 	return func(c *config) {
 		if r >= 1 {
 			c.maxRounds = r
+		}
+	}
+}
+
+// WithBatching enables the request-coalescing scheduler (construction
+// time only): concurrent SubmitWalk/SubmitWalkTrace requests with
+// compatible config coalesce into shared MANY-RANDOM-WALKS executions,
+// amortizing the batch cost Õ(min(√(kℓD)+k, k+ℓ)) across its k walks. A
+// batch flushes when it reaches maxBatch members or maxDelay after its
+// first member arrived, whichever comes first; non-positive values keep
+// the defaults (8 members, 2ms). Batched results are deterministic per
+// batch composition — see internal/sched for the contract; the
+// synchronous entry points keep their per-key determinism regardless.
+func WithBatching(maxBatch int, maxDelay time.Duration) Option {
+	return func(c *config) {
+		c.batchOn = true
+		if maxBatch >= 1 {
+			c.batch.MaxBatch = maxBatch
+		}
+		if maxDelay > 0 {
+			c.batch.MaxDelay = maxDelay
+		}
+	}
+}
+
+// WithBatchQueueLimit bounds each batch admission queue (construction
+// time only; default 4x the batch size). When executions cannot keep up
+// and a queue is full, SubmitWalk fails fast with ErrQueueFull instead
+// of queueing unboundedly. A limit below the batch size is honored:
+// batches then cap at the limit and flush on the delay window.
+func WithBatchQueueLimit(n int) Option {
+	return func(c *config) {
+		if n >= 1 {
+			c.batch.QueueLimit = n
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"distwalk/internal/core"
 	"distwalk/internal/mixing"
 	"distwalk/internal/rng"
+	"distwalk/internal/sched"
 	"distwalk/internal/spanning"
 )
 
@@ -49,6 +50,11 @@ type Service struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
+	// batch is the request-coalescing scheduler (nil unless WithBatching
+	// was given): SubmitWalk/SubmitWalkTrace requests queue here and
+	// execute as shared MANY-RANDOM-WALKS batches on the same pool.
+	batch *sched.Scheduler
+
 	closeOnce sync.Once
 }
 
@@ -82,6 +88,13 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 		s.wg.Add(1)
 		go s.worker(&poolWorker{net: congest.NewNetwork(g, seed)})
 	}
+	if cfg.batchOn {
+		bc := cfg.batch
+		if bc.MaxInFlight < 1 {
+			bc.MaxInFlight = cfg.workers
+		}
+		s.batch = sched.New(seed, bc, s.runBatch)
+	}
 	return s, nil
 }
 
@@ -104,15 +117,32 @@ func (s *Service) Workers() int { return s.cfg.workers }
 // Graph returns the served topology.
 func (s *Service) Graph() *Graph { return s.g }
 
-// Close shuts the pool down. In-flight requests finish; requests not yet
-// picked up by a worker (and all later ones) fail with ErrServiceClosed.
-// Close is idempotent and safe to call concurrently with requests.
+// Close shuts the pool down. The batching scheduler (if any) closes
+// first: members still queued fail with ErrBatchAborted, and in-flight
+// batches finish on the pool. Then in-flight requests finish; requests
+// not yet picked up by a worker (and all later ones) fail with
+// ErrServiceClosed. Close is idempotent and safe to call concurrently
+// with requests.
 func (s *Service) Close() error {
 	s.closeOnce.Do(func() {
+		if s.batch != nil {
+			s.batch.Close()
+		}
 		close(s.quit)
 		s.wg.Wait()
 	})
 	return nil
+}
+
+// Stats returns the batching scheduler's counters: admissions,
+// rejections (ErrQueueFull), pre-flush cancellations, flush reasons, the
+// batch occupancy histogram, and the amortized simulated cost per
+// batched walk. Zero when the service was built without WithBatching.
+func (s *Service) Stats() SchedStats {
+	if s.batch == nil {
+		return SchedStats{}
+	}
+	return s.batch.Stats()
 }
 
 // deriveSeed maps (service seed, request key) to the seed of the
@@ -160,24 +190,62 @@ func (s *Service) execute(ctx context.Context, key uint64, cfg config, pw *poolW
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
-	pw.net.Reseed(deriveSeed(s.seed, key))
+	w, err := s.prepare(pw, deriveSeed(s.seed, key), cfg.params, cfg.maxRounds)
+	if err != nil {
+		return err
+	}
 	pw.net.SetContext(ctx)
 	defer pw.net.SetContext(nil)
-	if cfg.maxRounds > 0 {
-		pw.net.SetMaxRounds(cfg.maxRounds)
+	return fn(w, cfg)
+}
+
+// prepare readies a worker's warm state for a run under the given seed
+// and knobs: reseed the private network, restore the round budget, and
+// Reset the pooled walker (the first request builds it). Shared by the
+// per-key path (seed derived from the request key) and the batched path
+// (seed derived from the batch composition).
+func (s *Service) prepare(pw *poolWorker, seed uint64, params Params, maxRounds int) (*Walker, error) {
+	pw.net.Reseed(seed)
+	if maxRounds > 0 {
+		pw.net.SetMaxRounds(maxRounds)
 	} else {
 		pw.net.SetMaxRounds(congest.DefaultMaxRounds)
 	}
 	if pw.wkr == nil {
-		w, err := core.NewWalkerOn(pw.net, cfg.params)
+		w, err := core.NewWalkerOn(pw.net, params)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pw.wkr = w
-	} else if err := pw.wkr.Reset(cfg.params); err != nil {
-		return err
+	} else if err := pw.wkr.Reset(params); err != nil {
+		return nil, err
 	}
-	return fn(pw.wkr, cfg)
+	return pw.wkr, nil
+}
+
+// runBatch is the scheduler's executor: hand the flushed batch to a pool
+// worker (reseeded with the batch seed — batch determinism is per
+// composition, not per worker) and block until it has run. The batch
+// executes without a member context installed: one member's cancellation
+// must not abort its batchmates, so post-flush cancellation is not
+// observed (see internal/sched's determinism notes).
+func (s *Service) runBatch(b *sched.Batch) {
+	done := make(chan struct{})
+	job := func(pw *poolWorker) {
+		defer close(done)
+		w, err := s.prepare(pw, b.Seed, b.Params, b.MaxRounds)
+		if err != nil {
+			b.Abort(err)
+			return
+		}
+		b.Execute(w)
+	}
+	select {
+	case s.jobs <- job:
+		<-done
+	case <-s.quit:
+		b.Abort(ErrServiceClosed)
+	}
 }
 
 // SingleRandomWalk samples the endpoint of an ℓ-step random walk from
@@ -212,11 +280,13 @@ func (s *Service) NaiveWalk(ctx context.Context, key uint64, source NodeID, ell 
 
 // ManyRandomWalks samples k independent ℓ-step walks from the given (not
 // necessarily distinct) sources in Õ(min(√(kℓD)+k, k+ℓ)) simulated rounds
-// (Theorem 2.8), as one request.
+// (Theorem 2.8), as one request. It runs on the same group-execution
+// path (sched.ExecGroup) that serves coalesced SubmitWalk batches — one
+// explicit batch under the caller's key instead of a scheduled one.
 func (s *Service) ManyRandomWalks(ctx context.Context, key uint64, sources []NodeID, ell int, opts ...Option) (*ManyResult, error) {
 	var out *ManyResult
 	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
-		res, err := w.ManyRandomWalks(sources, ell)
+		res, _, err := sched.ExecGroup(w, sources, ell, nil)
 		out = res
 		return err
 	})

@@ -1,0 +1,181 @@
+package distwalk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"distwalk/internal/sched"
+)
+
+// Batching types re-exported from the scheduler subsystem.
+type (
+	// SchedStats is the batching scheduler's counter snapshot; see
+	// Service.Stats.
+	SchedStats = sched.Stats
+	// BatchInfo describes the batch that served a submitted walk: size,
+	// batch seed, flush reason, and total plus amortized simulated cost.
+	BatchInfo = sched.BatchInfo
+)
+
+// Flush reasons reported in BatchInfo.Reason.
+const (
+	// FlushUnbatched marks a request that ran alone on the per-key
+	// deterministic path (service built without WithBatching).
+	FlushUnbatched = sched.ReasonUnbatched
+	// FlushSize marks a batch flushed by reaching its size threshold.
+	FlushSize = sched.ReasonSize
+	// FlushDelay marks a batch flushed by its max-delay window expiring.
+	FlushDelay = sched.ReasonDelay
+)
+
+// WalkHandle is the future of a submitted walk. Exactly one result is
+// always delivered — success, pre-flush cancellation, or batch abort —
+// so the accessors never block forever on a live service.
+type WalkHandle struct {
+	ch       <-chan sched.Result
+	recvOnce sync.Once
+	doneOnce sync.Once
+	done     chan struct{}
+	res      sched.Result
+}
+
+func newWalkHandle(ch <-chan sched.Result) *WalkHandle { return &WalkHandle{ch: ch} }
+
+// wait receives the handle's single result; concurrent callers block on
+// the once until the first receive completes.
+func (h *WalkHandle) wait() {
+	h.recvOnce.Do(func() { h.res = <-h.ch })
+}
+
+// Done returns a channel closed when the result is available, for
+// select-based callers. Blocking accessors receive directly; the
+// forwarding goroutine exists only once Done has been asked for.
+func (h *WalkHandle) Done() <-chan struct{} {
+	h.doneOnce.Do(func() {
+		h.done = make(chan struct{})
+		go func() {
+			h.wait()
+			close(h.done)
+		}()
+	})
+	return h.done
+}
+
+// Result blocks until the walk has executed and returns it. On failure
+// the error wraps the usual sentinels: a context error if the request
+// was cancelled while pending, ErrBatchAborted if its batch could not
+// run, ErrQueueFull never (that is rejected at submit time).
+func (h *WalkHandle) Result() (*WalkResult, error) {
+	h.wait()
+	return h.res.Walk, h.res.Err
+}
+
+// Trace blocks like Result and returns the regenerated trace (nil unless
+// the request was submitted via SubmitWalkTrace).
+func (h *WalkHandle) Trace() (*Trace, error) {
+	h.wait()
+	return h.res.Trace, h.res.Err
+}
+
+// Batch blocks like Result and describes the execution that served the
+// request — how many walks shared it and at what amortized cost.
+func (h *WalkHandle) Batch() BatchInfo {
+	h.wait()
+	return h.res.Batch
+}
+
+// SubmitWalk submits an ℓ-step walk from source asynchronously and
+// returns its future. On a service built with WithBatching, concurrent
+// submissions with compatible config (same walk parameterization, round
+// budget and ℓ) coalesce into one shared MANY-RANDOM-WALKS execution;
+// the result is then deterministic per batch composition (see
+// internal/sched). Without WithBatching the request runs alone on the
+// per-key deterministic path, exactly like SingleRandomWalk.
+//
+// ctx cancellation is observed while the request is pending: it is
+// dropped from its batch before flush and fails with the context error.
+// After flush the shared execution runs to completion regardless.
+// SubmitWalk itself fails fast on invalid arguments, a full admission
+// queue (ErrQueueFull) or a closed service (ErrServiceClosed).
+func (s *Service) SubmitWalk(ctx context.Context, key uint64, source NodeID, ell int, opts ...Option) (*WalkHandle, error) {
+	return s.submitAsync(ctx, key, source, ell, false, opts)
+}
+
+// SubmitWalkTrace is SubmitWalk plus regeneration: the walk's trace
+// (per-node positions and first-visit edges) is computed in the batch's
+// shared RegenerateMany pass and returned via WalkHandle.Trace.
+func (s *Service) SubmitWalkTrace(ctx context.Context, key uint64, source NodeID, ell int, opts ...Option) (*WalkHandle, error) {
+	return s.submitAsync(ctx, key, source, ell, true, opts)
+}
+
+func (s *Service) submitAsync(ctx context.Context, key uint64, source NodeID, ell int, trace bool, opts []Option) (*WalkHandle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := s.cfg
+	cfg.apply(opts)
+	if err := cfg.params.Validate(); err != nil {
+		return nil, err
+	}
+	if source < 0 || int(source) >= s.g.N() {
+		return nil, fmt.Errorf("%w: node %d not in [0,%d)", ErrBadNode, source, s.g.N())
+	}
+	if ell < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, ell)
+	}
+	if trace && cfg.params.Metropolis {
+		return nil, fmt.Errorf("%w: Metropolis-Hastings walks cannot be traced", ErrNoRegen)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("distwalk: request %d not started: %w", key, err)
+	}
+	if s.batch == nil {
+		// Unbatched default: the per-key deterministic path, run async.
+		ch := make(chan sched.Result, 1)
+		go func() { ch <- s.unbatchedWalk(ctx, key, source, ell, trace, opts) }()
+		return newWalkHandle(ch), nil
+	}
+	ch, err := s.batch.Submit(ctx, sched.Request{
+		Key:       key,
+		Source:    source,
+		Ell:       ell,
+		Trace:     trace,
+		Params:    cfg.params,
+		MaxRounds: cfg.maxRounds,
+	})
+	if err != nil {
+		if errors.Is(err, sched.ErrSchedulerClosed) {
+			return nil, fmt.Errorf("%w (request %d)", ErrServiceClosed, key)
+		}
+		return nil, err
+	}
+	return newWalkHandle(ch), nil
+}
+
+// unbatchedWalk serves one submitted request on the per-key path — the
+// same execution SingleRandomWalk/WalkTrace perform — and wraps it in a
+// size-one BatchInfo so callers can treat both modes uniformly.
+func (s *Service) unbatchedWalk(ctx context.Context, key uint64, source NodeID, ell int, trace bool, opts []Option) sched.Result {
+	if trace {
+		walk, tr, err := s.WalkTrace(ctx, key, source, ell, opts...)
+		if err != nil {
+			return sched.Result{Err: err}
+		}
+		cost := walk.Cost
+		cost.Add(tr.Cost)
+		return sched.Result{Walk: walk, Trace: tr, Batch: BatchInfo{
+			Size: 1, Seed: deriveSeed(s.seed, key), Reason: FlushUnbatched,
+			Cost: cost, Amortized: cost,
+		}}
+	}
+	walk, err := s.SingleRandomWalk(ctx, key, source, ell, opts...)
+	if err != nil {
+		return sched.Result{Err: err}
+	}
+	return sched.Result{Walk: walk, Batch: BatchInfo{
+		Size: 1, Seed: deriveSeed(s.seed, key), Reason: FlushUnbatched,
+		Cost: walk.Cost, Amortized: walk.Cost,
+	}}
+}
