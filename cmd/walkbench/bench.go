@@ -20,6 +20,12 @@ import (
 // single-worker pool: per-request determinism makes the simulated counters
 // a pure function of (seed, request key), while ns/op and allocs/op
 // measure the engine itself without scheduler noise.
+//
+// Every rep runs the SAME request key and the snapshot records the
+// minimum-ns/op rep (see the measurement rule in the package comment):
+// minimum, not mean, so transient scheduler/GC noise in one rep cannot
+// manufacture a regression, and the simulated counters are asserted
+// bit-identical across reps rather than averaged over distinct keys.
 
 // benchRecord is the schema of a BENCH_*.json file.
 type benchRecord struct {
@@ -71,6 +77,20 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Sharded service: the ~10x larger torus where parallel per-round node
+	// processing pays; 4 shards pinned (not GOMAXPROCS) so the workload is
+	// the same on every machine — the simulated counters are bit-identical
+	// to sequential execution regardless, which the shard identity tests
+	// pin and this baseline's counters double-check against drift.
+	bigTorus, err := distwalk.Torus(48, 48)
+	if err != nil {
+		return nil, err
+	}
+	shardedSvc, err := distwalk.NewService(bigTorus, seed, distwalk.WithWorkers(1),
+		distwalk.WithShards(4))
+	if err != nil {
+		return nil, err
+	}
 	ctx := context.Background()
 	return []benchWorkload{
 		{
@@ -118,6 +138,24 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 					}
 				}
 				return handles[0].Batch().Amortized, nil
+			},
+		},
+		{
+			// Sharded engine headline: MANY-RANDOM-WALKS on the 2304-node
+			// torus with per-round processing split across 4 shard workers.
+			// Counters must exactly match what a sequential run would cost;
+			// ns/op tracks how well sharding converts cores into wall-clock.
+			name: "ShardedManyWalks", graph: "torus48x48/4shards", svc: shardedSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				sources := make([]distwalk.NodeID, 8)
+				for i := range sources {
+					sources[i] = distwalk.NodeID(i * 288)
+				}
+				res, err := svc.ManyRandomWalks(ctx, key, sources, 2048)
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return res.Cost, nil
 			},
 		},
 		{
@@ -218,36 +256,53 @@ func runBenchJSON(dir string, seed uint64, reps int) error {
 }
 
 func measure(wl benchWorkload, seed uint64, reps int) (*benchRecord, error) {
-	// Warm-up op: pull one-time lazy work (tree slabs, ring growth) out of
-	// the measured window so allocs/op reflects steady state.
-	if _, err := wl.run(wl.svc, 0); err != nil {
+	// The measured request key. Every rep re-runs it: per-key determinism
+	// makes the simulated cost a constant, so reps only sample wall-clock
+	// and allocation noise — and the min-ns rep is the cleanest sample.
+	const key = 1
+	// Warm-up op with the measured key: pull one-time lazy work (tree
+	// slabs, ring growth) out of the measured window so allocs/op reflects
+	// steady state.
+	if _, err := wl.run(wl.svc, key); err != nil {
 		return nil, err
 	}
-	var total distwalk.Cost
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
+	var (
+		refCost distwalk.Cost
+		best    *benchRecord
+	)
 	for i := 0; i < reps; i++ {
-		cost, err := wl.run(wl.svc, 1+uint64(i))
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		cost, err := wl.run(wl.svc, key)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			return nil, err
 		}
-		total.Add(cost)
+		if i == 0 {
+			refCost = cost
+		} else if cost != refCost {
+			return nil, fmt.Errorf(
+				"simulated counters drifted across reps of key %d (rep %d: %+v, rep 1: %+v): per-key determinism is broken",
+				key, i+1, cost, refCost)
+		}
+		rec := &benchRecord{
+			Name:          wl.name,
+			Graph:         wl.graph,
+			Seed:          seed,
+			Reps:          reps,
+			NsPerOp:       elapsed.Nanoseconds(),
+			AllocsPerOp:   int64(after.Mallocs - before.Mallocs),
+			BytesPerOp:    int64(after.TotalAlloc - before.TotalAlloc),
+			RoundsPerOp:   int64(cost.Rounds),
+			MessagesPerOp: cost.Messages,
+			WordsPerOp:    cost.Words,
+		}
+		if best == nil || rec.NsPerOp < best.NsPerOp {
+			best = rec
+		}
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	r := int64(reps)
-	return &benchRecord{
-		Name:          wl.name,
-		Graph:         wl.graph,
-		Seed:          seed,
-		Reps:          reps,
-		NsPerOp:       elapsed.Nanoseconds() / r,
-		AllocsPerOp:   int64(after.Mallocs-before.Mallocs) / r,
-		BytesPerOp:    int64(after.TotalAlloc-before.TotalAlloc) / r,
-		RoundsPerOp:   int64(total.Rounds) / r,
-		MessagesPerOp: total.Messages / r,
-		WordsPerOp:    total.Words / r,
-	}, nil
+	return best, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,7 +34,7 @@ func TestBenchDiffClean(t *testing.T) {
 	rec := baseRecord("A")
 	rec.NsPerOp = 1_150_000 // +15%: within the 20% tolerance
 	writeSnapshot(t, cand, rec)
-	if err := runBenchDiff(base, cand, 0.20); err != nil {
+	if err := runBenchDiff(base, cand, 0.20, ""); err != nil {
 		t.Fatalf("clean diff failed: %v", err)
 	}
 }
@@ -44,7 +45,7 @@ func TestBenchDiffNsRegression(t *testing.T) {
 	rec := baseRecord("A")
 	rec.NsPerOp = 1_300_000 // +30%: over tolerance
 	writeSnapshot(t, cand, rec)
-	err := runBenchDiff(base, cand, 0.20)
+	err := runBenchDiff(base, cand, 0.20, "")
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Fatalf("ns/op regression not flagged: %v", err)
 	}
@@ -56,7 +57,7 @@ func TestBenchDiffCounterDrift(t *testing.T) {
 	rec := baseRecord("A")
 	rec.MessagesPerOp++ // deterministic counters may not drift at all
 	writeSnapshot(t, cand, rec)
-	if err := runBenchDiff(base, cand, 0.20); err == nil {
+	if err := runBenchDiff(base, cand, 0.20, ""); err == nil {
 		t.Fatal("counter drift not flagged")
 	}
 }
@@ -67,7 +68,7 @@ func TestBenchDiffAllocsRegression(t *testing.T) {
 	rec := baseRecord("A")
 	rec.AllocsPerOp = 1500 // +50%: far over tolerance + slack
 	writeSnapshot(t, cand, rec)
-	err := runBenchDiff(base, cand, 0.20)
+	err := runBenchDiff(base, cand, 0.20, "")
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Fatalf("allocs/op regression not flagged: %v", err)
 	}
@@ -82,12 +83,12 @@ func TestBenchDiffAllocsSlack(t *testing.T) {
 	writeSnapshot(t, base, rec)
 	rec.AllocsPerOp = 40 // within the +64 absolute slack
 	writeSnapshot(t, cand, rec)
-	if err := runBenchDiff(base, cand, 0.20); err != nil {
+	if err := runBenchDiff(base, cand, 0.20, ""); err != nil {
 		t.Fatalf("allocs jitter within slack flagged: %v", err)
 	}
 	rec.AllocsPerOp = 200 // beyond slack: a real reintroduction
 	writeSnapshot(t, cand, rec)
-	if err := runBenchDiff(base, cand, 0.20); err == nil {
+	if err := runBenchDiff(base, cand, 0.20, ""); err == nil {
 		t.Fatal("allocs growth beyond slack not flagged")
 	}
 }
@@ -97,7 +98,7 @@ func TestBenchDiffMissingWorkload(t *testing.T) {
 	writeSnapshot(t, base, baseRecord("A"))
 	writeSnapshot(t, base, baseRecord("B"))
 	writeSnapshot(t, cand, baseRecord("A"))
-	if err := runBenchDiff(base, cand, 0.20); err == nil {
+	if err := runBenchDiff(base, cand, 0.20, ""); err == nil {
 		t.Fatal("missing workload not flagged")
 	}
 }
@@ -120,8 +121,75 @@ func TestBenchDiffRunConfigMismatch(t *testing.T) {
 	rec := baseRecord("A")
 	rec.Reps = 5 // counters averaged over a different key set: not comparable
 	writeSnapshot(t, cand, rec)
-	err := runBenchDiff(base, cand, 0.20)
+	err := runBenchDiff(base, cand, 0.20, "")
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Fatalf("reps mismatch not refused: %v", err)
+	}
+}
+
+func TestBenchDiffSoftVsHardClassification(t *testing.T) {
+	// ns/op-only regressions are soft (errSoftRegression, exit code 3 in
+	// main): CI re-measures once before failing. Anything deterministic is
+	// hard and must NOT match the soft sentinel.
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	rec := baseRecord("A")
+	rec.NsPerOp = 2_000_000 // +100%: ns-only
+	writeSnapshot(t, cand, rec)
+	err := runBenchDiff(base, cand, 0.20, "")
+	if !errors.Is(err, errSoftRegression) {
+		t.Fatalf("ns/op-only regression not classified soft: %v", err)
+	}
+
+	rec.MessagesPerOp++ // add counter drift: now hard, even with the ns hit
+	writeSnapshot(t, cand, rec)
+	err = runBenchDiff(base, cand, 0.20, "")
+	if err == nil || errors.Is(err, errSoftRegression) {
+		t.Fatalf("counter drift classified soft (retryable): %v", err)
+	}
+
+	rec = baseRecord("A")
+	rec.AllocsPerOp = 5000 // allocation discipline: hard
+	writeSnapshot(t, cand, rec)
+	err = runBenchDiff(base, cand, 0.20, "")
+	if err == nil || errors.Is(err, errSoftRegression) {
+		t.Fatalf("allocs regression classified soft (retryable): %v", err)
+	}
+}
+
+func TestBenchDiffSummaryMarkdown(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeSnapshot(t, base, baseRecord("A"))
+	writeSnapshot(t, base, baseRecord("B"))
+	recA := baseRecord("A")
+	recA.NsPerOp = 900_000 // improvement
+	writeSnapshot(t, cand, recA)
+	recB := baseRecord("B")
+	recB.MessagesPerOp += 7 // drift
+	writeSnapshot(t, cand, recB)
+	sum := filepath.Join(t.TempDir(), "summary.md")
+	if err := runBenchDiff(base, cand, 0.20, sum); err == nil {
+		t.Fatal("drift not flagged")
+	}
+	data, err := os.ReadFile(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{"| workload |", "| A |", "| B |", "✅", "simulated counters drifted", "-10.0%"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("summary markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Appends, like $GITHUB_STEP_SUMMARY expects.
+	if err := runBenchDiff(base, cand, 0.20, sum); err == nil {
+		t.Fatal("drift not flagged on rerun")
+	}
+	data2, err := os.ReadFile(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data2) <= len(data) {
+		t.Fatal("summary file did not append on second run")
 	}
 }

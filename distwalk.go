@@ -73,6 +73,9 @@ type (
 	Trace = core.Trace
 	// Cost aggregates rounds, messages and queueing of simulated runs.
 	Cost = congest.Result
+	// ShardStats reports per-shard occupancy and barrier wait time of the
+	// sharded engine; see Service.Stats and the WithShards option.
+	ShardStats = congest.ShardStats
 	// RSTOptions tunes the random-spanning-tree driver; see the
 	// WithStartLength/WithWalksPerPhase/WithDeliverTree options.
 	RSTOptions = spanning.Options

@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"fmt"
 	"testing"
 
 	"distwalk/internal/graph"
@@ -170,5 +171,30 @@ func BenchmarkEngineBFSBuild(b *testing.B) {
 		if _, _, err := BuildBFSTree(net, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineShardedFlood measures the sharded round loop against the
+// sequential engine on the same heavy-fan-out workload (every node
+// forwarding every received token): the barrier + transfer-buffer overhead
+// is visible at shards > 1 on one core, and the speedup on many.
+func BenchmarkEngineShardedFlood(b *testing.B) {
+	g, err := graph.Torus(32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			net := NewNetwork(g, 1, WithShards(shards))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Reseed(1)
+				p := (&stressProto{seeds: 4, hops: 64}).prepare(g.N())
+				if _, err := net.Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

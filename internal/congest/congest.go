@@ -164,6 +164,11 @@ type Network struct {
 	maxRound int
 	ctx      context.Context // optional; checked periodically by Run
 
+	// Sharded execution (nil/empty = sequential): the shard workers and
+	// the node -> shard index; see shard.go.
+	sh      []*shard
+	shardOf []int32
+
 	ns nodeScratch // reusable per-node scratch for tree protocols
 }
 
@@ -353,6 +358,9 @@ func (n *Network) NodeRNG(v graph.NodeID) *rng.RNG { return n.nodeRNG[v] }
 // the cost of this run; the Result is also retained so drivers can sum
 // sequential phases.
 func (n *Network) Run(p Proto) (Result, error) {
+	if len(n.sh) > 1 {
+		return n.runSharded(p)
+	}
 	n.reset()
 	if n.ctx != nil {
 		if err := n.ctx.Err(); err != nil {
@@ -425,6 +433,13 @@ func (n *Network) quiescent() bool {
 // engine obtained by sorting — and edges with leftover queue re-mark
 // themselves for the next round (their scheduler word has already been
 // consumed, so the re-add cannot be visited twice in one round).
+//
+// KEEP IN LOCKSTEP with shard.deliverOut (shard.go): the sharded engine
+// runs this same per-edge drain — MaxQueue sampling, capacity clamp,
+// crash drop, counter charging, leftover re-add — split per shard, and
+// the bit-identity contract depends on the two bodies computing the same
+// values at the same points. Any semantic change here must be mirrored
+// there (the shard-identity stress tests catch divergence).
 func (n *Network) deliver() {
 	n.active.drain(func(e int32) {
 		q := &n.queues[e]
@@ -497,15 +512,23 @@ func (n *Network) crashed(v graph.NodeID) bool {
 	return n.crashAt[v] >= 0 && n.round >= n.crashAt[v]
 }
 
-// send validates and enqueues a message from u to a neighbor. With parallel
-// edges the least-loaded one is used (ties to the first in adjacency
-// order, as before the flat index).
-func (n *Network) send(from, to graph.NodeID, kind uint16, words int, w [PayloadWords]uint64) {
-	if n.runErr != nil {
+// send validates and enqueues a message from the executing node to a
+// neighbor. With parallel edges the least-loaded one is used (ties to the
+// first in adjacency order, as before the flat index). A node only ever
+// writes its own outgoing edge queues, so under sharded execution the push
+// is shard-local; only the activity mark and the error sink route through
+// the caller's shard.
+func (n *Network) send(c *Ctx, to graph.NodeID, kind uint16, words int, w [PayloadWords]uint64) {
+	from := c.node
+	errp := &n.runErr
+	if c.sh != nil {
+		errp = &c.sh.runErr
+	}
+	if *errp != nil {
 		return
 	}
 	if words < 1 {
-		n.runErr = fmt.Errorf("congest: node %d sent an invalid payload", from)
+		*errp = fmt.Errorf("congest: node %d sent an invalid payload", from)
 		return
 	}
 	// Binary search the smallest index with nbrTo >= to in from's segment.
@@ -519,7 +542,7 @@ func (n *Network) send(from, to graph.NodeID, kind uint16, words int, w [Payload
 		}
 	}
 	if lo == n.off[from+1] || n.nbrTo[lo] != int32(to) {
-		n.runErr = fmt.Errorf("congest: node %d sent to non-neighbor %d", from, to)
+		*errp = fmt.Errorf("congest: node %d sent to non-neighbor %d", from, to)
 		return
 	}
 	best := n.nbrEdge[lo]
@@ -530,12 +553,19 @@ func (n *Network) send(from, to graph.NodeID, kind uint16, words int, w [Payload
 		}
 	}
 	n.queues[best].push(Message{From: from, To: to, Kind: kind, words: uint16(words), W: w})
-	n.active.add(best)
+	if c.sh != nil {
+		c.sh.active.add(best - c.sh.edgeLo)
+	} else {
+		n.active.add(best)
+	}
 }
 
-// Ctx is the per-node view handed to protocol callbacks.
+// Ctx is the per-node view handed to protocol callbacks. Under sharded
+// execution each shard worker owns one Ctx (sh non-nil), so activity and
+// send bookkeeping stay shard-local.
 type Ctx struct {
 	net   *Network
+	sh    *shard
 	node  graph.NodeID
 	inbox []Message
 }
@@ -555,7 +585,7 @@ func (c *Ctx) Inbox() []Message { return c.inbox }
 // methods cannot be generic; the concrete payload type makes the
 // encode a static call with no interface boxing.
 func Send[V Payload](c *Ctx, to graph.NodeID, p V) {
-	c.net.send(c.node, to, p.Kind(), p.Words(), p.Encode())
+	c.net.send(c, to, p.Kind(), p.Words(), p.Encode())
 }
 
 // RNG returns this node's persistent random stream.
@@ -576,6 +606,17 @@ func (c *Ctx) N() int { return c.net.g.N() }
 func (c *Ctx) SetActive(active bool) {
 	n := c.net
 	v := c.node
+	if sh := c.sh; sh != nil {
+		if active && !n.awake[v] {
+			n.awake[v] = true
+			sh.awakeCount++
+			sh.awakeNodes = append(sh.awakeNodes, v)
+		} else if !active && n.awake[v] {
+			n.awake[v] = false
+			sh.awakeCount--
+		}
+		return
+	}
 	if active && !n.awake[v] {
 		n.awake[v] = true
 		n.awakeCount++

@@ -107,6 +107,56 @@
 // and the BFS build marks visited nodes by stamping. One scratch suffices
 // because the engine executes one Run at a time.
 //
+// # Sharded execution
+//
+// SetShards(S) (or the WithShards option) partitions the nodes into S
+// contiguous ranges, degree-balanced over the flat half-edge index, and
+// runs each round's per-node processing on one worker goroutine per shard
+// (shard.go). A round becomes three phases: every shard drains its own
+// active edges into per-(source, destination)-shard transfer buffers;
+// a barrier; every shard merges its inbound buffers and steps its
+// scheduled nodes; a second barrier, inside which one goroutine runs the
+// serial round bookkeeping (quiescence, halters, budget, cancellation) in
+// exactly the sequential engine's order.
+//
+// Determinism argument — why WithShards(S) is bit-identical to
+// WithShards(1): the engine's only order-sensitive operation is inbox
+// append order (protocols see Inbox() in delivery order, and RNG draws
+// follow message handling). Sequential delivery iterates directed edges in
+// ascending global index. Shards own contiguous ascending edge ranges, in
+// shard order; each shard drains its own edges ascending; and the
+// destination merges inbound buffers in ascending source-shard order. The
+// concatenation (source shard ascending, edge ascending within shard) IS
+// the global ascending edge order, so every node's inbox is byte-identical
+// to the sequential engine's — the barrier merge order equals the global
+// edge (and hence node) order. Node steps within a shard run in ascending
+// ID order; steps in different shards interleave arbitrarily, which is
+// unobservable because protocol state is per-node (each node's Step
+// touches only its own slots of per-node stores, plus its own outgoing
+// queues and RNG stream — the same locality the CONGEST model itself
+// prescribes). Counters are charged at the sending side with sequential
+// values: Messages/Words/Dropped are sums over shards, MaxQueue a max —
+// all order-free merges. The engine's RNG consumption is nil, and per-node
+// streams are consumed only by their owner's Init/Step. Hence Result
+// counters, walk outputs and RNG traces are invariant in S, which the
+// shard-identity stress tests (engine-level, pathverify, and full-stack
+// under -race) pin at S = 2, 4, 8.
+//
+// Two caveats. Error paths diverge benignly: an invalid send aborts the
+// run in both modes, but sharded execution finishes the round in other
+// shards and reports the lowest-erring-shard's error rather than the
+// first in step order (errors are protocol bugs, not outcomes). And
+// protocols whose nodes share mutable state would race: the one shared
+// scratch in this module's protocols (the GET-MORE-WALKS aggregation
+// buffer) became per-node, and pathverify's first-verifier tie-break an
+// atomic CAS-min, as part of introducing sharding.
+//
+// Wall-clock: sharding pays when per-round work is large (big graphs,
+// many tokens in flight) and costs two barrier synchronizations per round
+// when it is not; S=1 — the default — runs the unchanged sequential hot
+// loop with zero overhead. ShardStats reports per-shard occupancy and
+// barrier wait so imbalance is observable.
+//
 // # Warm-reuse lifecycle
 //
 // Pooling now extends one layer above the engine. The protocol layer keeps

@@ -1,0 +1,546 @@
+package congest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"distwalk/internal/graph"
+)
+
+// --- Partition planning ---
+
+// offsetsOf builds the half-edge prefix array of g, exactly as NewNetwork
+// does.
+func offsetsOf(g *graph.G) []int32 {
+	off := make([]int32, g.N()+1)
+	for v := 0; v < g.N(); v++ {
+		off[v+1] = off[v] + int32(g.Degree(graph.NodeID(v)))
+	}
+	return off
+}
+
+func TestPlanShardsInvariants(t *testing.T) {
+	star, err := graph.Star(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathG, err := graph.Path(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges plus isolated nodes: 0-1, rest isolated.
+	iso := graph.New(6)
+	iso.AddEdge(0, 1)
+	edgeless := graph.New(5)
+
+	cases := []struct {
+		name   string
+		g      *graph.G
+		shards int
+	}{
+		{"path/2", pathG, 2},
+		{"path/3", pathG, 3},
+		{"path/10", pathG, 10}, // S == n
+		{"star/4", star, 4},    // hub holds 15 of 30 half-edges
+		{"star/2", star, 2},
+		{"isolated/3", iso, 3},
+		{"edgeless/2", edgeless, 2},
+		{"edgeless/5", edgeless, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			off := offsetsOf(tc.g)
+			n := tc.g.N()
+			b := planShards(off, n, tc.shards)
+			if len(b) != tc.shards+1 {
+				t.Fatalf("got %d boundaries, want %d", len(b), tc.shards+1)
+			}
+			if b[0] != 0 || b[tc.shards] != int32(n) {
+				t.Fatalf("boundaries %v do not cover [0,%d)", b, n)
+			}
+			for i := 1; i <= tc.shards; i++ {
+				if b[i] < b[i-1] {
+					t.Fatalf("boundaries %v not monotone", b)
+				}
+			}
+			// Every node lands in exactly one shard by construction of
+			// contiguous ranges; check the edge balance is within one
+			// node's degree of the ideal split (up to the lumpiness of the
+			// heaviest node, which a contiguous split cannot avoid).
+			total := int64(off[n])
+			if total == 0 {
+				return
+			}
+			maxDeg := int64(0)
+			for v := 0; v < n; v++ {
+				if d := int64(tc.g.Degree(graph.NodeID(v))); d > maxDeg {
+					maxDeg = d
+				}
+			}
+			ideal := total / int64(tc.shards)
+			for i := 0; i < tc.shards; i++ {
+				load := int64(off[b[i+1]] - off[b[i]])
+				if load > ideal+maxDeg {
+					t.Errorf("shard %d carries %d half-edges, ideal %d, max degree %d (bounds %v)",
+						i, load, ideal, maxDeg, b)
+				}
+			}
+		})
+	}
+}
+
+func TestSetShardsClamps(t *testing.T) {
+	net := pathNet(t, 4, 1)
+	net.SetShards(99) // S > n clamps to n
+	if got := net.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d after SetShards(99) on n=4, want 4", got)
+	}
+	net.SetShards(0) // non-positive clamps to sequential
+	if got := net.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d after SetShards(0), want 1", got)
+	}
+	net.SetShards(1) // S = 1 must take the sequential path
+	if net.sh != nil {
+		t.Fatal("SetShards(1) left shard workers installed; want the plain sequential engine")
+	}
+}
+
+// --- Bit-identity: sequential vs sharded on synthetic engine workloads ---
+
+// stressProto exercises every engine surface at once: fan-out floods,
+// SetActive-driven steps, RNG consumption, and per-node receipt logs. Every
+// node forwards each received token to a random neighbor for `hops` hops,
+// and node 0 additionally stays awake for `awakeRounds` rounds emitting a
+// fresh token each round.
+type stressProto struct {
+	seeds       int
+	hops        int
+	awakeRounds int
+
+	got []int   // messages received per node (sized by prepare)
+	sum []int64 // payload checksum per node
+}
+
+// prepare sizes the per-node logs; protocol state must exist before Run
+// because sharded Init calls arrive concurrently.
+func (p *stressProto) prepare(n int) *stressProto {
+	p.got = make([]int, n)
+	p.sum = make([]int64, n)
+	return p
+}
+
+type tokenPayload struct{ hops, val int32 }
+
+func (tokenPayload) Words() int   { return 2 }
+func (tokenPayload) Kind() uint16 { return 7 }
+func (p tokenPayload) Encode() [PayloadWords]uint64 {
+	return [PayloadWords]uint64{Pack2(p.hops, p.val)}
+}
+func (tokenPayload) Decode(w [PayloadWords]uint64) tokenPayload {
+	h, v := Unpack2(w[0])
+	return tokenPayload{hops: h, val: v}
+}
+
+func (p *stressProto) Init(ctx *Ctx) {
+	v := ctx.Node()
+	if ctx.Degree() == 0 {
+		return
+	}
+	for i := 0; i < p.seeds; i++ {
+		nb := ctx.Neighbors()[ctx.RNG().Intn(ctx.Degree())].To
+		Send(ctx, nb, tokenPayload{hops: int32(p.hops), val: int32(v)})
+	}
+	if v == 0 && p.awakeRounds > 0 {
+		ctx.SetActive(true)
+	}
+}
+
+func (p *stressProto) Step(ctx *Ctx) {
+	v := ctx.Node()
+	for _, m := range ctx.Inbox() {
+		tk := As[tokenPayload](m)
+		p.got[v]++
+		p.sum[v] += int64(tk.val)*31 + int64(tk.hops)
+		if tk.hops > 0 && ctx.Degree() > 0 {
+			nb := ctx.Neighbors()[ctx.RNG().Intn(ctx.Degree())].To
+			Send(ctx, nb, tokenPayload{hops: tk.hops - 1, val: tk.val + 1})
+		}
+	}
+	if v == 0 && p.awakeRounds > 0 {
+		if ctx.Round() >= p.awakeRounds {
+			ctx.SetActive(false)
+			return
+		}
+		if ctx.Degree() > 0 {
+			nb := ctx.Neighbors()[ctx.RNG().Intn(ctx.Degree())].To
+			Send(ctx, nb, tokenPayload{hops: 3, val: int32(ctx.Round())})
+		}
+	}
+}
+
+// stressGraphs builds the identity-test topologies: a torus (uniform), a
+// star (one shard owns the hub), a multigraph with parallel edges, and a
+// graph with isolated nodes.
+func stressGraphs(t *testing.T) map[string]*graph.G {
+	t.Helper()
+	torus, err := graph.Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := graph.Star(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := graph.New(6)
+	for i := 0; i < 5; i++ {
+		multi.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	multi.AddEdge(0, 1) // parallel edge: exercises the least-loaded tie-break
+	multi.AddEdge(2, 3)
+	multi.AddEdge(0, 5)
+	iso := graph.New(12)
+	for i := 0; i < 8; i++ {
+		iso.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%8))
+	}
+	// Nodes 8..11 stay isolated: they must never step and never break the
+	// partition.
+	return map[string]*graph.G{"torus8x8": torus, "star33": star, "multi": multi, "isolated": iso}
+}
+
+func runStress(t *testing.T, g *graph.G, shards int, opts ...Option) (Result, *stressProto, error) {
+	t.Helper()
+	opts = append(opts, WithShards(shards))
+	net := NewNetwork(g, 42, opts...)
+	if shards > 1 && g.N() >= shards && net.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", net.Shards(), shards)
+	}
+	p := (&stressProto{seeds: 3, hops: 40, awakeRounds: 12}).prepare(g.N())
+	res, err := net.Run(p)
+	return res, p, err
+}
+
+func TestShardIdentityEngine(t *testing.T) {
+	for name, g := range stressGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			seqRes, seqP, err := runStress(t, g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 3, 4, 8} {
+				res, p, err := runStress(t, g, shards)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if res != seqRes {
+					t.Fatalf("shards=%d: Result %+v != sequential %+v", shards, res, seqRes)
+				}
+				for v := range seqP.got {
+					if p.got[v] != seqP.got[v] || p.sum[v] != seqP.sum[v] {
+						t.Fatalf("shards=%d node %d: got %d/sum %d, sequential %d/%d",
+							shards, v, p.got[v], p.sum[v], seqP.got[v], seqP.sum[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestShardIdentityWithCrashAndCaps(t *testing.T) {
+	g, err := graph.Torus(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string][]Option{
+		"crash":  {WithCrash(7, 5), WithCrash(20, 1)},
+		"cap3":   {WithEdgeCap(3)},
+		"capfn":  {WithEdgeCapFunc(func(from, to graph.NodeID) int { return 1 + int(from+to)%3 })},
+		"budget": {WithMaxRounds(9)},
+	}
+	for name, opts := range variants {
+		t.Run(name, func(t *testing.T) {
+			seqRes, seqP, seqErr := runStress(t, g, 1, opts...)
+			for _, shards := range []int{2, 4} {
+				res, p, err := runStress(t, g, shards, opts...)
+				if (err == nil) != (seqErr == nil) ||
+					errors.Is(err, ErrRoundLimit) != errors.Is(seqErr, ErrRoundLimit) {
+					t.Fatalf("shards=%d: err %v, sequential err %v", shards, err, seqErr)
+				}
+				if res != seqRes {
+					t.Fatalf("shards=%d: Result %+v != sequential %+v", shards, res, seqRes)
+				}
+				if err != nil {
+					continue // counters compared; per-node state undefined post-abort
+				}
+				for v := range seqP.got {
+					if p.got[v] != seqP.got[v] || p.sum[v] != seqP.sum[v] {
+						t.Fatalf("shards=%d node %d diverged", shards, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardIdentityTreeProtocols runs the engine's own generic tree
+// protocols (BFS build, broadcast, convergecast, upcast) sharded and
+// compares everything observable against the sequential run.
+func TestShardIdentityTreeProtocols(t *testing.T) {
+	g, err := graph.Torus(7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		tree    []graph.NodeID
+		costs   [4]Result
+		sum     int64
+		upcount int
+	}
+	runAll := func(shards int) (outcome, error) {
+		var o outcome
+		net := NewNetwork(g, 99, WithShards(shards))
+		tree, res, err := BuildBFSTree(net, 5)
+		if err != nil {
+			return o, err
+		}
+		o.costs[0] = res
+		o.tree = append([]graph.NodeID(nil), tree.Parent...)
+		res, err = Broadcast(net, tree, intPayload(11), nil)
+		if err != nil {
+			return o, err
+		}
+		o.costs[1] = res
+		sum, res, err := Convergecast(net, tree,
+			func(v graph.NodeID) intPayload { return intPayload(v) },
+			func(_ graph.NodeID, a, c intPayload) intPayload { return a + c },
+		)
+		if err != nil {
+			return o, err
+		}
+		o.costs[2] = res
+		o.sum = int64(sum)
+		items, res, err := Upcast(net, tree, func(v graph.NodeID) []intPayload {
+			if v%3 == 0 {
+				return []intPayload{intPayload(v), intPayload(v * 2)}
+			}
+			return nil
+		})
+		if err != nil {
+			return o, err
+		}
+		o.costs[3] = res
+		o.upcount = len(items)
+		for _, it := range items {
+			o.sum += int64(it)
+		}
+		return o, nil
+	}
+	seq, err := runAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got, err := runAll(shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got.costs != seq.costs || got.sum != seq.sum || got.upcount != seq.upcount {
+			t.Fatalf("shards=%d: outcome %+v != sequential %+v", shards, got, seq)
+		}
+		for v := range seq.tree {
+			if got.tree[v] != seq.tree[v] {
+				t.Fatalf("shards=%d: BFS parent of %d is %d, sequential %d", shards, v, got.tree[v], seq.tree[v])
+			}
+		}
+	}
+}
+
+// TestShardedReuseAndReshard pins that one network can run sharded, be
+// repartitioned, and keep producing sequential-identical executions, and
+// that Reseed keeps working across modes.
+func TestShardedReuseAndReshard(t *testing.T) {
+	g, err := graph.Torus(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewNetwork(g, 7)
+	refP := (&stressProto{seeds: 2, hops: 25}).prepare(g.N())
+	refRes, err := ref.Run(refP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(g, 7, WithShards(3))
+	for _, shards := range []int{3, 2, 1, 4} {
+		net.SetShards(shards)
+		net.Reseed(7)
+		p := (&stressProto{seeds: 2, hops: 25}).prepare(g.N())
+		res, err := net.Run(p)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res != refRes {
+			t.Fatalf("shards=%d: Result %+v != reference %+v", shards, res, refRes)
+		}
+		for v := range refP.got {
+			if p.got[v] != refP.got[v] {
+				t.Fatalf("shards=%d node %d diverged after reshard", shards, v)
+			}
+		}
+	}
+}
+
+func TestShardStatsOccupancy(t *testing.T) {
+	g, err := graph.Torus(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(g, 3, WithShards(4))
+	if _, err := net.Run((&stressProto{seeds: 4, hops: 30}).prepare(g.N())); err != nil {
+		t.Fatal(err)
+	}
+	st := net.ShardStats()
+	if st.Shards != 4 || len(st.Stepped) != 4 {
+		t.Fatalf("ShardStats %+v, want 4 shards", st)
+	}
+	var stepped, delivered int64
+	for i := range st.Stepped {
+		stepped += st.Stepped[i]
+		delivered += st.Delivered[i]
+	}
+	if stepped == 0 || delivered == 0 {
+		t.Fatalf("no sharded work recorded: %+v", st)
+	}
+	occ := st.Occupancy()
+	total := 0.0
+	for _, f := range occ {
+		total += f
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("occupancy %v does not sum to 1", occ)
+	}
+	// Aggregation across networks.
+	var agg ShardStats
+	agg.Add(st)
+	agg.Add(st)
+	if agg.Stepped[0] != 2*st.Stepped[0] {
+		t.Fatalf("ShardStats.Add: got %d, want %d", agg.Stepped[0], 2*st.Stepped[0])
+	}
+	// Sequential networks report a single shard with no per-shard slices.
+	seq := NewNetwork(g, 3)
+	if sst := seq.ShardStats(); sst.Shards != 1 || sst.Stepped != nil {
+		t.Fatalf("sequential ShardStats = %+v, want {Shards:1}", sst)
+	}
+}
+
+func TestShardedErrorAborts(t *testing.T) {
+	g, err := graph.Path(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(g, 1, WithShards(2))
+	p := &badSend{from: 6, to: 1} // non-neighbor send from shard 1
+	if _, err := net.Run(p); err == nil {
+		t.Fatal("sharded run with invalid send did not fail")
+	}
+	// The network stays usable after the abort.
+	net.Reseed(1)
+	if _, err := net.Run((&stressProto{seeds: 1, hops: 5}).prepare(g.N())); err != nil {
+		t.Fatalf("run after aborted sharded run: %v", err)
+	}
+}
+
+// badSend sends to a non-neighbor during Init.
+type badSend struct{ from, to graph.NodeID }
+
+func (p *badSend) Init(ctx *Ctx) {
+	if ctx.Node() == p.from {
+		Send(ctx, p.to, intPayload(1))
+	}
+}
+func (p *badSend) Step(*Ctx) {}
+
+func TestShardedHalter(t *testing.T) {
+	// The halting round must match the sequential engine exactly.
+	g, err := graph.Path(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards int) (Result, error) {
+		net := NewNetwork(g, 5, WithShards(shards))
+		p := &haltAt{target: 25}
+		return net.Run(p)
+	}
+	seq, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		got, err := run(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != seq {
+			t.Fatalf("shards=%d: halter Result %+v != sequential %+v", shards, got, seq)
+		}
+	}
+}
+
+// haltAt relays a token down the path and halts when it reaches target.
+type haltAt struct {
+	target graph.NodeID
+	done   bool
+}
+
+func (p *haltAt) Init(ctx *Ctx) {
+	if ctx.Node() == 0 {
+		Send(ctx, 1, intPayload(0))
+	}
+}
+
+func (p *haltAt) Step(ctx *Ctx) {
+	v := ctx.Node()
+	if len(ctx.Inbox()) == 0 {
+		return
+	}
+	if v == p.target {
+		p.done = true
+		return
+	}
+	if int(v)+1 < ctx.N() {
+		Send(ctx, v+1, intPayload(int(v)))
+	}
+}
+
+func (p *haltAt) Halted() bool { return p.done }
+
+func TestShardedContextCancel(t *testing.T) {
+	g, err := graph.Cycle(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(g, 2, WithShards(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	net.SetContext(ctx)
+	cancel()
+	if _, err := net.Run((&stressProto{seeds: 1, hops: 1000}).prepare(g.N())); err == nil {
+		t.Fatal("sharded run with canceled context did not fail")
+	}
+	net.SetContext(nil)
+	net.Reseed(2)
+	if _, err := net.Run((&stressProto{seeds: 1, hops: 5}).prepare(g.N())); err != nil {
+		t.Fatalf("run after canceled sharded run: %v", err)
+	}
+}
+
+func ExampleNetwork_SetShards() {
+	g, _ := graph.Torus(8, 8)
+	seq := NewNetwork(g, 1)
+	shd := NewNetwork(g, 1, WithShards(4))
+	p1 := (&stressProto{seeds: 2, hops: 20}).prepare(g.N())
+	p2 := (&stressProto{seeds: 2, hops: 20}).prepare(g.N())
+	a, _ := seq.Run(p1)
+	b, _ := shd.Run(p2)
+	fmt.Println(a == b)
+	// Output: true
+}

@@ -81,7 +81,7 @@ type gmwFlow struct {
 // aggregated into per-(neighbor, step) messages.
 func (p *gmwProto) processTokens(ctx *congest.Ctx, count, steps int32) {
 	v := ctx.Node()
-	out := p.w.gmwOutBuf[:0]
+	out := p.w.gmwOut[v][:0]
 	for j := int32(0); j < count; j++ {
 		out = p.walkOne(ctx, steps, out)
 	}
@@ -104,7 +104,7 @@ func (p *gmwProto) processTokens(ctx *congest.Ctx, count, steps int32) {
 		p.w.st.recordGMWSend(v, gmwKey{batch: p.batch, step: f.steps, nbr: f.nbr}, f.count)
 		congest.Send(ctx, f.nbr, gmwMsg{batch: p.batch, count: f.count, steps: f.steps})
 	}
-	p.w.gmwOutBuf = out[:0]
+	p.w.gmwOut[v] = out[:0]
 }
 
 // walkOne advances a single token: stop with probability 1/(λ−i) at each
@@ -149,6 +149,9 @@ func (w *Walker) getMoreWalks(v graph.NodeID, ell, lambda int) (congest.Result, 
 	count := ell / lambda
 	if count < 1 {
 		count = 1
+	}
+	if w.gmwOut == nil {
+		w.gmwOut = make([][]gmwFlow, w.g.N())
 	}
 	p := &gmwProto{
 		w:      w,

@@ -84,9 +84,12 @@ type Walker struct {
 	lambda   int           // λ of the current coupon inventory (0 = none)
 	prepared bool
 
-	// gmwOutBuf is the per-(node, arrival step) aggregation scratch of
-	// GET-MORE-WALKS token processing, reused across refills.
-	gmwOutBuf []gmwFlow
+	// gmwOut[v] is node v's (neighbor, arrival step) aggregation scratch
+	// for GET-MORE-WALKS token processing, reused across refills. It is
+	// per-node (not one shared buffer) because several nodes process token
+	// bundles in the same round, which under sharded execution means
+	// concurrently; lazily sized on the first refill.
+	gmwOut [][]gmwFlow
 
 	busy atomic.Bool // in-use flag; see ErrConcurrentUse
 }

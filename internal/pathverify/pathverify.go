@@ -15,6 +15,7 @@ package pathverify
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"distwalk/internal/congest"
 	"distwalk/internal/graph"
@@ -195,8 +196,13 @@ type proto struct {
 	order  []int32 // 1-based path position per node, 0 if none
 	target iv
 
-	verified bool
-	verifier graph.NodeID
+	// verifier is the ID of the first node to verify the whole target, or
+	// -1. Within the final round several nodes can verify; the sequential
+	// engine records the first in step order, i.e. the smallest node ID,
+	// which the atomic CAS-min reproduces exactly when steps run
+	// concurrently on network shards (rounds never race: the run halts at
+	// the end of the first verifying round).
+	verifier atomic.Int64
 }
 
 func (p *proto) Init(ctx *congest.Ctx) {
@@ -239,9 +245,8 @@ func (p *proto) learn(ctx *congest.Ctx, x iv) {
 	if !changed {
 		return
 	}
-	if merged.contains(p.target) && !p.verified {
-		p.verified = true
-		p.verifier = v
+	if merged.contains(p.target) {
+		p.claim(v)
 	}
 	lo, hi := p.vf.off[v], p.vf.off[v+1]
 	for e := lo; e < hi; e++ {
@@ -273,7 +278,20 @@ func (p *proto) flush(ctx *congest.Ctx) {
 	ctx.SetActive(pending)
 }
 
-func (p *proto) Halted() bool { return p.verified }
+// claim records v as the verifier unless a smaller node ID already did.
+func (p *proto) claim(v graph.NodeID) {
+	for {
+		old := p.verifier.Load()
+		if old >= 0 && old <= int64(v) {
+			return
+		}
+		if p.verifier.CompareAndSwap(old, int64(v)) {
+			return
+		}
+	}
+}
+
+func (p *proto) Halted() bool { return p.verifier.Load() >= 0 }
 
 // Verify runs the protocol. order[v] gives node v's 1-based path position
 // (0 for nodes that are not part of the sequence); ell is the path length
@@ -332,16 +350,20 @@ func (vf *Verifier) Verify(order []int32, ell int) (*Result, error) {
 		order:  order,
 		target: iv{lo: 1, hi: int32(ell)},
 	}
+	p.verifier.Store(-1)
 	cost, err := vf.net.Run(p)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Verified: p.verified,
-		Verifier: p.verifier,
-		Rounds:   cost.Rounds,
-		Cost:     cost,
-	}, nil
+	out := &Result{
+		Rounds: cost.Rounds,
+		Cost:   cost,
+	}
+	if who := p.verifier.Load(); who >= 0 {
+		out.Verified = true
+		out.Verifier = graph.NodeID(who)
+	}
+	return out, nil
 }
 
 // Verify runs one PATH-VERIFICATION instance on net (a one-shot

@@ -320,3 +320,39 @@ func TestVerifierReuse(t *testing.T) {
 		t.Fatalf("warm Verify allocated %.0f times; Verifier slabs are not being reused", allocs)
 	}
 }
+
+// TestVerifyShardIdentity pins that PATH-VERIFICATION runs bit-identically
+// on the sharded engine — including the Verifier field, whose "first node
+// in step order wins" tie-break is reproduced across concurrent shard
+// steps by the CAS-min claim.
+func TestVerifyShardIdentity(t *testing.T) {
+	lb, err := graph.NewLowerBound(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := GnOrder(lb, lb.PathLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqNet := congest.NewNetwork(lb.G, 3)
+	seq, err := NewVerifier(seqNet).Verify(order, lb.PathLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		net := congest.NewNetwork(lb.G, 3, congest.WithShards(shards))
+		vf := NewVerifier(net)
+		// Two back-to-back runs: slab reuse must stay shard-clean too.
+		for run := 0; run < 2; run++ {
+			net.Reseed(3)
+			got, err := vf.Verify(order, lb.PathLen)
+			if err != nil {
+				t.Fatalf("shards=%d run %d: %v", shards, run, err)
+			}
+			if got.Verified != seq.Verified || got.Verifier != seq.Verifier ||
+				got.Rounds != seq.Rounds || got.Cost != seq.Cost {
+				t.Fatalf("shards=%d run %d: %+v != sequential %+v", shards, run, got, seq)
+			}
+		}
+	}
+}

@@ -18,6 +18,9 @@ type config struct {
 	mix    MixingOptions
 	// workers is the size of the worker pool (construction-time only).
 	workers int
+	// shards is the per-worker network shard count (construction-time
+	// only): 1 = sequential engine, -1 = auto (GOMAXPROCS at build).
+	shards int
 	// maxRounds caps the simulated rounds of every engine run within a
 	// request (0 = the engine default of 50,000,000).
 	maxRounds int
@@ -31,6 +34,7 @@ func defaultConfig() config {
 	return config{
 		params:  core.DefaultParams(),
 		workers: runtime.GOMAXPROCS(0),
+		shards:  1,
 	}
 }
 
@@ -117,6 +121,29 @@ func WithWorkers(n int) Option {
 		if n >= 1 {
 			c.workers = n
 		}
+	}
+}
+
+// WithShards partitions every worker's simulated network into s parallel
+// shards: each simulated round's per-node processing runs on s goroutines
+// (degree-balanced contiguous node ranges) with a deterministic merge at
+// the round barrier, so results, walk outputs and simulated cost counters
+// stay bit-identical to the sequential engine while wall-clock time for
+// large graphs drops with cores. s <= 0 selects auto (GOMAXPROCS at
+// construction); s is clamped to the graph size. Construction-time only:
+// per-request use is ignored. Sharding helps when per-round work is large
+// (big graphs, wide batches); for small graphs the barrier overhead
+// dominates and the default s = 1 is faster. Compose with WithWorkers
+// deliberately: workers multiply throughput across requests, shards cut
+// the latency of one request, and workers*shards goroutines contend for
+// the same cores.
+func WithShards(s int) Option {
+	return func(c *config) {
+		if s <= 0 {
+			c.shards = -1
+			return
+		}
+		c.shards = s
 	}
 }
 

@@ -3,7 +3,9 @@ package distwalk
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"distwalk/internal/congest"
 	"distwalk/internal/core"
@@ -55,6 +57,12 @@ type Service struct {
 	// execute as shared MANY-RANDOM-WALKS batches on the same pool.
 	batch *sched.Scheduler
 
+	// shardMu guards shardAgg, the per-shard occupancy and barrier-wait
+	// counters aggregated across all workers' sharded networks (each worker
+	// folds its network's delta in after every request it serves).
+	shardMu  sync.Mutex
+	shardAgg ShardStats
+
 	closeOnce sync.Once
 }
 
@@ -63,6 +71,10 @@ type Service struct {
 type poolWorker struct {
 	net *congest.Network
 	wkr *Walker
+	// lastShard is the network's shard-stat snapshot after the previous
+	// request, for computing per-request deltas to fold into the service
+	// aggregate.
+	lastShard ShardStats
 }
 
 // NewService builds a service over g. seed drives all randomness: together
@@ -77,6 +89,12 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 	if err := cfg.params.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.shards < 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.shards > g.N() {
+		cfg.shards = g.N() // the engine clamps the same way
+	}
 	s := &Service{
 		g:    g,
 		seed: seed,
@@ -86,7 +104,7 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 	}
 	for i := 0; i < cfg.workers; i++ {
 		s.wg.Add(1)
-		go s.worker(&poolWorker{net: congest.NewNetwork(g, seed)})
+		go s.worker(&poolWorker{net: congest.NewNetwork(g, seed, congest.WithShards(cfg.shards))})
 	}
 	if cfg.batchOn {
 		bc := cfg.batch
@@ -114,6 +132,9 @@ func (s *Service) worker(pw *poolWorker) {
 // Workers returns the size of the worker pool.
 func (s *Service) Workers() int { return s.cfg.workers }
 
+// Shards returns the per-worker network shard count (1 = sequential).
+func (s *Service) Shards() int { return s.cfg.shards }
+
 // Graph returns the served topology.
 func (s *Service) Graph() *Graph { return s.g }
 
@@ -134,15 +155,64 @@ func (s *Service) Close() error {
 	return nil
 }
 
-// Stats returns the batching scheduler's counters: admissions,
-// rejections (ErrQueueFull), pre-flush cancellations, flush reasons, the
-// batch occupancy histogram, and the amortized simulated cost per
-// batched walk. Zero when the service was built without WithBatching.
-func (s *Service) Stats() SchedStats {
-	if s.batch == nil {
-		return SchedStats{}
+// ServiceStats is the service's counter snapshot: the batching
+// scheduler's counters (embedded — zero when the service was built
+// without WithBatching) plus the sharded engines' per-shard occupancy and
+// barrier-wait totals, aggregated across all workers (zero when built
+// without WithShards).
+type ServiceStats struct {
+	SchedStats
+	// Shards reports how much per-round work each network shard carried
+	// (protocol steps executed, messages merged) and how long each shard
+	// spent waiting at round barriers, summed over every request served so
+	// far. Shards.Occupancy() is the per-shard work share.
+	Shards ShardStats
+}
+
+// Stats returns the service's counters: batch admissions, rejections
+// (ErrQueueFull), pre-flush cancellations, flush reasons, the batch
+// occupancy histogram and the amortized simulated cost per batched walk,
+// plus per-shard occupancy and barrier wait time when sharded execution
+// is on.
+func (s *Service) Stats() ServiceStats {
+	var out ServiceStats
+	if s.batch != nil {
+		out.SchedStats = s.batch.Stats()
 	}
-	return s.batch.Stats()
+	s.shardMu.Lock()
+	out.Shards.Add(s.shardAgg)
+	s.shardMu.Unlock()
+	return out
+}
+
+// collectShardStats folds the worker network's shard-counter delta since
+// the previous request into the service aggregate. Called by the worker
+// goroutine after each request, when the network is idle.
+func (s *Service) collectShardStats(pw *poolWorker) {
+	if s.cfg.shards <= 1 {
+		return
+	}
+	cur := pw.net.ShardStats()
+	delta := ShardStats{
+		Shards:      cur.Shards,
+		Stepped:     make([]int64, len(cur.Stepped)),
+		Delivered:   make([]int64, len(cur.Delivered)),
+		BarrierWait: make([]time.Duration, len(cur.BarrierWait)),
+	}
+	for i := range cur.Stepped {
+		delta.Stepped[i] = cur.Stepped[i]
+		delta.Delivered[i] = cur.Delivered[i]
+		delta.BarrierWait[i] = cur.BarrierWait[i]
+		if pw.lastShard.Stepped != nil {
+			delta.Stepped[i] -= pw.lastShard.Stepped[i]
+			delta.Delivered[i] -= pw.lastShard.Delivered[i]
+			delta.BarrierWait[i] -= pw.lastShard.BarrierWait[i]
+		}
+	}
+	pw.lastShard = cur
+	s.shardMu.Lock()
+	s.shardAgg.Add(delta)
+	s.shardMu.Unlock()
 }
 
 // deriveSeed maps (service seed, request key) to the seed of the
@@ -196,6 +266,7 @@ func (s *Service) execute(ctx context.Context, key uint64, cfg config, pw *poolW
 	}
 	pw.net.SetContext(ctx)
 	defer pw.net.SetContext(nil)
+	defer s.collectShardStats(pw)
 	return fn(w, cfg)
 }
 
@@ -233,6 +304,7 @@ func (s *Service) runBatch(b *sched.Batch) {
 	done := make(chan struct{})
 	job := func(pw *poolWorker) {
 		defer close(done)
+		defer s.collectShardStats(pw)
 		w, err := s.prepare(pw, b.Seed, b.Params, b.MaxRounds)
 		if err != nil {
 			b.Abort(err)
