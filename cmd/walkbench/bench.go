@@ -39,6 +39,11 @@ type benchRecord struct {
 	RoundsPerOp   int64  `json:"rounds_per_op"`
 	MessagesPerOp int64  `json:"messages_per_op"`
 	WordsPerOp    int64  `json:"words_per_op"`
+	// DroppedPerOp counts messages lost to the workload's fault plan
+	// (receiver down + lossy links). Zero for fault-free workloads; the
+	// key is absent from pre-fault baselines and decodes to 0, so old
+	// snapshots stay comparable.
+	DroppedPerOp int64 `json:"dropped_per_op,omitempty"`
 }
 
 // benchWorkload is one measured workload: run executes a single request
@@ -88,6 +93,30 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 	}
 	shardedSvc, err := distwalk.NewService(bigTorus, seed, distwalk.WithWorkers(1),
 		distwalk.WithShards(4))
+	if err != nil {
+		return nil, err
+	}
+	// Faulty service: the same torus with a fixed deterministic fault plan
+	// (a churn window, two lossy links, one slow link) and retries enabled.
+	// The workload measures what robustness costs: the recorded counters are
+	// the surviving attempt's, so rounds/messages track the fault-handling
+	// overhead and dropped_per_op the injected loss — all still bit-exact
+	// per key, because the plan, the drop ordinals and the attempt salting
+	// are deterministic.
+	faultPlan := &distwalk.FaultPlan{
+		Seed:  7,
+		Churn: []distwalk.FaultChurn{{Node: 37, From: 60, To: 90}},
+		LinkDrops: []distwalk.FaultLinkDrop{
+			{From: 10, To: torus.Neighbors(10)[0].To, Prob: 0.02},
+			{From: 200, To: torus.Neighbors(200)[1].To, Prob: 0.02},
+		},
+		LinkDelays: []distwalk.FaultLinkDelay{
+			{From: 100, To: torus.Neighbors(100)[0].To, Rounds: 1},
+		},
+	}
+	faultySvc, err := distwalk.NewService(torus, seed, distwalk.WithWorkers(1),
+		distwalk.WithFaultPlan(faultPlan), distwalk.WithRetry(3), distwalk.WithBackoff(0),
+		distwalk.WithPartialResults())
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +181,19 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 					sources[i] = distwalk.NodeID(i * 288)
 				}
 				res, err := svc.ManyRandomWalks(ctx, key, sources, 2048)
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return res.Cost, nil
+			},
+		},
+		{
+			// Robustness headline: MANY-RANDOM-WALKS through the fault plan
+			// above, with up to 3 retry attempts re-seeding killed requests.
+			name: "FaultyManyWalks", graph: "torus16x16/faults", svc: faultySvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				sources := make([]distwalk.NodeID, 8)
+				res, err := svc.ManyRandomWalks(ctx, key, sources, 1024)
 				if err != nil {
 					return distwalk.Cost{}, err
 				}
@@ -299,6 +341,7 @@ func measure(wl benchWorkload, seed uint64, reps int) (*benchRecord, error) {
 			RoundsPerOp:   int64(cost.Rounds),
 			MessagesPerOp: cost.Messages,
 			WordsPerOp:    cost.Words,
+			DroppedPerOp:  cost.Faults.Dropped + cost.Faults.LinkDropped,
 		}
 		if best == nil || rec.NsPerOp < best.NsPerOp {
 			best = rec

@@ -141,11 +141,11 @@ func diffSnapshots(baseline, candidate map[string]*benchRecord, tol float64) (ro
 			notes = append(notes, line)
 		}
 		if cand.RoundsPerOp != base.RoundsPerOp || cand.MessagesPerOp != base.MessagesPerOp ||
-			cand.WordsPerOp != base.WordsPerOp {
+			cand.WordsPerOp != base.WordsPerOp || cand.DroppedPerOp != base.DroppedPerOp {
 			hard = append(hard, fmt.Sprintf(
-				"%s: simulated counters drifted: rounds %d -> %d, messages %d -> %d, words %d -> %d (cost model changed; regenerate the baseline if intended)",
+				"%s: simulated counters drifted: rounds %d -> %d, messages %d -> %d, words %d -> %d, dropped %d -> %d (cost model changed; regenerate the baseline if intended)",
 				name, base.RoundsPerOp, cand.RoundsPerOp, base.MessagesPerOp, cand.MessagesPerOp,
-				base.WordsPerOp, cand.WordsPerOp))
+				base.WordsPerOp, cand.WordsPerOp, base.DroppedPerOp, cand.DroppedPerOp))
 			row.problems = append(row.problems, "simulated counters drifted")
 			row.soft = false
 		}

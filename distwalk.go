@@ -43,6 +43,7 @@ import (
 	"distwalk/internal/congest"
 	"distwalk/internal/core"
 	"distwalk/internal/dist"
+	"distwalk/internal/fault"
 	"distwalk/internal/graph"
 	"distwalk/internal/mixing"
 	"distwalk/internal/rng"
@@ -86,10 +87,37 @@ type (
 	MixingOptions = mixing.Options
 	// MixingEstimate is the decentralized mixing-time estimate.
 	MixingEstimate = mixing.Estimate
+	// FaultStats counts the injected faults charged during simulated runs
+	// (messages dropped at crashed nodes or lossy links, deliveries
+	// delayed on slow links, nodes down); part of every Cost.
+	FaultStats = congest.FaultStats
+	// FaultPlan is a deterministic fault-injection plan: crash-stop
+	// failures, churn windows, lossy links and slow links, all derived
+	// from the plan seed. Install with WithFaultPlan; build randomized
+	// plans with RandomFaultPlan.
+	FaultPlan = fault.Plan
+	// FaultCrash is one crash-stop entry of a FaultPlan.
+	FaultCrash = fault.Crash
+	// FaultChurn is one down-window entry of a FaultPlan.
+	FaultChurn = fault.Churn
+	// FaultLinkDrop is one per-link loss-probability override.
+	FaultLinkDrop = fault.LinkDrop
+	// FaultLinkDelay is one per-link fixed-delay entry.
+	FaultLinkDelay = fault.LinkDelay
+	// ChaosSpec tunes RandomFaultPlan's fault mix.
+	ChaosSpec = fault.Chaos
 )
 
 // None is the sentinel "no node" value.
 const None = graph.None
+
+// RandomFaultPlan samples a reproducible fault plan for g: crashes and
+// churn windows at seeded random nodes and rounds, plus lossy and slow
+// links, with the mix tuned by spec. Same (seed, graph, spec) — same
+// plan. The chaos suite drives services through plans built here.
+func RandomFaultPlan(seed uint64, g *Graph, spec ChaosSpec) *FaultPlan {
+	return fault.RandomPlan(seed, g, spec)
+}
 
 // NewGraph returns an empty graph on n vertices; add edges with AddEdge /
 // AddWeightedEdge.

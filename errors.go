@@ -67,7 +67,44 @@ var (
 	// while the request was pending. The wrapped cause is also
 	// errors.Is-able.
 	ErrBatchAborted = sched.ErrBatchAborted
+	// ErrNodeCrashed reports a request that lost a protocol token to a
+	// crashed (or churned-down) node; errors.As against *NodeCrashedError
+	// exposes which node died and the simulated round of the loss. A walk
+	// through a dead node fails fast with this sentinel — not
+	// ErrBudgetExceeded — and is retryable (see WithRetry).
+	ErrNodeCrashed = congest.ErrNodeCrashed
+	// ErrMessageLost reports a request that lost a protocol token to a
+	// lossy link; errors.As against *MessageLostError exposes the link and
+	// round. Retryable.
+	ErrMessageLost = congest.ErrMessageLost
+	// ErrBadFault reports an invalid fault specification: a WithFaultPlan
+	// plan naming nodes or links outside the graph, out-of-range
+	// probabilities, or an out-of-range WithCrash. Surfaced by NewService
+	// and by every engine run on a misconfigured network.
+	ErrBadFault = congest.ErrBadFault
 )
+
+// NodeCrashedError carries which node was down and the simulated round at
+// which the first token was lost to it; matches ErrNodeCrashed under
+// errors.Is.
+type NodeCrashedError = congest.NodeCrashedError
+
+// MessageLostError carries the lossy link (From -> To) and the simulated
+// round of the first loss; matches ErrMessageLost under errors.Is.
+type MessageLostError = congest.MessageLostError
+
+// Retryable reports whether err is worth re-executing with a fresh
+// attempt seed: typed fault losses (ErrNodeCrashed, ErrMessageLost) and
+// transient scheduling rejections (ErrQueueFull, ErrBatchAborted — unless
+// the abort was the service closing). WithRetry uses exactly this
+// predicate; callers running their own retry loops should too.
+func Retryable(err error) bool {
+	if errors.Is(err, ErrServiceClosed) {
+		return false
+	}
+	return errors.Is(err, ErrNodeCrashed) || errors.Is(err, ErrMessageLost) ||
+		errors.Is(err, ErrQueueFull) || errors.Is(err, ErrBatchAborted)
+}
 
 // GenRetryError is the typed generator retry-exhaustion error; it carries
 // the generator name and attempt count, and matches ErrRetryExhausted

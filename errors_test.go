@@ -31,6 +31,9 @@ func TestSentinelTaxonomy(t *testing.T) {
 		{"ErrNoRegen", distwalk.ErrNoRegen},
 		{"ErrQueueFull", distwalk.ErrQueueFull},
 		{"ErrBatchAborted", distwalk.ErrBatchAborted},
+		{"ErrNodeCrashed", distwalk.ErrNodeCrashed},
+		{"ErrMessageLost", distwalk.ErrMessageLost},
+		{"ErrBadFault", distwalk.ErrBadFault},
 	}
 	for _, tc := range sentinels {
 		t.Run(tc.name, func(t *testing.T) {
@@ -59,5 +62,54 @@ func TestBatchSentinelCauses(t *testing.T) {
 	err := fmt.Errorf("%w (request 7): %w", distwalk.ErrBatchAborted, distwalk.ErrServiceClosed)
 	if !errors.Is(err, distwalk.ErrBatchAborted) || !errors.Is(err, distwalk.ErrServiceClosed) {
 		t.Fatal("batch abort error must match both the sentinel and its cause")
+	}
+}
+
+// TestFaultErrorTypes pins the errors.As contract of the typed fault
+// errors: the concrete types carry the loss site and match their
+// sentinels through wrapping.
+func TestFaultErrorTypes(t *testing.T) {
+	crash := fmt.Errorf("request failed: %w", &distwalk.NodeCrashedError{Node: 7, Round: 42})
+	if !errors.Is(crash, distwalk.ErrNodeCrashed) {
+		t.Fatal("NodeCrashedError does not match ErrNodeCrashed")
+	}
+	var nce *distwalk.NodeCrashedError
+	if !errors.As(crash, &nce) || nce.Node != 7 || nce.Round != 42 {
+		t.Fatalf("errors.As lost the crash site: %+v", nce)
+	}
+	lost := fmt.Errorf("request failed: %w", &distwalk.MessageLostError{From: 1, To: 2, Round: 9})
+	if !errors.Is(lost, distwalk.ErrMessageLost) {
+		t.Fatal("MessageLostError does not match ErrMessageLost")
+	}
+	var mle *distwalk.MessageLostError
+	if !errors.As(lost, &mle) || mle.From != 1 || mle.To != 2 || mle.Round != 9 {
+		t.Fatalf("errors.As lost the loss site: %+v", mle)
+	}
+	if errors.Is(crash, distwalk.ErrMessageLost) || errors.Is(lost, distwalk.ErrNodeCrashed) {
+		t.Fatal("fault sentinels overlap")
+	}
+}
+
+// TestRetryablePredicate table-tests the documented retry policy.
+func TestRetryablePredicate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"node crashed", fmt.Errorf("x: %w", distwalk.ErrNodeCrashed), true},
+		{"message lost", fmt.Errorf("x: %w", distwalk.ErrMessageLost), true},
+		{"queue full", fmt.Errorf("x: %w", distwalk.ErrQueueFull), true},
+		{"batch aborted", fmt.Errorf("x: %w", distwalk.ErrBatchAborted), true},
+		{"batch aborted by shutdown", fmt.Errorf("%w: %w", distwalk.ErrBatchAborted, distwalk.ErrServiceClosed), false},
+		{"budget exceeded", fmt.Errorf("x: %w", distwalk.ErrBudgetExceeded), false},
+		{"bad node", fmt.Errorf("x: %w", distwalk.ErrBadNode), false},
+		{"service closed", fmt.Errorf("x: %w", distwalk.ErrServiceClosed), false},
+		{"bad fault plan", fmt.Errorf("x: %w", distwalk.ErrBadFault), false},
+	} {
+		if got := distwalk.Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"distwalk/internal/fault"
 	"distwalk/internal/graph"
 	"distwalk/internal/rng"
 )
@@ -109,8 +110,11 @@ type Result struct {
 	Words int64
 	// MaxQueue is the deepest any directed-edge queue got.
 	MaxQueue int
-	// Dropped counts messages lost to crashed receivers (WithCrash).
-	Dropped int64
+	// Faults aggregates the injected-fault footprint (WithCrash,
+	// WithFaultPlan): messages dropped at down receivers or lossy links,
+	// deliveries deferred by link delays, nodes down during the run. The
+	// zero value means a fault-free run.
+	Faults FaultStats
 }
 
 // Add accumulates other into r (for summing across sequential phases).
@@ -118,7 +122,7 @@ func (r *Result) Add(other Result) {
 	r.Rounds += other.Rounds
 	r.Messages += other.Messages
 	r.Words += other.Words
-	r.Dropped += other.Dropped
+	r.Faults.add(other.Faults)
 	if other.MaxQueue > r.MaxQueue {
 		r.MaxQueue = other.MaxQueue
 	}
@@ -157,6 +161,15 @@ type Network struct {
 	awake      []bool         // nodes that requested Step without messages
 	awakeNodes []graph.NodeID // lazily-compacted list of awake nodes
 	awakeCount int
+
+	// Fault injection (nil/zero on the fault-free path): the compiled
+	// fault plan, whether any WithCrash is armed (downCount guard), the
+	// first-loss record since Reseed, and any invalid fault configuration
+	// recorded at construction and returned by Run. See fault.go.
+	flt      *faultState
+	hasCrash bool
+	loss     lossInfo
+	optErr   error
 
 	round    int
 	res      Result
@@ -258,17 +271,25 @@ func WithMaxRounds(r int) Option {
 
 // WithCrash schedules a crash-stop fault: from the given round of every
 // run onward, node v neither executes nor receives — messages addressed
-// to it are dropped (counted in Result.Dropped). The paper lists failure
-// robustness as future work (Section 5); this hook provides the fault
-// model for experimenting with it (see the failure-injection tests: the
-// Las Vegas drivers detect token loss rather than returning a wrong
-// sample).
+// to it are dropped (counted in Result.Faults.Dropped). The paper lists
+// failure robustness as future work (Section 5); this hook provides the
+// fault model for experimenting with it (see the failure-injection
+// tests: the Las Vegas drivers detect token loss rather than returning a
+// wrong sample). An out-of-range node or negative round is recorded as a
+// configuration error (wrapping ErrBadFault) that every subsequent Run
+// returns, matching the package's typed-error discipline. For scripted
+// multi-fault scenarios see WithFaultPlan.
 func WithCrash(v graph.NodeID, round int) Option {
 	return func(n *Network) {
 		if v < 0 || int(v) >= len(n.crashAt) || round < 0 {
+			if n.optErr == nil {
+				n.optErr = fmt.Errorf("%w: WithCrash(%d, %d): node outside [0,%d) or negative round",
+					ErrBadFault, v, round, len(n.crashAt))
+			}
 			return
 		}
 		n.crashAt[v] = round
+		n.hasCrash = true
 	}
 }
 
@@ -341,12 +362,15 @@ func (n *Network) SetMaxRounds(r int) {
 // deterministic execution: after Reseed(s) the network behaves bit for bit
 // like a newly built NewNetwork(g, s). Ring and inbox slabs carry no
 // protocol state, only capacity, and any in-flight messages left by an
-// aborted run are dropped by the next Run's reset.
+// aborted run are dropped by the next Run's reset. The first-loss record
+// (LossError) is request-scoped and clears here too; the installed fault
+// plan and crash schedule persist — they are topology configuration.
 func (n *Network) Reseed(seed uint64) {
 	base := rng.New(seed)
 	for v := range n.nodeRNG {
 		n.nodeRNG[v] = base.Stream(uint64(v))
 	}
+	n.loss = lossInfo{}
 }
 
 // NodeRNG returns node v's persistent random stream. Protocol code uses it
@@ -356,11 +380,33 @@ func (n *Network) NodeRNG(v graph.NodeID) *rng.RNG { return n.nodeRNG[v] }
 // Run executes p until quiescence, a Halter stop, the round budget, or —
 // when a context is installed with SetContext — cancellation. It returns
 // the cost of this run; the Result is also retained so drivers can sum
-// sequential phases.
+// sequential phases. An invalid fault configuration recorded at
+// construction (WithCrash/WithFaultPlan) fails every Run with that error.
 func (n *Network) Run(p Proto) (Result, error) {
-	if len(n.sh) > 1 {
-		return n.runSharded(p)
+	if n.optErr != nil {
+		return Result{}, n.optErr
 	}
+	var (
+		res Result
+		err error
+	)
+	if len(n.sh) > 1 {
+		res, err = n.runSharded(p)
+	} else {
+		res, err = n.runSeq(p)
+	}
+	if n.hasCrash || n.flt != nil {
+		// Crashed is a post-run census (nodes down by the final round), not
+		// a delivery-path counter, so it is charged once here for both
+		// engines — identical by construction at any shard count.
+		n.res.Faults.Crashed = n.downCount()
+		res.Faults.Crashed = n.res.Faults.Crashed
+	}
+	return res, err
+}
+
+// runSeq is the sequential engine's round loop; see Run.
+func (n *Network) runSeq(p Proto) (Result, error) {
 	n.reset()
 	if n.ctx != nil {
 		if err := n.ctx.Err(); err != nil {
@@ -421,6 +467,9 @@ func (n *Network) reset() {
 	n.round = 0
 	n.res = Result{}
 	n.runErr = nil
+	if n.flt != nil {
+		n.flt.resetRun()
+	}
 }
 
 func (n *Network) quiescent() bool {
@@ -435,14 +484,27 @@ func (n *Network) quiescent() bool {
 // consumed, so the re-add cannot be visited twice in one round).
 //
 // KEEP IN LOCKSTEP with shard.deliverOut (shard.go): the sharded engine
-// runs this same per-edge drain — MaxQueue sampling, capacity clamp,
-// crash drop, counter charging, leftover re-add — split per shard, and
-// the bit-identity contract depends on the two bodies computing the same
-// values at the same points. Any semantic change here must be mirrored
-// there (the shard-identity stress tests catch divergence).
+// runs this same per-edge drain — delay gate, MaxQueue sampling, capacity
+// clamp, crash drop, lossy-link roll, counter charging, leftover re-add —
+// split per shard, and the bit-identity contract depends on the two
+// bodies computing the same values at the same points. Any semantic
+// change here must be mirrored there (the shard-identity stress tests
+// catch divergence). Fault-charging order per message: the crash check
+// precedes the lossy-link roll, so a message to a down receiver never
+// consumes a drop-decision ordinal.
 func (n *Network) deliver() {
 	n.active.drain(func(e int32) {
 		q := &n.queues[e]
+		if f := n.flt; f != nil && f.delay != nil && f.delay[e] > 0 {
+			if int32(n.round) < f.release[e] {
+				// The link is still "in transit": skip this round, keep the
+				// edge scheduled (its word is consumed, the re-add cannot be
+				// visited twice this round).
+				n.res.Faults.Delayed++
+				n.active.add(e)
+				return
+			}
+		}
 		depth := int(q.size)
 		if depth > n.res.MaxQueue {
 			n.res.MaxQueue = depth
@@ -458,8 +520,19 @@ func (n *Network) deliver() {
 			m := q.at(int32(i))
 			to := m.To
 			if n.crashed(to) {
-				n.res.Dropped++
+				n.res.Faults.Dropped++
+				n.noteLoss(e, m, false)
 				continue
+			}
+			if f := n.flt; f != nil && f.drop != nil {
+				if th := f.drop[e]; th != 0 {
+					f.seq[e]++
+					if fault.Roll(f.key, uint64(e), f.seq[e]) < th {
+						n.res.Faults.LinkDropped++
+						n.noteLoss(e, m, true)
+						continue
+					}
+				}
 			}
 			n.inbox[to] = append(n.inbox[to], *m)
 			n.res.Messages++
@@ -469,6 +542,11 @@ func (n *Network) deliver() {
 		q.popN(int32(k))
 		if q.size > 0 {
 			n.active.add(e)
+		}
+		if f := n.flt; f != nil && f.delay != nil && f.delay[e] > 0 {
+			// Serialize the slow link: next delivery no earlier than
+			// 1+delay rounds from now.
+			f.release[e] = int32(n.round) + 1 + f.delay[e]
 		}
 	})
 	// Compact the awake list (SetActive(false) leaves stale entries) and
@@ -507,9 +585,17 @@ func (n *Network) step(p Proto, ctx *Ctx) {
 	})
 }
 
-// crashed reports whether v has crash-stopped by the current round.
+// crashed reports whether v is down at the current round: crash-stopped
+// via WithCrash, or scheduled down (crash or churn window) by the
+// installed fault plan.
 func (n *Network) crashed(v graph.NodeID) bool {
-	return n.crashAt[v] >= 0 && n.round >= n.crashAt[v]
+	if n.crashAt[v] >= 0 && n.round >= n.crashAt[v] {
+		return true
+	}
+	if f := n.flt; f != nil {
+		return f.down(v, n.round)
+	}
+	return false
 }
 
 // send validates and enqueues a message from the executing node to a
@@ -553,6 +639,17 @@ func (n *Network) send(c *Ctx, to graph.NodeID, kind uint16, words int, w [Paylo
 		}
 	}
 	n.queues[best].push(Message{From: from, To: to, Kind: kind, words: uint16(words), W: w})
+	if f := n.flt; f != nil && f.delay != nil {
+		// A message entering an idle delayed link starts its transit now:
+		// eligible 1+delay rounds out (max with any pending release, so
+		// back-to-back bursts stay serialized). The sending node owns this
+		// edge, so under sharded execution the write is shard-local.
+		if d := f.delay[best]; d > 0 && n.queues[best].size == 1 {
+			if r := int32(n.round) + 1 + d; r > f.release[best] {
+				f.release[best] = r
+			}
+		}
+	}
 	if c.sh != nil {
 		c.sh.active.add(best - c.sh.edgeLo)
 	} else {

@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"errors"
 	"testing"
 
 	"distwalk/internal/graph"
@@ -22,8 +23,15 @@ func TestCrashDropsMessages(t *testing.T) {
 	if p.got != 2 {
 		t.Fatalf("delivered %d, want 2", p.got)
 	}
-	if res.Dropped != 3 {
-		t.Fatalf("dropped %d, want 3", res.Dropped)
+	if res.Faults.Dropped != 3 {
+		t.Fatalf("dropped %d, want 3", res.Faults.Dropped)
+	}
+	if res.Faults.Crashed != 1 {
+		t.Fatalf("crashed census %d, want 1", res.Faults.Crashed)
+	}
+	var nce *NodeCrashedError
+	if err := net.LossError(); !errors.As(err, &nce) || nce.Node != 1 {
+		t.Fatalf("LossError = %v, want NodeCrashedError for node 1", err)
 	}
 }
 
@@ -63,20 +71,36 @@ func TestCrashAtRoundZeroSilencesNode(t *testing.T) {
 	if p.got != 0 {
 		t.Fatalf("delivered %d through a dead relay", p.got)
 	}
-	if res.Dropped != 4 {
-		t.Fatalf("dropped %d, want 4", res.Dropped)
+	if res.Faults.Dropped != 4 {
+		t.Fatalf("dropped %d, want 4", res.Faults.Dropped)
 	}
 }
 
-func TestCrashInvalidArgsIgnored(t *testing.T) {
+// TestCrashInvalidArgsRejected pins the typed-error discipline for fault
+// configuration: an out-of-range WithCrash is recorded on the network
+// and fails every Run with ErrBadFault instead of being silently
+// ignored (it used to be — a plan that never fires is worse than one
+// that fails loudly).
+func TestCrashInvalidArgsRejected(t *testing.T) {
 	g, _ := graph.Path(2)
-	net := NewNetwork(g, 1, WithCrash(-1, 5), WithCrash(99, 5), WithCrash(0, -1))
-	p := &burst{from: 0, to: 1, k: 1}
-	if _, err := net.Run(p); err != nil {
-		t.Fatal(err)
+	for name, opt := range map[string]Option{
+		"negative node":  WithCrash(-1, 5),
+		"node too large": WithCrash(99, 5),
+		"negative round": WithCrash(0, -1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			net := NewNetwork(g, 1, opt)
+			_, err := net.Run(&burst{from: 0, to: 1, k: 1})
+			if !errors.Is(err, ErrBadFault) {
+				t.Fatalf("Run = %v, want ErrBadFault", err)
+			}
+		})
 	}
-	if p.got != 1 {
-		t.Fatal("invalid crash specs affected delivery")
+	// A valid spec alongside an invalid one still fails: the first
+	// configuration error wins and is sticky.
+	net := NewNetwork(g, 1, WithCrash(1, 3), WithCrash(99, 5))
+	if _, err := net.Run(&burst{from: 0, to: 1, k: 1}); !errors.Is(err, ErrBadFault) {
+		t.Fatalf("Run = %v, want ErrBadFault", err)
 	}
 }
 

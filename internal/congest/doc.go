@@ -174,4 +174,47 @@
 // warm reuse is invisible to the cost model: the golden counter tests and
 // the service determinism stress tests pin that a worker's Nth request is
 // bit-identical to the same request on a zero-history worker.
+//
+// # Fault injection and charging order
+//
+// SetFaultPlan installs a deterministic fault plan (internal/fault):
+// crash-stop faults and churn windows (round-indexed node-down lookups),
+// lossy links (per-message drop decisions) and slow links (per-edge fixed
+// delays). All fault state lives behind one nil-checked pointer, so a
+// network without a plan runs the unchanged hot loop — the zero-cost
+// contract the goldens pin.
+//
+// Charging order within a directed edge's delivery, which both engines
+// follow exactly:
+//
+//  1. Delay gate. A slow link whose release round is in the future skips
+//     the whole burst, charges Faults.Delayed once per skipped round, and
+//     re-activates the edge. Delay is inspected before anything is popped,
+//     so FIFO order and MaxQueue sampling are unaffected.
+//  2. Crash check. A message to a node that is down this round (crash or
+//     churn window) is dropped and charged Faults.Dropped. Crash precedes
+//     the loss roll: a message to a dead receiver never consumes a drop
+//     ordinal, so adding a crash to a plan cannot shift the lossy-link
+//     decisions of unrelated edges.
+//  3. Loss roll. A lossy edge's surviving messages consume per-edge
+//     decision ordinals, hashed statelessly from (plan key, edge,
+//     ordinal) — fault.Roll. Dropped ones charge Faults.LinkDropped.
+//
+// Determinism under sharding follows from the same argument as delivery
+// order: each directed edge is owned by exactly one shard and drained
+// FIFO in ascending edge order, so its ordinal sequence — and therefore
+// every drop decision — is identical at any shard count; delays are
+// per-edge release rounds owned by the edge's shard; node-down lookups
+// are pure functions of (node, round). The first-loss record (LossError)
+// is merged across shards by minimal (round, edge), which is exactly the
+// first loss the sequential drain order encounters. Faults.Crashed is a
+// post-run census (high-water, including recovered churn nodes) computed
+// once in the Run wrapper, identically for both engines.
+//
+// The loss record persists across a request's multiple engine runs and is
+// cleared by Reseed — request scope, matching the service's per-request
+// determinism contract. Protocols do not observe faults directly; the Las
+// Vegas drivers detect the inconsistency a loss causes and fail, and
+// internal/core's faultize boundary re-labels that detection error with
+// the typed ErrNodeCrashed/ErrMessageLost carrying the recorded loss.
 package congest

@@ -1,0 +1,237 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"distwalk/internal/fault"
+	"distwalk/internal/graph"
+)
+
+// Engine-level fault injection: deterministic drops, delays and churn,
+// charged identically by the sequential and sharded engines.
+
+func TestLossyLinkDropsEverything(t *testing.T) {
+	net := pathNet(t, 2, 1)
+	if err := net.SetFaultPlan(&fault.Plan{
+		Seed:      7,
+		LinkDrops: []fault.LinkDrop{{From: 0, To: 1, Prob: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := &burst{from: 0, to: 1, k: 5}
+	res, err := net.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.got != 0 {
+		t.Fatalf("delivered %d across a prob-1 lossy link", p.got)
+	}
+	if res.Faults.LinkDropped != 5 {
+		t.Fatalf("LinkDropped = %d, want 5", res.Faults.LinkDropped)
+	}
+	var mle *MessageLostError
+	if err := net.LossError(); !errors.As(err, &mle) || mle.From != 0 || mle.To != 1 {
+		t.Fatalf("LossError = %v, want MessageLostError for link 0->1", err)
+	}
+	// The reverse direction is untouched: faults are directed.
+	net.Reseed(1)
+	if net.LossError() != nil {
+		t.Fatal("Reseed did not clear the loss record")
+	}
+	p2 := &burst{from: 1, to: 0, k: 5}
+	if _, err := net.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.got != 5 {
+		t.Fatalf("reverse direction delivered %d, want 5", p2.got)
+	}
+}
+
+// TestLossyLinkDeterministic pins the stateless drop sampler: the same
+// (plan seed, traffic) drops the same messages, run after run.
+func TestLossyLinkDeterministic(t *testing.T) {
+	run := func() Result {
+		net := pathNet(t, 2, 3)
+		if err := net.SetFaultPlan(&fault.Plan{Seed: 11, DropProb: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := net.Run(&burst{from: 0, to: 1, k: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same plan, different results:\n%+v\n%+v", a, b)
+	}
+	if a.Faults.LinkDropped == 0 || a.Faults.LinkDropped == 64 {
+		t.Fatalf("prob-0.5 link dropped %d of 64 — sampler looks broken", a.Faults.LinkDropped)
+	}
+}
+
+func TestLinkDelaySlowsDelivery(t *testing.T) {
+	net := pathNet(t, 2, 1)
+	if err := net.SetFaultPlan(&fault.Plan{
+		LinkDelays: []fault.LinkDelay{{From: 0, To: 1, Rounds: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := &burst{from: 0, to: 1, k: 4}
+	res, err := net.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A delay-2 link serializes to one delivery per 3 rounds: deliveries
+	// land at rounds 3, 6, 9, 12 instead of 1..4. Nothing is lost — a slow
+	// link is slow, not lossy — and every skipped round is charged.
+	if p.got != 4 {
+		t.Fatalf("delivered %d, want 4 (delays must not lose messages)", p.got)
+	}
+	if p.lastRound != 12 {
+		t.Fatalf("last delivery at round %d, want 12", p.lastRound)
+	}
+	if res.Faults.Delayed != 8 {
+		t.Fatalf("Delayed = %d, want 8 (two skipped rounds per delivery)", res.Faults.Delayed)
+	}
+	if net.LossError() != nil {
+		t.Fatalf("delay recorded a loss: %v", net.LossError())
+	}
+}
+
+func TestChurnWindowDropsAndRecovers(t *testing.T) {
+	net := pathNet(t, 2, 1)
+	if err := net.SetFaultPlan(&fault.Plan{
+		Churn: []fault.Churn{{Node: 1, From: 2, To: 4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := &burst{from: 0, to: 1, k: 6}
+	res, err := net.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit capacity delivers one message per round, rounds 1..6; the
+	// receiver is down for rounds [2,4), so exactly two deliveries drop
+	// and the link resumes when the node comes back.
+	if p.got != 4 {
+		t.Fatalf("delivered %d, want 4 (down window [2,4) eats 2)", p.got)
+	}
+	if p.lastRound != 6 {
+		t.Fatalf("last delivery at round %d, want 6 (churned node must recover)", p.lastRound)
+	}
+	if res.Faults.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", res.Faults.Dropped)
+	}
+	if res.Faults.Crashed != 1 {
+		t.Fatalf("Crashed census = %d, want 1 (high-water, including recovered churn)", res.Faults.Crashed)
+	}
+	var nce *NodeCrashedError
+	if err := net.LossError(); !errors.As(err, &nce) || nce.Node != 1 || nce.Round != 2 {
+		t.Fatalf("LossError = %v, want NodeCrashedError{Node:1, Round:2}", err)
+	}
+}
+
+// TestFaultChargingShardIdentity is the fault half of the engine's
+// bit-identity contract: a mixed plan (global loss, per-link overrides,
+// a crash, a churn window, slow links) must produce identical Result
+// counters, identical per-node receipt logs and the identical first-loss
+// record at every shard count, because drop decisions are per-edge
+// ordinal hashes and loss merging follows the same (round, edge) order
+// as delivery.
+func TestFaultChargingShardIdentity(t *testing.T) {
+	g, err := graph.Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.RandomPlan(99, g, fault.Chaos{
+		Crashes:    1,
+		Churns:     2,
+		MaxRound:   40,
+		DropProb:   0.02,
+		LossyLinks: 4,
+		SlowLinks:  4,
+	})
+	digest := func(shards int) string {
+		net := NewNetwork(g, 5, WithShards(shards))
+		if err := net.SetFaultPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		p := (&stressProto{seeds: 2, hops: 16, awakeRounds: 24}).prepare(g.N())
+		res, err := net.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("res=%+v got=%v sum=%v loss=%v", res, p.got, p.sum, net.LossError())
+	}
+	want := digest(1)
+	for _, shards := range []int{2, 4, 8} {
+		if got := digest(shards); got != want {
+			t.Errorf("fault charging diverged at %d shards:\n  sequential: %s\n  sharded:    %s", shards, want, got)
+		}
+	}
+}
+
+func TestSetFaultPlanValidation(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(g, 1)
+	// Malformed plan: rejected with both the engine's ErrBadFault and the
+	// plan package's ErrBadPlan visible to errors.Is.
+	err = net.SetFaultPlan(&fault.Plan{DropProb: 2})
+	if !errors.Is(err, ErrBadFault) || !errors.Is(err, fault.ErrBadPlan) {
+		t.Fatalf("bad plan: err = %v, want ErrBadFault wrapping ErrBadPlan", err)
+	}
+	// Structurally valid plan naming a non-edge: only the engine knows the
+	// adjacency, so this is its call to reject.
+	err = net.SetFaultPlan(&fault.Plan{LinkDrops: []fault.LinkDrop{{From: 0, To: 3, Prob: 0.5}}})
+	if !errors.Is(err, ErrBadFault) {
+		t.Fatalf("non-edge lossy link: err = %v, want ErrBadFault", err)
+	}
+	err = net.SetFaultPlan(&fault.Plan{LinkDelays: []fault.LinkDelay{{From: 2, To: 0, Rounds: 1}}})
+	if !errors.Is(err, ErrBadFault) {
+		t.Fatalf("non-edge slow link: err = %v, want ErrBadFault", err)
+	}
+	// The WithFaultPlan option records the error and every Run fails.
+	bad := NewNetwork(g, 1, WithFaultPlan(&fault.Plan{DropProb: -1}))
+	if _, err := bad.Run(&burst{from: 0, to: 1, k: 1}); !errors.Is(err, ErrBadFault) {
+		t.Fatalf("Run on misconfigured network = %v, want ErrBadFault", err)
+	}
+}
+
+// TestFaultPlanClearedByNil pins the zero-cost contract from the other
+// side: installing and then removing a plan leaves the network running
+// bit-identically to one that never had it.
+func TestFaultPlanClearedByNil(t *testing.T) {
+	run := func(configure func(*Network)) Result {
+		net := pathNet(t, 3, 9)
+		configure(net)
+		res, err := net.Run(&relayBurst{k: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(func(*Network) {})
+	cleared := run(func(net *Network) {
+		if err := net.SetFaultPlan(&fault.Plan{DropProb: 0.5, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SetFaultPlan(nil); err != nil {
+			t.Fatal(err)
+		}
+		if net.FaultPlan() != nil {
+			t.Fatal("FaultPlan() not nil after clearing")
+		}
+	})
+	if plain != cleared {
+		t.Fatalf("cleared plan left a footprint:\nplain:   %+v\ncleared: %+v", plain, cleared)
+	}
+	if plain.Faults != (FaultStats{}) {
+		t.Fatalf("fault-free run charged faults: %+v", plain.Faults)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"distwalk/internal/fault"
 	"distwalk/internal/graph"
 )
 
@@ -45,7 +46,8 @@ type shard struct {
 	// so the merge order is uniform.
 	out [][]Message
 
-	res    Result // per-shard counters, merged into Network.res at run end
+	res    Result   // per-shard counters, merged into Network.res at run end
+	loss   lossInfo // this shard's first loss this run; merged by (round, edge)
 	runErr error
 	ctx    Ctx // this shard's protocol context (ctx.sh == this shard)
 
@@ -209,6 +211,7 @@ func (n *Network) resetSharded() {
 		sh.awakeNodes = sh.awakeNodes[:0]
 		sh.awakeCount = 0
 		sh.res = Result{}
+		sh.loss = lossInfo{}
 		sh.runErr = nil
 		for d := range sh.out {
 			sh.out[d] = sh.out[d][:0]
@@ -221,6 +224,9 @@ func (n *Network) resetSharded() {
 	n.round = 0
 	n.res = Result{}
 	n.runErr = nil
+	if n.flt != nil {
+		n.flt.resetRun()
+	}
 }
 
 // shardRun is the shared control state of one sharded Run: the barrier and
@@ -307,6 +313,7 @@ func (n *Network) runSharded(p Proto) (Result, error) {
 	for _, sh := range n.sh {
 		n.res.Add(sh.res) // shard Rounds are 0; counters sum, MaxQueue maxes
 	}
+	n.mergeLoss()
 	if sr.err != nil {
 		return n.res, sr.err
 	}
@@ -352,8 +359,11 @@ func (sh *shard) barrierNoSerial(sr *shardRun) {
 // deliverOut drains this shard's active edges in ascending order — the
 // shard's slice of the global deterministic edge order — moving up to cap
 // messages per edge into the per-destination-shard transfer buffers.
-// Counters (Messages, Words, Dropped, MaxQueue) are charged here, at the
-// sending side, with exactly the sequential engine's values.
+// Counters (Messages, Words, Faults, MaxQueue) are charged here, at the
+// sending side, with exactly the sequential engine's values: every
+// fault decision is per-edge state (delay release rounds, drop-decision
+// ordinals) owned by this shard, so charging order across shards cannot
+// change any decision (see internal/fault's determinism argument).
 //
 // KEEP IN LOCKSTEP with Network.deliver (congest.go): this is the same
 // per-edge drain with the inbox append swapped for a transfer-buffer
@@ -367,6 +377,13 @@ func (sh *shard) deliverOut() {
 	sh.active.drain(func(le int32) {
 		e := sh.edgeLo + le
 		q := &n.queues[e]
+		if f := n.flt; f != nil && f.delay != nil && f.delay[e] > 0 {
+			if int32(n.round) < f.release[e] {
+				sh.res.Faults.Delayed++
+				sh.active.add(le)
+				return
+			}
+		}
 		depth := int(q.size)
 		if depth > sh.res.MaxQueue {
 			sh.res.MaxQueue = depth
@@ -382,8 +399,19 @@ func (sh *shard) deliverOut() {
 			m := q.at(int32(i))
 			to := m.To
 			if n.crashed(to) {
-				sh.res.Dropped++
+				sh.res.Faults.Dropped++
+				sh.noteLoss(e, m, false)
 				continue
+			}
+			if f := n.flt; f != nil && f.drop != nil {
+				if th := f.drop[e]; th != 0 {
+					f.seq[e]++
+					if fault.Roll(f.key, uint64(e), f.seq[e]) < th {
+						sh.res.Faults.LinkDropped++
+						sh.noteLoss(e, m, true)
+						continue
+					}
+				}
 			}
 			d := n.shardOf[to]
 			sh.out[d] = append(sh.out[d], *m)
@@ -393,6 +421,9 @@ func (sh *shard) deliverOut() {
 		q.popN(int32(k))
 		if q.size > 0 {
 			sh.active.add(le)
+		}
+		if f := n.flt; f != nil && f.delay != nil && f.delay[e] > 0 {
+			f.release[e] = int32(n.round) + 1 + f.delay[e]
 		}
 	})
 	// Compact this shard's awake list and schedule the survivors, exactly

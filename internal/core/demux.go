@@ -8,9 +8,10 @@ import "distwalk/internal/congest"
 // the batch's cost. These helpers define that attribution in one place.
 
 // SplitCost returns c divided evenly across k walks — the amortized
-// per-walk share of a shared execution. Rounds, messages, words and drops
-// divide (integer floor, so shares are deterministic and never sum above
-// the total); MaxQueue is a maximum, not a sum, and carries over as is.
+// per-walk share of a shared execution. Rounds, messages, words and the
+// summable fault counters divide (integer floor, so shares are
+// deterministic and never sum above the total); MaxQueue and
+// Faults.Crashed are high-water marks, not sums, and carry over as is.
 func SplitCost(c congest.Result, k int) congest.Result {
 	if k <= 1 {
 		return c
@@ -20,7 +21,12 @@ func SplitCost(c congest.Result, k int) congest.Result {
 		Messages: c.Messages / int64(k),
 		Words:    c.Words / int64(k),
 		MaxQueue: c.MaxQueue,
-		Dropped:  c.Dropped / int64(k),
+		Faults: congest.FaultStats{
+			Dropped:     c.Faults.Dropped / int64(k),
+			LinkDropped: c.Faults.LinkDropped / int64(k),
+			Delayed:     c.Faults.Delayed / int64(k),
+			Crashed:     c.Faults.Crashed,
+		},
 	}
 }
 
@@ -44,7 +50,9 @@ func (m *ManyResult) SharedCost() congest.Result {
 		shared.Rounds -= w.Cost.Rounds
 		shared.Messages -= w.Cost.Messages
 		shared.Words -= w.Cost.Words
-		shared.Dropped -= w.Cost.Dropped
+		shared.Faults.Dropped -= w.Cost.Faults.Dropped
+		shared.Faults.LinkDropped -= w.Cost.Faults.LinkDropped
+		shared.Faults.Delayed -= w.Cost.Faults.Delayed
 	}
 	return shared
 }

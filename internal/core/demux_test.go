@@ -8,12 +8,18 @@ import (
 )
 
 func TestSplitCost(t *testing.T) {
-	c := congest.Result{Rounds: 10, Messages: 103, Words: 205, MaxQueue: 7, Dropped: 9}
+	c := congest.Result{
+		Rounds: 10, Messages: 103, Words: 205, MaxQueue: 7,
+		Faults: congest.FaultStats{Dropped: 9, LinkDropped: 6, Delayed: 5, Crashed: 2},
+	}
 	if got := SplitCost(c, 1); got != c {
 		t.Fatalf("k=1 must be identity, got %+v", got)
 	}
 	got := SplitCost(c, 4)
-	want := congest.Result{Rounds: 2, Messages: 25, Words: 51, MaxQueue: 7, Dropped: 2}
+	want := congest.Result{
+		Rounds: 2, Messages: 25, Words: 51, MaxQueue: 7,
+		Faults: congest.FaultStats{Dropped: 2, LinkDropped: 1, Delayed: 1, Crashed: 2},
+	}
 	if got != want {
 		t.Fatalf("SplitCost = %+v, want %+v", got, want)
 	}

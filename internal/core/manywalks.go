@@ -23,6 +23,24 @@ type ManyResult struct {
 	Refills int
 	// Cost is the total simulated cost of the batch.
 	Cost congest.Result
+	// Errs holds per-walk failures in partial-results mode
+	// (ManyRandomWalksPartial): Errs[i] is nil iff walk i completed. Nil
+	// in all-or-nothing mode.
+	Errs []error
+	// Failed counts non-nil entries of Errs.
+	Failed int
+}
+
+// fail charges a per-walk error to walk i in partial-results mode. The
+// walk's destination becomes graph.None; any stitched prefix remains on
+// Walks[i] for inspection.
+func (m *ManyResult) fail(i int, err error) {
+	m.Errs[i] = err
+	m.Failed++
+	m.Destinations[i] = graph.None
+	if m.Walks[i] != nil {
+		m.Walks[i].Destination = graph.None
+	}
 }
 
 // ManyRandomWalks computes k independent ℓ-step walks from the given (not
@@ -35,10 +53,33 @@ func (w *Walker) ManyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, 
 		return nil, err
 	}
 	defer w.release()
-	return w.manyRandomWalks(sources, ell)
+	res, err := w.manyRandomWalks(sources, ell, false)
+	if err != nil {
+		return nil, w.faultize(err)
+	}
+	return res, nil
 }
 
-func (w *Walker) manyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, error) {
+// ManyRandomWalksPartial is ManyRandomWalks with per-walk failure
+// isolation: when a fault (crashed node, lost message) kills individual
+// walks, the surviving walks still complete and the casualties are
+// reported in ManyResult.Errs instead of failing the whole batch.
+// Shared-phase failures (BFS tree, Phase 1, cancellation, walker misuse)
+// still abort everything — with no short walks provisioned there is
+// nothing to salvage.
+func (w *Walker) ManyRandomWalksPartial(sources []graph.NodeID, ell int) (*ManyResult, error) {
+	if err := w.acquire(); err != nil {
+		return nil, err
+	}
+	defer w.release()
+	res, err := w.manyRandomWalks(sources, ell, true)
+	if err != nil {
+		return nil, w.faultize(err)
+	}
+	return res, nil
+}
+
+func (w *Walker) manyRandomWalks(sources []graph.NodeID, ell int, partial bool) (*ManyResult, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("core: no sources")
 	}
@@ -53,6 +94,9 @@ func (w *Walker) manyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, 
 	out := &ManyResult{
 		Destinations: make([]graph.NodeID, len(sources)),
 		Walks:        make([]*WalkResult, len(sources)),
+	}
+	if partial {
+		out.Errs = make([]error, len(sources))
 	}
 	if ell == 0 {
 		for i, s := range sources {
@@ -80,7 +124,7 @@ func (w *Walker) manyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, 
 		// "If λ > ℓ then run the naive random walk algorithm, i.e., the
 		// sources find walks of length ℓ simultaneously by sending tokens."
 		out.NaiveFallback = true
-		return out, w.naiveMany(out, sources, ell)
+		return out, w.naiveMany(out, sources, ell, partial)
 	}
 	out.Lambda = lam
 
@@ -101,7 +145,16 @@ func (w *Walker) manyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, 
 		wr := &WalkResult{Source: s, Destination: s, Length: ell, Lambda: lam}
 		cur, completed, err := w.stitchSegments(wr, s, ell, lam)
 		if err != nil {
-			return nil, fmt.Errorf("core: walk %d from %d: %w", i, s, err)
+			werr := fmt.Errorf("core: walk %d from %d: %w", i, s, err)
+			if !partial || abortive(err) {
+				return nil, werr
+			}
+			out.Walks[i] = wr
+			out.Cost.Add(wr.Cost)
+			out.Refills += wr.Refills
+			out.fail(i, w.faultize(werr))
+			tails[i] = tailSpec{start: graph.None}
+			continue
 		}
 		tails[i] = tailSpec{start: cur, steps: int32(ell - completed)}
 		out.Walks[i] = wr
@@ -109,29 +162,39 @@ func (w *Walker) manyRandomWalks(sources []graph.NodeID, ell int) (*ManyResult, 
 		out.Refills += wr.Refills
 		out.Cost.Add(wr.Cost)
 	}
-	if err := w.runTails(out, tails); err != nil {
+	if err := w.runTails(out, tails, partial); err != nil {
 		return nil, err
 	}
 	return out, w.notifyAll(out, sources)
 }
 
 // tailSpec is one deferred naive tail: steps hops remaining from start.
+// start == graph.None marks a walk already failed in partial mode; it
+// gets no tail token.
 type tailSpec struct {
 	start graph.NodeID
 	steps int32
 }
 
 // runTails completes every walk's remaining steps with simultaneous token
-// forwarding — O(max tail + congestion) rounds instead of the sum.
-func (w *Walker) runTails(out *ManyResult, tails []tailSpec) error {
+// forwarding — O(max tail + congestion) rounds instead of the sum. In
+// partial mode a tail whose token vanished (lost to a fault) is charged
+// to its walk; otherwise it fails the batch.
+func (w *Walker) runTails(out *ManyResult, tails []tailSpec, partial bool) error {
 	p := &naiveManyProto{
 		w:     w,
 		steps: make([]int32, len(tails)),
 		start: make(map[int64]int, len(tails)),
 		dest:  make([]graph.NodeID, len(tails)),
 	}
+	wids := make([]int64, len(tails))
 	for i, tl := range tails {
+		if tl.start == graph.None {
+			wids[i] = -1
+			continue
+		}
 		wid := w.st.newWalkID(tl.start)
+		wids[i] = wid
 		p.start[wid] = i
 		p.walkIDs = append(p.walkIDs, wid)
 		p.steps[i] = tl.steps
@@ -143,14 +206,21 @@ func (w *Walker) runTails(out *ManyResult, tails []tailSpec) error {
 		return err
 	}
 	for i, tl := range tails {
+		if tl.start == graph.None {
+			continue
+		}
 		if p.dest[i] == graph.None {
+			if partial {
+				out.fail(i, w.faultize(fmt.Errorf("core: tail %d did not complete", i)))
+				continue
+			}
 			return fmt.Errorf("core: tail %d did not complete", i)
 		}
 		wr := out.Walks[i]
 		wr.Segments = append(wr.Segments, Segment{
 			Start:  tl.start,
 			End:    p.dest[i],
-			WalkID: p.walkIDs[i],
+			WalkID: wids[i],
 			Length: int(tl.steps),
 		})
 		wr.Destination = p.dest[i]
@@ -160,7 +230,7 @@ func (w *Walker) runTails(out *ManyResult, tails []tailSpec) error {
 }
 
 // naiveMany walks all k tokens simultaneously (the k+ℓ regime).
-func (w *Walker) naiveMany(out *ManyResult, sources []graph.NodeID, ell int) error {
+func (w *Walker) naiveMany(out *ManyResult, sources []graph.NodeID, ell int, partial bool) error {
 	p := &naiveManyProto{
 		w:     w,
 		steps: make([]int32, len(sources)),
@@ -180,22 +250,23 @@ func (w *Walker) naiveMany(out *ManyResult, sources []graph.NodeID, ell int) err
 		return err
 	}
 	for i, s := range sources {
+		wr := &WalkResult{Source: s, Destination: p.dest[i], Length: ell, Naive: true}
 		if p.dest[i] == graph.None {
+			if partial {
+				out.Walks[i] = wr
+				out.fail(i, w.faultize(fmt.Errorf("core: naive walk %d did not complete", i)))
+				continue
+			}
 			return fmt.Errorf("core: naive walk %d did not complete", i)
 		}
+		wr.Segments = []Segment{{
+			Start:  s,
+			End:    p.dest[i],
+			WalkID: p.walkIDs[i],
+			Length: ell,
+		}}
 		out.Destinations[i] = p.dest[i]
-		out.Walks[i] = &WalkResult{
-			Source:      s,
-			Destination: p.dest[i],
-			Length:      ell,
-			Naive:       true,
-			Segments: []Segment{{
-				Start:  s,
-				End:    p.dest[i],
-				WalkID: p.walkIDs[i],
-				Length: ell,
-			}},
-		}
+		out.Walks[i] = wr
 	}
 	return w.notifyAll(out, sources)
 }
@@ -206,6 +277,9 @@ func (w *Walker) naiveMany(out *ManyResult, sources []graph.NodeID, ell int) err
 func (w *Walker) notifyAll(out *ManyResult, sources []graph.NodeID) error {
 	perNode := make(map[graph.NodeID][]destReport, len(sources))
 	for i := range sources {
+		if out.Errs != nil && out.Errs[i] != nil {
+			continue // failed walk: no destination to announce
+		}
 		wr := out.Walks[i]
 		last := wr.Segments[len(wr.Segments)-1]
 		perNode[wr.Destination] = append(perNode[wr.Destination], destReport{
@@ -221,8 +295,8 @@ func (w *Walker) notifyAll(out *ManyResult, sources []graph.NodeID) error {
 	if err != nil {
 		return err
 	}
-	if len(reports) != len(sources) {
-		return fmt.Errorf("core: %d of %d destination reports arrived", len(reports), len(sources))
+	if want := len(sources) - out.Failed; len(reports) != want {
+		return fmt.Errorf("core: %d of %d destination reports arrived", len(reports), want)
 	}
 	res, err = congest.BroadcastMany(w.net, w.tree, reports, nil)
 	out.Cost.Add(res)
@@ -243,11 +317,14 @@ type naiveManyProto struct {
 func (p *naiveManyProto) Init(ctx *congest.Ctx) {
 	v := ctx.Node()
 	// Iterate the ordered slice, not the map: map order would make RNG
-	// consumption (and thus the whole run) non-deterministic.
-	for idx, wid := range p.walkIDs {
+	// consumption (and thus the whole run) non-deterministic. The walk
+	// index comes from the start map — walkIDs is sparse when partial
+	// mode dropped failed walks before the tail run.
+	for _, wid := range p.walkIDs {
 		if walkOwner(wid) != v {
 			continue
 		}
+		idx := p.start[wid]
 		steps := p.steps[idx]
 		if steps == 0 {
 			p.dest[idx] = v

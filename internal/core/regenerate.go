@@ -119,7 +119,7 @@ func (w *Walker) Regenerate(res *WalkResult) (*Trace, error) {
 	defer w.release()
 	traces, err := w.regenerateMany([]*WalkResult{res})
 	if err != nil {
-		return nil, err
+		return nil, w.faultize(err)
 	}
 	return traces[0], nil
 }
@@ -135,7 +135,11 @@ func (w *Walker) RegenerateMany(walks []*WalkResult) ([]*Trace, error) {
 		return nil, err
 	}
 	defer w.release()
-	return w.regenerateMany(walks)
+	traces, err := w.regenerateMany(walks)
+	if err != nil {
+		return nil, w.faultize(err)
+	}
+	return traces, nil
 }
 
 func (w *Walker) regenerateMany(walks []*WalkResult) ([]*Trace, error) {

@@ -199,7 +199,8 @@ func (w *Walker) Prepare(source graph.NodeID) (congest.Result, error) {
 	if err := w.checkNode(source); err != nil {
 		return congest.Result{}, err
 	}
-	return w.ensureTree(source)
+	res, err := w.ensureTree(source)
+	return res, w.faultize(err)
 }
 
 // SingleRandomWalk samples the destination of an ℓ-step simple random walk
@@ -211,7 +212,11 @@ func (w *Walker) SingleRandomWalk(source graph.NodeID, ell int) (*WalkResult, er
 		return nil, err
 	}
 	defer w.release()
-	return w.singleRandomWalk(source, ell)
+	res, err := w.singleRandomWalk(source, ell)
+	if err != nil {
+		return nil, w.faultize(err)
+	}
+	return res, nil
 }
 
 func (w *Walker) singleRandomWalk(source graph.NodeID, ell int) (*WalkResult, error) {
@@ -362,6 +367,14 @@ func (w *Walker) NaiveWalk(source graph.NodeID, ell int) (*WalkResult, error) {
 		return nil, err
 	}
 	defer w.release()
+	res, err := w.naiveWalk(source, ell)
+	if err != nil {
+		return nil, w.faultize(err)
+	}
+	return res, nil
+}
+
+func (w *Walker) naiveWalk(source graph.NodeID, ell int) (*WalkResult, error) {
 	if err := w.checkNode(source); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"distwalk/internal/graph"
+)
+
+func TestPlanEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan is not Empty")
+	}
+	if !(&Plan{Seed: 7}).Empty() {
+		t.Fatal("seed-only plan is not Empty")
+	}
+	for name, p := range map[string]*Plan{
+		"drop prob": {DropProb: 0.1},
+		"crash":     {Crashes: []Crash{{Node: 0, Round: 1}}},
+		"churn":     {Churn: []Churn{{Node: 0, From: 1, To: 2}}},
+		"lossy":     {LinkDrops: []LinkDrop{{From: 0, To: 1, Prob: 0.5}}},
+		"slow":      {LinkDelays: []LinkDelay{{From: 0, To: 1, Rounds: 2}}},
+	} {
+		if p.Empty() {
+			t.Errorf("%s plan reported Empty", name)
+		}
+	}
+}
+
+// TestPlanValidate is the construction-error table: every malformed plan
+// fails with ErrBadPlan, every well-formed one passes.
+func TestPlanValidate(t *testing.T) {
+	const n = 8
+	bad := map[string]*Plan{
+		"crash node negative":  {Crashes: []Crash{{Node: -1, Round: 0}}},
+		"crash node too large": {Crashes: []Crash{{Node: n, Round: 0}}},
+		"crash round negative": {Crashes: []Crash{{Node: 1, Round: -3}}},
+		"churn node":           {Churn: []Churn{{Node: 99, From: 0, To: 5}}},
+		"churn empty window":   {Churn: []Churn{{Node: 1, From: 5, To: 5}}},
+		"churn inverted":       {Churn: []Churn{{Node: 1, From: 5, To: 2}}},
+		"churn negative from":  {Churn: []Churn{{Node: 1, From: -1, To: 2}}},
+		"drop prob negative":   {DropProb: -0.01},
+		"drop prob above one":  {DropProb: 1.01},
+		"drop prob NaN":        {DropProb: math.NaN()},
+		"link drop node":       {LinkDrops: []LinkDrop{{From: 0, To: n, Prob: 0.5}}},
+		"link drop prob":       {LinkDrops: []LinkDrop{{From: 0, To: 1, Prob: 2}}},
+		"link drop NaN":        {LinkDrops: []LinkDrop{{From: 0, To: 1, Prob: math.NaN()}}},
+		"link delay node":      {LinkDelays: []LinkDelay{{From: -2, To: 1, Rounds: 1}}},
+		"link delay negative":  {LinkDelays: []LinkDelay{{From: 0, To: 1, Rounds: -1}}},
+	}
+	for name, p := range bad {
+		if err := p.Validate(n); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("%s: Validate = %v, want ErrBadPlan", name, err)
+		}
+	}
+	good := &Plan{
+		Seed:       3,
+		DropProb:   0.05,
+		Crashes:    []Crash{{Node: 0, Round: 0}, {Node: n - 1, Round: 1 << 20}},
+		Churn:      []Churn{{Node: 3, From: 0, To: 1}},
+		LinkDrops:  []LinkDrop{{From: 0, To: 1, Prob: 1}},
+		LinkDelays: []LinkDelay{{From: 1, To: 0, Rounds: 0}},
+	}
+	if err := good.Validate(n); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if got := Threshold(0); got != 0 {
+		t.Fatalf("Threshold(0) = %d, want 0", got)
+	}
+	if got := Threshold(-1); got != 0 {
+		t.Fatalf("Threshold(-1) = %d, want 0", got)
+	}
+	if got := Threshold(1); got != math.MaxUint64 {
+		t.Fatalf("Threshold(1) = %d, want MaxUint64", got)
+	}
+	half := Threshold(0.5)
+	if half < 1<<62 || half > 1<<63 {
+		t.Fatalf("Threshold(0.5) = %d, not near 2^63", half)
+	}
+	// Monotone in prob: more loss, higher threshold.
+	prev := uint64(0)
+	for _, p := range []float64{1e-9, 0.001, 0.01, 0.1, 0.5, 0.9, 0.999} {
+		th := Threshold(p)
+		if th <= prev {
+			t.Fatalf("Threshold not strictly increasing at %v: %d <= %d", p, th, prev)
+		}
+		prev = th
+	}
+}
+
+// TestRollUniformity spot-checks that Roll draws hit a threshold at about
+// the configured rate — the property the drop sampler relies on.
+func TestRollUniformity(t *testing.T) {
+	key := Key(42)
+	const draws = 200000
+	for _, prob := range []float64{0.1, 0.5} {
+		th := Threshold(prob)
+		hits := 0
+		for seq := uint64(0); seq < draws; seq++ {
+			if Roll(key, 17, seq) < th {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		if math.Abs(got-prob) > 0.01 {
+			t.Errorf("Roll hit rate %v for prob %v", got, prob)
+		}
+	}
+}
+
+// TestRollDeterministic pins the statelessness contract: the decision for
+// (key, edge, ordinal) never depends on call order, and distinct edges
+// or seeds decorrelate.
+func TestRollDeterministic(t *testing.T) {
+	key := Key(9)
+	if Roll(key, 3, 5) != Roll(key, 3, 5) {
+		t.Fatal("Roll is not a pure function")
+	}
+	if Roll(key, 3, 5) == Roll(key, 4, 5) {
+		t.Fatal("Roll ignores the edge")
+	}
+	if Roll(key, 3, 5) == Roll(key, 3, 6) {
+		t.Fatal("Roll ignores the ordinal")
+	}
+	if Key(9) == Key(10) {
+		t.Fatal("Key ignores the seed")
+	}
+}
+
+func TestRandomPlanReproducible(t *testing.T) {
+	g, err := graph.Torus(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Chaos{Crashes: 2, Churns: 2, DropProb: 0.01, LossyLinks: 3, SlowLinks: 3}
+	a := RandomPlan(123, g, spec)
+	b := RandomPlan(123, g, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	c := RandomPlan(124, g, spec)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if a.Empty() {
+		t.Fatal("chaos plan with faults came out empty")
+	}
+	if err := a.Validate(g.N()); err != nil {
+		t.Fatalf("RandomPlan emitted an invalid plan: %v", err)
+	}
+	// Link picks must be actual edges (RandomPlan samples adjacency).
+	for _, l := range a.LinkDrops {
+		if !hasEdge(g, l.From, l.To) {
+			t.Fatalf("lossy link %d->%d is not an edge", l.From, l.To)
+		}
+	}
+	for _, l := range a.LinkDelays {
+		if !hasEdge(g, l.From, l.To) {
+			t.Fatalf("slow link %d->%d is not an edge", l.From, l.To)
+		}
+	}
+}
+
+func hasEdge(g *graph.G, from, to graph.NodeID) bool {
+	for _, nb := range g.Neighbors(from) {
+		if nb.To == to {
+			return true
+		}
+	}
+	return false
+}

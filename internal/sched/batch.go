@@ -141,22 +141,41 @@ func BatchSeed(seed uint64, sortedKeys []uint64) uint64 {
 // batches and the service's ManyRandomWalks entry point: one
 // MANY-RANDOM-WALKS run for all sources, then one shared RegenerateMany
 // pass for the walks selected by traceIdx (indices into sources; nil for
-// none). The returned traces align with traceIdx.
-func ExecGroup(w *core.Walker, sources []graph.NodeID, ell int, traceIdx []int) (*core.ManyResult, []*core.Trace, error) {
-	many, err := w.ManyRandomWalks(sources, ell)
+// none). The returned traces align with traceIdx. With partial set, walks
+// killed by injected faults are reported per walk in ManyResult.Errs
+// instead of failing the group; their trace slots (if any) stay nil.
+func ExecGroup(w *core.Walker, sources []graph.NodeID, ell int, traceIdx []int, partial bool) (*core.ManyResult, []*core.Trace, error) {
+	var many *core.ManyResult
+	var err error
+	if partial {
+		many, err = w.ManyRandomWalksPartial(sources, ell)
+	} else {
+		many, err = w.ManyRandomWalks(sources, ell)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	if len(traceIdx) == 0 {
 		return many, nil, nil
 	}
-	walks := make([]*core.WalkResult, len(traceIdx))
+	walks := make([]*core.WalkResult, 0, len(traceIdx))
+	live := make([]int, 0, len(traceIdx)) // positions in traceIdx whose walk completed
 	for i, idx := range traceIdx {
-		walks[i] = many.Walks[idx]
+		if many.Errs != nil && many.Errs[idx] != nil {
+			continue
+		}
+		walks = append(walks, many.Walks[idx])
+		live = append(live, i)
 	}
-	traces, err := w.RegenerateMany(walks)
-	if err != nil {
-		return nil, nil, err
+	traces := make([]*core.Trace, len(traceIdx))
+	if len(walks) > 0 {
+		got, err := w.RegenerateMany(walks)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j, i := range live {
+			traces[i] = got[j]
+		}
 	}
 	return many, traces, nil
 }
@@ -175,7 +194,7 @@ func (b *Batch) Execute(w *core.Walker) {
 			traceIdx = append(traceIdx, i)
 		}
 	}
-	many, traces, err := ExecGroup(w, sources, b.Ell, traceIdx)
+	many, traces, err := ExecGroup(w, sources, b.Ell, traceIdx, false)
 	if err != nil {
 		b.Abort(err)
 		return

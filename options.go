@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"distwalk/internal/core"
+	"distwalk/internal/fault"
 	"distwalk/internal/sched"
 )
 
@@ -28,6 +29,15 @@ type config struct {
 	// (construction-time only; see WithBatching).
 	batchOn bool
 	batch   sched.Config
+	// retries is the number of re-executions after a retryable failure
+	// (0 = fail fast), backoff the base of their exponential wait.
+	retries int
+	backoff time.Duration
+	// partial switches ManyRandomWalks to per-walk failure isolation.
+	partial bool
+	// fplan is the deterministic fault plan installed on every worker
+	// network (construction-time only; see WithFaultPlan).
+	fplan *fault.Plan
 }
 
 func defaultConfig() config {
@@ -177,6 +187,55 @@ func WithBatching(maxBatch int, maxDelay time.Duration) Option {
 		}
 	}
 }
+
+// WithRetry sets how many times a failed request is re-executed before
+// its error is returned (default 0: fail fast). Only retryable failures
+// re-execute — see Retryable: typed fault errors (ErrNodeCrashed,
+// ErrMessageLost) and transient scheduling rejections (ErrQueueFull,
+// ErrBatchAborted). Each retry runs with a fresh seed derived from
+// (service seed, request key, attempt number), so a walk that died in a
+// crashed or lossy region re-randomizes deterministically: the result of
+// (key, attempt) is reproducible, and attempt 0 is bit-identical to a
+// service without retries. Context deadlines are honored between
+// attempts (see WithBackoff). Applies per request or as a service
+// default.
+func WithRetry(max int) Option {
+	return func(c *config) {
+		if max >= 0 {
+			c.retries = max
+		}
+	}
+}
+
+// WithBackoff sets the base wait before retries: the r-th retry waits
+// base << (r-1), aborting early (with the context error) if the request
+// context expires first. Default 0: retries run back to back — the
+// "network" is simulated, so waiting is only useful when callers want to
+// rate-limit recovery work.
+func WithBackoff(base time.Duration) Option {
+	return func(c *config) {
+		if base >= 0 {
+			c.backoff = base
+		}
+	}
+}
+
+// WithPartialResults switches ManyRandomWalks to per-walk failure
+// isolation: walks killed by injected faults no longer fail the whole
+// request; survivors complete and ManyResult.Errs reports the casualties
+// (Errs[i] non-nil, Destinations[i] == None). Shared-phase failures
+// (BFS tree, Phase 1, cancellation) still fail the request. Per-walk
+// errors do not trigger WithRetry — the request itself succeeded.
+func WithPartialResults() Option { return func(c *config) { c.partial = true } }
+
+// WithFaultPlan installs a deterministic fault plan on every worker's
+// simulated network: crash-stop failures, churn windows, lossy and slow
+// links, all derived from the plan's seed (see FaultPlan and
+// RandomFaultPlan). Same (plan, graph, request key) — same faults, same
+// result, at any shard count. Construction-time only: per-request use is
+// ignored. NewService fails with ErrBadFault if the plan is invalid for
+// the graph.
+func WithFaultPlan(p *FaultPlan) Option { return func(c *config) { c.fplan = p } }
 
 // WithBatchQueueLimit bounds each batch admission queue (construction
 // time only; default 4x the batch size). When executions cannot keep up

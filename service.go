@@ -2,9 +2,11 @@ package distwalk
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distwalk/internal/congest"
@@ -63,6 +65,13 @@ type Service struct {
 	shardMu  sync.Mutex
 	shardAgg ShardStats
 
+	// retry counters (see RetryStats); updated lock-free on every attempt.
+	retryAttempts  atomic.Int64
+	retryRetries   atomic.Int64
+	retryRecovered atomic.Int64
+	retryExhausted atomic.Int64
+	retryFaults    atomic.Int64
+
 	closeOnce sync.Once
 }
 
@@ -102,9 +111,22 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 		jobs: make(chan func(*poolWorker)),
 		quit: make(chan struct{}),
 	}
-	for i := 0; i < cfg.workers; i++ {
+	// Build and validate every worker network before spawning anything: an
+	// invalid fault plan fails construction with ErrBadFault instead of
+	// leaving a half-started pool behind.
+	nets := make([]*congest.Network, cfg.workers)
+	for i := range nets {
+		n := congest.NewNetwork(g, seed, congest.WithShards(cfg.shards))
+		if cfg.fplan != nil {
+			if err := n.SetFaultPlan(cfg.fplan); err != nil {
+				return nil, err
+			}
+		}
+		nets[i] = n
+	}
+	for _, n := range nets {
 		s.wg.Add(1)
-		go s.worker(&poolWorker{net: congest.NewNetwork(g, seed, congest.WithShards(cfg.shards))})
+		go s.worker(&poolWorker{net: n})
 	}
 	if cfg.batchOn {
 		bc := cfg.batch
@@ -167,6 +189,25 @@ type ServiceStats struct {
 	// spent waiting at round barriers, summed over every request served so
 	// far. Shards.Occupancy() is the per-shard work share.
 	Shards ShardStats
+	// Retry reports the service's recovery activity (see WithRetry).
+	Retry RetryStats
+}
+
+// RetryStats counts request attempts and their outcomes across the
+// service's lifetime.
+type RetryStats struct {
+	// Attempts is the total number of request executions, first attempts
+	// included.
+	Attempts int64
+	// Retries counts re-executions after a retryable failure.
+	Retries int64
+	// Recovered counts requests that succeeded on a retry.
+	Recovered int64
+	// Exhausted counts requests that still failed after their last retry.
+	Exhausted int64
+	// Faults counts attempts that failed with a typed fault error
+	// (ErrNodeCrashed / ErrMessageLost).
+	Faults int64
 }
 
 // Stats returns the service's counters: batch admissions, rejections
@@ -182,6 +223,13 @@ func (s *Service) Stats() ServiceStats {
 	s.shardMu.Lock()
 	out.Shards.Add(s.shardAgg)
 	s.shardMu.Unlock()
+	out.Retry = RetryStats{
+		Attempts:  s.retryAttempts.Load(),
+		Retries:   s.retryRetries.Load(),
+		Recovered: s.retryRecovered.Load(),
+		Exhausted: s.retryExhausted.Load(),
+		Faults:    s.retryFaults.Load(),
+	}
 	return out
 }
 
@@ -223,16 +271,91 @@ func deriveSeed(seed, key uint64) uint64 {
 	return rng.New(seed).Stream(key).Uint64()
 }
 
-// submit runs fn on a pool worker and waits for it (or for ctx/closure).
+// attemptSeed salts the request seed with the retry attempt number:
+// attempt 0 is deriveSeed unchanged (so retry-enabled services stay
+// bit-identical to retry-free ones until something actually fails), and
+// each retry splits a fresh, reproducible stream — the result of
+// (service seed, key, attempt) is deterministic, which is what makes the
+// recovery path testable at all.
+func attemptSeed(seed, key uint64, attempt int) uint64 {
+	d := deriveSeed(seed, key)
+	if attempt > 0 {
+		d = rng.New(d).Stream(uint64(attempt)).Uint64()
+	}
+	return d
+}
+
+// submit runs fn on a pool worker and waits for it (or for ctx/closure),
+// re-executing up to cfg.retries times on retryable failures (see
+// Retryable) with attempt-salted seeds and exponential backoff.
 func (s *Service) submit(ctx context.Context, key uint64, opts []Option, fn func(w *Walker, cfg config) error) error {
 	cfg := s.cfg
 	cfg.apply(opts)
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
+	for attempt := 0; ; attempt++ {
+		err := s.submitOnce(ctx, key, cfg, attempt, fn)
+		s.retryAttempts.Add(1)
+		if err == nil {
+			if attempt > 0 {
+				s.retryRecovered.Add(1)
+			}
+			return nil
+		}
+		if isFaultErr(err) {
+			s.retryFaults.Add(1)
+		}
+		if !Retryable(err) {
+			return err
+		}
+		if attempt >= cfg.retries {
+			if cfg.retries > 0 {
+				s.retryExhausted.Add(1)
+				return fmt.Errorf("distwalk: request %d failed after %d attempts: %w", key, attempt+1, err)
+			}
+			return err
+		}
+		if werr := s.backoffWait(ctx, cfg.backoff, attempt); werr != nil {
+			return fmt.Errorf("distwalk: request %d retry abandoned: %w (last attempt: %w)", key, werr, err)
+		}
+		s.retryRetries.Add(1)
+	}
+}
+
+// isFaultErr reports a typed fault loss (as opposed to a transient
+// scheduling rejection).
+func isFaultErr(err error) bool {
+	return errors.Is(err, ErrNodeCrashed) || errors.Is(err, ErrMessageLost)
+}
+
+// backoffWait sleeps base << attempt before the next retry, honoring the
+// request context and service shutdown. attempt is the zero-based index
+// of the attempt that just failed, so the first retry waits base.
+func (s *Service) backoffWait(ctx context.Context, base time.Duration, attempt int) error {
+	if base <= 0 {
+		return ctx.Err()
+	}
+	if attempt > 16 {
+		attempt = 16 // cap the shift; minutes of simulated patience is plenty
+	}
+	t := time.NewTimer(base << uint(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.quit:
+		return ErrServiceClosed
+	}
+}
+
+// submitOnce runs one attempt of fn on a pool worker and waits for it.
+func (s *Service) submitOnce(ctx context.Context, key uint64, cfg config, attempt int, fn func(w *Walker, cfg config) error) error {
 	done := make(chan error, 1)
 	job := func(pw *poolWorker) {
-		done <- s.execute(ctx, key, cfg, pw, fn)
+		done <- s.execute(ctx, key, cfg, attempt, pw, fn)
 	}
 	select {
 	case s.jobs <- job:
@@ -252,22 +375,25 @@ func (s *Service) submit(ctx context.Context, key uint64, opts []Option, fn func
 }
 
 // execute prepares the worker's warm state for this request and runs fn:
-// reseed the network from (service seed, key), Reset the pooled walker
-// (first request builds it), and apply per-request knobs. Nothing here
-// depends on what the worker served before — that is the per-key
-// determinism contract.
-func (s *Service) execute(ctx context.Context, key uint64, cfg config, pw *poolWorker, fn func(w *Walker, cfg config) error) error {
+// reseed the network from (service seed, key, attempt), Reset the pooled
+// walker (first request builds it), and apply per-request knobs. Nothing
+// here depends on what the worker served before — that is the per-key
+// determinism contract. On failure the error is faultized: if the run
+// lost a token to an injected fault, the typed fault error replaces
+// protocol-level detection noise even for drivers (spanning, mixing)
+// that run congest primitives outside the Walker methods.
+func (s *Service) execute(ctx context.Context, key uint64, cfg config, attempt int, pw *poolWorker, fn func(w *Walker, cfg config) error) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
-	w, err := s.prepare(pw, deriveSeed(s.seed, key), cfg.params, cfg.maxRounds)
+	w, err := s.prepare(pw, attemptSeed(s.seed, key, attempt), cfg.params, cfg.maxRounds)
 	if err != nil {
 		return err
 	}
 	pw.net.SetContext(ctx)
 	defer pw.net.SetContext(nil)
 	defer s.collectShardStats(pw)
-	return fn(w, cfg)
+	return core.Faultize(w, fn(w, cfg))
 }
 
 // prepare readies a worker's warm state for a run under the given seed
@@ -357,8 +483,8 @@ func (s *Service) NaiveWalk(ctx context.Context, key uint64, source NodeID, ell 
 // explicit batch under the caller's key instead of a scheduled one.
 func (s *Service) ManyRandomWalks(ctx context.Context, key uint64, sources []NodeID, ell int, opts ...Option) (*ManyResult, error) {
 	var out *ManyResult
-	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
-		res, _, err := sched.ExecGroup(w, sources, ell, nil)
+	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
+		res, _, err := sched.ExecGroup(w, sources, ell, nil, cfg.partial)
 		out = res
 		return err
 	})

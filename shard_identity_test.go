@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -184,6 +185,114 @@ func testShardIdentity(t *testing.T, shards int) {
 func TestShardIdentity2(t *testing.T) { testShardIdentity(t, 2) }
 func TestShardIdentity4(t *testing.T) { testShardIdentity(t, 4) }
 func TestShardIdentity8(t *testing.T) { testShardIdentity(t, 8) }
+
+// testShardIdentityFaulty is the crash-variant of the bit-identity
+// contract: with a fault plan installed (a crash, churn windows, lossy and
+// slow links), every request must produce identical results, identical
+// FaultStats (embedded in cost=%+v) and — for requests the faults kill —
+// the identical typed error text at every shard count. Retries and
+// partial-results mode are on, so the retry layer's salted re-seeding is
+// covered by the identity check too.
+func testShardIdentityFaulty(t *testing.T, shards int) {
+	g, err := distwalk.Torus(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &distwalk.FaultPlan{
+		Seed:    77,
+		Crashes: []distwalk.FaultCrash{{Node: 100, Round: 260}},
+		Churn: []distwalk.FaultChurn{
+			{Node: 37, From: 40, To: 160},
+			{Node: 88, From: 90, To: 140},
+		},
+		LinkDrops: []distwalk.FaultLinkDrop{
+			{From: 0, To: g.Neighbors(0)[0].To, Prob: 0.05},
+			{From: 70, To: g.Neighbors(70)[1].To, Prob: 0.1},
+		},
+		LinkDelays: []distwalk.FaultLinkDelay{
+			{From: 30, To: g.Neighbors(30)[0].To, Rounds: 1},
+		},
+	}
+	build := func(opts ...distwalk.Option) *distwalk.Service {
+		svc, err := distwalk.NewService(g, 42, append([]distwalk.Option{
+			distwalk.WithWorkers(2),
+			distwalk.WithFaultPlan(plan),
+			distwalk.WithRetry(2),
+			distwalk.WithBackoff(0),
+			distwalk.WithPartialResults(),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	seq := build()
+	defer seq.Close()
+	shd := build(distwalk.WithShards(shards))
+	defer shd.Close()
+
+	ctx := context.Background()
+	workloads := []shardWorkload{
+		{"SingleRandomWalk", func(svc *distwalk.Service, key uint64) (string, error) {
+			res, err := svc.SingleRandomWalk(ctx, key, 0, 768)
+			if err != nil {
+				return "err=" + err.Error(), nil
+			}
+			return fmt.Sprintf("dest=%d len=%d cost=%+v", res.Destination, res.Length, res.Cost), nil
+		}},
+		{"ManyRandomWalks", func(svc *distwalk.Service, key uint64) (string, error) {
+			sources := make([]distwalk.NodeID, 6)
+			for i := range sources {
+				sources[i] = distwalk.NodeID(i * 19 % svc.Graph().N())
+			}
+			res, err := svc.ManyRandomWalks(ctx, key, sources, 512)
+			if err != nil {
+				return "err=" + err.Error(), nil
+			}
+			return fmt.Sprintf("dests=%v failed=%d errs=%v cost=%+v", res.Destinations, res.Failed, res.Errs, res.Cost), nil
+		}},
+		{"RandomSpanningTree", func(svc *distwalk.Service, key uint64) (string, error) {
+			res, err := svc.RandomSpanningTree(ctx, key, 0)
+			if err != nil {
+				return "err=" + err.Error(), nil
+			}
+			return fmt.Sprintf("parents=%v cost=%+v", res.Parent, res.Cost), nil
+		}},
+		{"EstimateMixingTime", func(svc *distwalk.Service, key uint64) (string, error) {
+			est, err := svc.EstimateMixingTime(ctx, key, 0, distwalk.WithTrials(16), distwalk.WithMaxEll(128))
+			if err != nil {
+				return "err=" + err.Error(), nil
+			}
+			return fmt.Sprintf("tau=%d cost=%+v", est.Tau, est.Cost), nil
+		}},
+	}
+
+	sawFault := false
+	for _, wl := range workloads {
+		for key := uint64(1); key <= 3; key++ {
+			a, _ := wl.run(seq, key)
+			b, _ := wl.run(shd, key)
+			if a != b {
+				t.Errorf("%s key %d diverged under faults:\n  sequential: %s\n  sharded(%d): %s", wl.name, key, a, shards, b)
+			}
+			if strings.Contains(a, "err=") || strings.Contains(a, "LinkDropped:") && !strings.Contains(a, "LinkDropped:0") {
+				sawFault = true
+			}
+		}
+	}
+	// The retry layer's counters are deterministic per key, so the totals
+	// must be shard-invariant too.
+	if a, b := seq.Stats().Retry, shd.Stats().Retry; a != b {
+		t.Errorf("retry counters diverged: sequential %+v, sharded(%d) %+v", a, shards, b)
+	}
+	if seq.Stats().Retry.Faults == 0 && !sawFault {
+		t.Error("fault plan left no observable trace; the scenario needs retuning")
+	}
+}
+
+func TestShardIdentityFaulty2(t *testing.T) { testShardIdentityFaulty(t, 2) }
+func TestShardIdentityFaulty4(t *testing.T) { testShardIdentityFaulty(t, 4) }
+func TestShardIdentityFaulty8(t *testing.T) { testShardIdentityFaulty(t, 8) }
 
 // TestShardIdentityBatched pins that the batching scheduler composes with
 // sharded workers: a coalesced batch executes bit-identically on sharded

@@ -137,21 +137,52 @@ func (s *Service) submitAsync(ctx context.Context, key uint64, source NodeID, el
 		go func() { ch <- s.unbatchedWalk(ctx, key, source, ell, trace, opts) }()
 		return newWalkHandle(ch), nil
 	}
-	ch, err := s.batch.Submit(ctx, sched.Request{
+	req := sched.Request{
 		Key:       key,
 		Source:    source,
 		Ell:       ell,
 		Trace:     trace,
 		Params:    cfg.params,
 		MaxRounds: cfg.maxRounds,
-	})
+	}
+	ch, err := s.batch.Submit(ctx, req)
+	// Backpressure retry: a full admission queue drains as batches flush,
+	// so with WithRetry we wait out the backoff and re-admit instead of
+	// failing fast.
+	for attempt := 0; err != nil && errors.Is(err, sched.ErrQueueFull) && attempt < cfg.retries; attempt++ {
+		if werr := s.backoffWait(ctx, cfg.backoff, attempt); werr != nil {
+			break
+		}
+		s.retryRetries.Add(1)
+		ch, err = s.batch.Submit(ctx, req)
+	}
 	if err != nil {
 		if errors.Is(err, sched.ErrSchedulerClosed) {
 			return nil, fmt.Errorf("%w (request %d)", ErrServiceClosed, key)
 		}
 		return nil, err
 	}
-	return newWalkHandle(ch), nil
+	if cfg.retries == 0 {
+		return newWalkHandle(ch), nil
+	}
+	// Abort fallback: a batch that failed as a whole (a batchmate's fault,
+	// a poisoned shared run) completes its members with ErrBatchAborted.
+	// With WithRetry the member re-executes alone on the per-key
+	// deterministic path, which carries its own retry budget.
+	out := make(chan sched.Result, 1)
+	go func() {
+		r := <-ch
+		if r.Err != nil && Retryable(r.Err) {
+			s.retryRetries.Add(1)
+			fb := s.unbatchedWalk(ctx, key, source, ell, trace, opts)
+			if fb.Err == nil {
+				s.retryRecovered.Add(1)
+			}
+			r = fb
+		}
+		out <- r
+	}()
+	return newWalkHandle(out), nil
 }
 
 // unbatchedWalk serves one submitted request on the per-key path — the
