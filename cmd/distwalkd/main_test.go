@@ -1,0 +1,28 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := map[string]struct {
+		args []string
+		want error
+	}{
+		"bad shard":       {[]string{"-shard", "-2"}, errUsage},
+		"positional args": {[]string{"extra"}, errUsage},
+		"unknown flag":    {[]string{"-bogus"}, errUsage},
+		"bad listen":      {[]string{"-listen", "256.0.0.1:bad"}, errListen},
+		"bad debug addr":  {[]string{"-listen", "127.0.0.1:0", "-debug-addr", "256.0.0.1:bad"}, errListen},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("run(%v) = %v, want %v", tc.args, err, tc.want)
+			}
+		})
+	}
+}

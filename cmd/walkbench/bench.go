@@ -55,24 +55,24 @@ type benchWorkload struct {
 	run   func(svc *distwalk.Service, key uint64) (distwalk.Cost, error)
 }
 
-func benchWorkloads(seed uint64) ([]benchWorkload, error) {
+func benchWorkloads(seed uint64) ([]benchWorkload, func(), error) {
 	torus, err := distwalk.Torus(16, 16)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	regular, err := distwalk.RandomRegular(64, 4, 9)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// One single-worker service per graph: requests stay serial (clean
 	// ns/op) and every request key maps to a deterministic execution.
 	torusSvc, err := distwalk.NewService(torus, seed, distwalk.WithWorkers(1))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	regularSvc, err := distwalk.NewService(regular, seed, distwalk.WithWorkers(1))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Batching service: a generous delay window so every 8-submission
 	// burst coalesces by hitting the size threshold, keeping the batch
@@ -80,7 +80,7 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 	batchedSvc, err := distwalk.NewService(torus, seed, distwalk.WithWorkers(1),
 		distwalk.WithBatching(8, time.Second))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Sharded service: the ~10x larger torus where parallel per-round node
 	// processing pays; 4 shards pinned (not GOMAXPROCS) so the workload is
@@ -89,12 +89,12 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 	// pin and this baseline's counters double-check against drift.
 	bigTorus, err := distwalk.Torus(48, 48)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	shardedSvc, err := distwalk.NewService(bigTorus, seed, distwalk.WithWorkers(1),
 		distwalk.WithShards(4))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Faulty service: the same torus with a fixed deterministic fault plan
 	// (a churn window, two lossy links, one slow link) and retries enabled.
@@ -118,7 +118,26 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 		distwalk.WithFaultPlan(faultPlan), distwalk.WithRetry(3), distwalk.WithBackoff(0),
 		distwalk.WithPartialResults())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	// Cluster service: two real distwalkd processes on loopback ports.
+	// Same graph and request shape as ManyRandomWalks, so the cluster
+	// snapshot's counters must match that baseline's bit for bit (the
+	// wire protocol is invisible to the simulation) and the ns/op delta
+	// IS the protocol cost: framing, TCP, two round trips per round.
+	addrs, stopEngines, err := startClusterEngines(2)
+	if err != nil {
+		return nil, nil, err
+	}
+	clusterSvc, err := distwalk.NewService(torus, seed, distwalk.WithWorkers(1),
+		distwalk.WithCluster(addrs...))
+	if err != nil {
+		stopEngines()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		clusterSvc.Close()
+		stopEngines()
 	}
 	ctx := context.Background()
 	return []benchWorkload{
@@ -181,6 +200,22 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 					sources[i] = distwalk.NodeID(i * 288)
 				}
 				res, err := svc.ManyRandomWalks(ctx, key, sources, 2048)
+				if err != nil {
+					return distwalk.Cost{}, err
+				}
+				return res.Cost, nil
+			},
+		},
+		{
+			// Cluster headline: the ManyRandomWalks request with the shard
+			// transport living in two distwalkd processes. rounds_per_op
+			// must equal BENCH_ManyRandomWalks.json's exactly; the summary
+			// line's rounds/s is the protocol's sustained round rate over
+			// real loopback TCP.
+			name: "ClusterManyWalks", graph: "torus16x16/2engines", svc: clusterSvc,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				sources := make([]distwalk.NodeID, 8)
+				res, err := svc.ManyRandomWalks(ctx, key, sources, 1024)
 				if err != nil {
 					return distwalk.Cost{}, err
 				}
@@ -262,7 +297,7 @@ func benchWorkloads(seed uint64) ([]benchWorkload, error) {
 				return est.Cost, nil
 			},
 		},
-	}, nil
+	}, cleanup, nil
 }
 
 // runBenchJSON measures every workload and writes BENCH_<name>.json into
@@ -274,10 +309,11 @@ func runBenchJSON(dir string, seed uint64, reps int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	workloads, err := benchWorkloads(seed)
+	workloads, cleanup, err := benchWorkloads(seed)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	for _, wl := range workloads {
 		rec, err := measure(wl, seed, reps)
 		if err != nil {
@@ -291,8 +327,9 @@ func runBenchJSON(dir string, seed uint64, reps int) error {
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("%-20s %12d ns/op %10d allocs/op %8d rounds/op %10d msgs/op  -> %s\n",
-			wl.name, rec.NsPerOp, rec.AllocsPerOp, rec.RoundsPerOp, rec.MessagesPerOp, path)
+		fmt.Printf("%-20s %12d ns/op %10d allocs/op %8d rounds/op %10d msgs/op %9.0f rounds/s  -> %s\n",
+			wl.name, rec.NsPerOp, rec.AllocsPerOp, rec.RoundsPerOp, rec.MessagesPerOp,
+			float64(rec.RoundsPerOp)/(float64(rec.NsPerOp)/1e9), path)
 	}
 	return nil
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cluster-bench plumbing: the ClusterManyWalks workload measures the
+// internal/wire protocol against REAL distwalkd processes — not an
+// in-process loopback — so the recorded ns/op includes framing, TCP and
+// the two round trips per simulated round. The engines are built from
+// the module with the local toolchain (walkbench already runs via `go
+// run`, so `go` is present wherever the bench runs).
+
+// engineOut collects a daemon's output; the process writes concurrently
+// with the polling reads below.
+type engineOut struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *engineOut) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *engineOut) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitListenAddr polls the daemon's output for its "listening on" line
+// and returns the resolved address.
+func waitListenAddr(out *engineOut, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, ln := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(ln, "distwalkd listening on "); ok {
+				return strings.TrimSpace(rest), nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("distwalkd never reported its address:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// startClusterEngines builds cmd/distwalkd once and spawns n engine
+// processes on fresh loopback ports. The returned cleanup kills the
+// daemons and removes the build directory; callers must run it (orphaned
+// engines would outlive the bench).
+func startClusterEngines(n int) ([]string, func(), error) {
+	dir, err := os.MkdirTemp("", "walkbench-distwalkd-")
+	if err != nil {
+		return nil, nil, err
+	}
+	bin := filepath.Join(dir, "distwalkd")
+	if out, err := exec.Command("go", "build", "-o", bin, "distwalk/cmd/distwalkd").CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, fmt.Errorf("build distwalkd: %v\n%s", err, out)
+	}
+	var procs []*exec.Cmd
+	cleanup := func() {
+		for _, c := range procs {
+			c.Process.Kill()
+			c.Wait()
+		}
+		os.RemoveAll(dir)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+		out := &engineOut{}
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("start distwalkd: %w", err)
+		}
+		procs = append(procs, cmd)
+		addr, err := waitListenAddr(out, 15*time.Second)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		addrs[i] = addr
+	}
+	return addrs, cleanup, nil
+}

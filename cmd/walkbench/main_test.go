@@ -52,7 +52,7 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	for _, name := range []string{
 		"SingleRandomWalk", "ManyRandomWalks", "BatchedWalks", "NaiveWalk",
-		"RandomSpanningTree", "EstimateMixingTime",
+		"RandomSpanningTree", "EstimateMixingTime", "ClusterManyWalks",
 	} {
 		path := filepath.Join(dir, "BENCH_"+name+".json")
 		data, err := os.ReadFile(path)

@@ -1,0 +1,43 @@
+package distwalk
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+)
+
+// Observability helpers: a Service's counters (ServiceStats — scheduler,
+// shard occupancy, retry activity, cluster engine traffic) exported over
+// HTTP or expvar. Both are opt-in; a Service publishes nothing by
+// default. The server-side counterpart is distwalkd's -debug-addr flag,
+// which exports the engine's wire.Metrics the same way.
+
+// StatsHandler returns an http.Handler that serves the service's current
+// ServiceStats snapshot as JSON. Mount it wherever the process exposes
+// debug endpoints:
+//
+//	mux.Handle("/debug/distwalk", svc.StatsHandler())
+func (s *Service) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// PublishExpvar publishes the service's stats as the expvar name, so they
+// appear under /debug/vars next to the runtime's. Unlike expvar.Publish
+// it reports a duplicate name as an error instead of panicking (expvar
+// names are process-global and a second Service — or a second call — may
+// collide).
+func (s *Service) PublishExpvar(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("distwalk: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return s.Stats() }))
+	return nil
+}

@@ -49,6 +49,7 @@ import (
 	"distwalk/internal/rng"
 	"distwalk/internal/spanning"
 	"distwalk/internal/spectral"
+	"distwalk/internal/wire"
 )
 
 // Re-exported core types. The implementations live in internal packages;
@@ -77,6 +78,9 @@ type (
 	// ShardStats reports per-shard occupancy and barrier wait time of the
 	// sharded engine; see Service.Stats and the WithShards option.
 	ShardStats = congest.ShardStats
+	// ClusterEngineStats reports one remote shard engine's traffic in
+	// cluster mode; see Service.Stats and the WithCluster option.
+	ClusterEngineStats = wire.EngineStats
 	// RSTOptions tunes the random-spanning-tree driver; see the
 	// WithStartLength/WithWalksPerPhase/WithDeliverTree options.
 	RSTOptions = spanning.Options

@@ -9,6 +9,7 @@ import (
 	"distwalk/internal/mixing"
 	"distwalk/internal/sched"
 	"distwalk/internal/spanning"
+	"distwalk/internal/wire"
 )
 
 // Exported failure taxonomy. Every error returned through the public
@@ -82,6 +83,22 @@ var (
 	// probabilities, or an out-of-range WithCrash. Surfaced by NewService
 	// and by every engine run on a misconfigured network.
 	ErrBadFault = congest.ErrBadFault
+	// ErrClusterConfig reports a WithCluster engine list the shard planner
+	// or the engine group rejected (more engines than nodes, bounds that
+	// do not cover the graph, unsupported per-edge capacities).
+	ErrClusterConfig = congest.ErrShardPlan
+	// ErrClusterEngine reports a remote shard engine failing mid-request
+	// in cluster mode (connection lost, engine crashed, protocol
+	// violation). The wrapped transport cause is also errors.Is-able, e.g.
+	// ErrClusterRejected for typed server rejections.
+	ErrClusterEngine = congest.ErrRemoteShard
+	// ErrClusterRejected reports a distwalkd server refusing a session or
+	// request with a typed wire error: graph generation mismatch, shard
+	// index out of range, draining server, protocol violation. Surfaced by
+	// NewService (handshake) and mid-request (wrapped in
+	// ErrClusterEngine); errors.As against *wire.RemoteError exposes the
+	// code — but the wire package is internal, so match this sentinel.
+	ErrClusterRejected = wire.ErrEngine
 )
 
 // NodeCrashedError carries which node was down and the simulated round at

@@ -182,6 +182,14 @@ type Network struct {
 	sh      []*shard
 	shardOf []int32
 
+	// Cluster execution (nil = in-process): the remote shard engines, the
+	// node -> engine index, the per-engine send buffers and the reusable
+	// receive buffer; see remote.go.
+	remote   []RemoteShard
+	remoteOf []int32
+	pushBuf  [][]Message
+	recvBuf  []Message
+
 	ns nodeScratch // reusable per-node scratch for tree protocols
 }
 
@@ -390,9 +398,12 @@ func (n *Network) Run(p Proto) (Result, error) {
 		res Result
 		err error
 	)
-	if len(n.sh) > 1 {
+	switch {
+	case len(n.remote) > 0:
+		res, err = n.runRemote(p)
+	case len(n.sh) > 1:
 		res, err = n.runSharded(p)
-	} else {
+	default:
 		res, err = n.runSeq(p)
 	}
 	if n.hasCrash || n.flt != nil {
@@ -605,6 +616,11 @@ func (n *Network) crashed(v graph.NodeID) bool {
 // is shard-local; only the activity mark and the error sink route through
 // the caller's shard.
 func (n *Network) send(c *Ctx, to graph.NodeID, kind uint16, words int, w [PayloadWords]uint64) {
+	if n.remote != nil && c.sh == nil {
+		// Cluster mode: the owning engine resolves the edge; see remote.go.
+		n.sendRemote(c, to, kind, words, w)
+		return
+	}
 	from := c.node
 	errp := &n.runErr
 	if c.sh != nil {

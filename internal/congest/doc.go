@@ -157,6 +157,45 @@
 // loop with zero overhead. ShardStats reports per-shard occupancy and
 // barrier wait so imbalance is observable.
 //
+// # Cross-process boundary exchange (cluster mode)
+//
+// ConnectRemote replaces the in-process shard group with remote shard
+// engines reached through the internal/wire protocol (distwalkd
+// processes). The determinism argument above survives the process
+// boundary unchanged, because the protocol is a transcription of the
+// barrier discipline, not a relaxation of it:
+//
+//   - Each remote ShardEngine owns the same contiguous ascending
+//     directed-edge range the in-process shard would own (the client
+//     sends the identical PlanShards bounds in the handshake), and owns
+//     only transport state: edge rings, fault charging, delivery
+//     counters. Protocol state, per-node RNG streams, the awake list and
+//     the round bookkeeping stay on the client, so the split moves
+//     *where* edges drain without moving any order-sensitive decision.
+//   - The push barrier is write-all-then-read-all: the client sends every
+//     engine its round's boundary messages, then awaits every PushAck.
+//     No engine's delivery can begin before the barrier completes, same
+//     as the in-process phase structure.
+//   - The delivery barrier returns each engine's inbound buffer as one
+//     frame, messages in the engine's drain order — ascending edge index
+//     within the engine's range, FIFO within an edge. The client merges
+//     buffers in ascending engine (= shard) order; the concatenation is
+//     the global ascending directed-edge order, so every inbox is
+//     byte-identical to the sequential engine's, by the same argument as
+//     the in-process merge. TCP may interleave frames from different
+//     engines arbitrarily; the merge order is fixed by shard index, not
+//     arrival time, so network timing is unobservable.
+//   - Fault charging runs inside the engine that owns the edge, with the
+//     same per-edge ordinal streams (pure functions of plan key, edge,
+//     ordinal — no engine-side RNG), and the first-loss record merges by
+//     minimal (round, edge) across engines, exactly as across shards.
+//
+// Hence Result counters, walk outputs, RNG traces, fault census and
+// LossError are invariant across in-process sequential, WithShards(S)
+// and a WithCluster S-engine deployment — pinned by the wire-level run
+// identity tests (internal/wire) and the full-stack cluster suite
+// (cluster_test.go) against real distwalkd processes at S = 2, 4.
+//
 // # Warm-reuse lifecycle
 //
 // Pooling now extends one layer above the engine. The protocol layer keeps

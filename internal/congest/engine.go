@@ -1,0 +1,342 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+
+	"distwalk/internal/fault"
+	"distwalk/internal/graph"
+)
+
+// ShardEngine is the server side of cluster mode: the transport layer of
+// one shard — the per-directed-edge queues, fault-charging state and
+// delivery counters for a contiguous node range — factored out of the
+// Network so it can run in a separate process (cmd/distwalkd) behind the
+// internal/wire protocol. The protocol layer (Init/Step, per-node RNG
+// streams, awake bookkeeping) stays in the client process; each round the
+// client pushes that round's sends to the engine owning the sender and
+// asks every engine to deliver, merging the returned buffers in ascending
+// shard order. Because engines own ascending contiguous edge ranges and
+// deliver in ascending edge order, the merge reproduces the sequential
+// engine's global directed-edge delivery order bit for bit — the same
+// argument that makes the in-process sharded engine exact (see doc.go).
+//
+// A ShardEngine serves one client session: per-edge state (queue contents,
+// drop-decision ordinals, delay release rounds) is session state, exactly
+// like one pooled worker's Network in-process. Engines are not safe for
+// concurrent use; cmd/distwalkd builds one per connection.
+type ShardEngine struct {
+	// net hosts the shared machinery the engine borrows from the
+	// sequential engine — the flat half-edge index, the ring queues, the
+	// compiled fault plan — so the two delivery bodies can never drift on
+	// index layout or plan compilation. Its run loop is never used; its
+	// round counter is slaved to the client's round via Push/Deliver.
+	net *Network
+
+	index  int
+	nodeLo int32 // global node range [nodeLo, nodeHi)
+	nodeHi int32
+	edgeLo int32 // == off[nodeLo]; the engine owns edges [edgeLo, off[nodeHi])
+
+	active *sched    // engine-local edge indices (global edge - edgeLo)
+	out    []Message // deliver buffer, ascending edge order, reused
+
+	res  Result
+	loss lossInfo
+
+	// Cumulative occupancy counters (survive RunBegin; exported via the
+	// distwalkd expvar endpoint).
+	runs      int64
+	pushed    int64
+	delivered int64
+}
+
+// Typed error taxonomy for the remote execution path. ErrShardPlan
+// reports an invalid shard plan or index at engine construction;
+// ErrBadPush a push frame that violates the protocol contract (sender
+// outside the engine's range, non-neighbor destination, empty payload);
+// ErrRemoteShard a remote engine that failed or vanished mid-run (the
+// client wraps the transport cause, errors.Is-able through it).
+var (
+	// ErrShardPlan reports an invalid shard plan or shard index.
+	ErrShardPlan = errors.New("congest: invalid shard plan")
+	// ErrBadPush reports a remote push that violates the protocol
+	// contract.
+	ErrBadPush = errors.New("congest: invalid remote push")
+	// ErrRemoteShard reports a failed remote shard engine.
+	ErrRemoteShard = errors.New("congest: remote shard engine failure")
+)
+
+// PlanShards returns the S+1 node boundaries of the degree-balanced
+// contiguous partition SetShards would build for s shards (s clamped to
+// [1, n] the same way), so a cluster client and its remote engines agree
+// on the plan without sharing a Network.
+func PlanShards(g *graph.G, s int) []int32 {
+	n := g.N()
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(g.Degree(graph.NodeID(v)))
+	}
+	return planShards(off, n, s)
+}
+
+// validBounds checks that bounds is a monotone cover of [0, n].
+func validBounds(bounds []int32, n int) bool {
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != int32(n) {
+		return false
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// NewShardEngine builds the transport engine for shard index of the given
+// plan over g: edgeCap messages per directed edge per round (minimum 1,
+// the CONGEST bound) and an optional fault plan compiled exactly as
+// Network.SetFaultPlan would. The bounds must be a monotone cover of
+// [0, n] (PlanShards produces one); violations and an out-of-range index
+// fail with ErrShardPlan, a bad plan with the usual ErrBadFault chain.
+func NewShardEngine(g *graph.G, bounds []int32, index, edgeCap int, plan *fault.Plan) (*ShardEngine, error) {
+	if !validBounds(bounds, g.N()) {
+		return nil, fmt.Errorf("%w: bounds %v do not cover [0,%d]", ErrShardPlan, bounds, g.N())
+	}
+	if index < 0 || index >= len(bounds)-1 {
+		return nil, fmt.Errorf("%w: shard index %d outside [0,%d)", ErrShardPlan, index, len(bounds)-1)
+	}
+	net := NewNetwork(g, 0)
+	if edgeCap > 1 {
+		net.cap = edgeCap
+	}
+	if plan != nil {
+		if err := net.SetFaultPlan(plan); err != nil {
+			return nil, err
+		}
+	}
+	lo, hi := bounds[index], bounds[index+1]
+	return &ShardEngine{
+		net:    net,
+		index:  index,
+		nodeLo: lo,
+		nodeHi: hi,
+		edgeLo: net.off[lo],
+		active: newSched(int(net.off[hi] - net.off[lo])),
+	}, nil
+}
+
+// Shard reports the engine's shard index.
+func (e *ShardEngine) Shard() int { return e.index }
+
+// NodeRange reports the engine's node range [lo, hi).
+func (e *ShardEngine) NodeRange() (lo, hi graph.NodeID) {
+	return graph.NodeID(e.nodeLo), graph.NodeID(e.nodeHi)
+}
+
+// Active reports the number of edges with queued (or in-transit delayed)
+// messages — this engine's contribution to the client's quiescence check,
+// the exact analogue of the in-process shard's active.count.
+func (e *ShardEngine) Active() int { return e.active.count }
+
+// Stats reports the engine's cumulative occupancy counters: runs served,
+// messages pushed and messages delivered.
+func (e *ShardEngine) Stats() (runs, pushed, delivered int64) {
+	return e.runs, e.pushed, e.delivered
+}
+
+// RunBegin resets the engine for a fresh run: leftover queues from an
+// aborted run drain, counters and the first-loss record clear, the
+// per-run fault decision state (drop ordinals, delay releases) resets —
+// exactly the per-shard portion of resetSharded.
+func (e *ShardEngine) RunBegin() {
+	n := e.net
+	e.active.drain(func(le int32) { n.queues[e.edgeLo+le].clear() })
+	e.out = e.out[:0]
+	e.res = Result{}
+	e.loss = lossInfo{}
+	n.round = 0
+	if n.flt != nil {
+		n.flt.resetRun()
+	}
+	e.runs++
+}
+
+// Push enqueues the client's sends for the given round, resolving each to
+// a directed edge with the sequential engine's exact semantics: binary
+// search of the sender's neighbor segment, least-loaded pick among
+// parallel edges (ties to the first in adjacency order), and the
+// delay-start release write for a message entering an idle slow link.
+// The client has already validated the send at the protocol boundary
+// (runErr semantics stay client-side); a send that still violates the
+// contract here — sender outside the engine's range, non-neighbor
+// destination, empty payload — is a protocol violation and fails the
+// session with ErrBadPush.
+//
+// KEEP IN LOCKSTEP with Network.send (congest.go): the edge resolution,
+// tie-break, delay-start write and activity mark must compute the same
+// values or cluster runs diverge from in-process runs.
+func (e *ShardEngine) Push(round int, msgs []Message) error {
+	n := e.net
+	n.round = round
+	for i := range msgs {
+		m := &msgs[i]
+		from, to := m.From, m.To
+		if from < graph.NodeID(e.nodeLo) || from >= graph.NodeID(e.nodeHi) {
+			return fmt.Errorf("%w: sender %d outside shard %d range [%d,%d)",
+				ErrBadPush, from, e.index, e.nodeLo, e.nodeHi)
+		}
+		if to < 0 || int(to) >= n.g.N() || m.words < 1 {
+			return fmt.Errorf("%w: node %d sent an invalid message", ErrBadPush, from)
+		}
+		lo, hi := n.off[from], n.off[from+1]
+		for lo < hi {
+			mid := (lo + hi) >> 1
+			if n.nbrTo[mid] < int32(to) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == n.off[from+1] || n.nbrTo[lo] != int32(to) {
+			return fmt.Errorf("%w: node %d sent to non-neighbor %d", ErrBadPush, from, to)
+		}
+		best := n.nbrEdge[lo]
+		for j := lo + 1; j < n.off[from+1] && n.nbrTo[j] == int32(to); j++ {
+			ed := n.nbrEdge[j]
+			if n.queues[ed].size < n.queues[best].size {
+				best = ed
+			}
+		}
+		n.queues[best].push(*m)
+		if f := n.flt; f != nil && f.delay != nil {
+			if d := f.delay[best]; d > 0 && n.queues[best].size == 1 {
+				if r := int32(round) + 1 + d; r > f.release[best] {
+					f.release[best] = r
+				}
+			}
+		}
+		e.active.add(best - e.edgeLo)
+	}
+	e.pushed += int64(len(msgs))
+	return nil
+}
+
+// Deliver drains the engine's active edges for the given round in
+// ascending edge order — this shard's slice of the global deterministic
+// delivery order — charging delays, crash drops and lossy-link rolls in
+// the canonical order and appending survivors to the returned buffer.
+// The buffer is reused across rounds; callers must consume it before the
+// next Deliver.
+//
+// KEEP IN LOCKSTEP with shard.deliverOut (shard.go) and Network.deliver
+// (congest.go): this is the same per-edge drain with the transfer-buffer
+// append replaced by a single wire buffer (the client is the only
+// destination). Any semantic change to any of the three bodies must be
+// mirrored in the others or the bit-identity contract breaks.
+func (e *ShardEngine) Deliver(round int) []Message {
+	n := e.net
+	n.round = round
+	e.out = e.out[:0]
+	e.active.drain(func(le int32) {
+		ei := e.edgeLo + le
+		q := &n.queues[ei]
+		if f := n.flt; f != nil && f.delay != nil && f.delay[ei] > 0 {
+			if int32(round) < f.release[ei] {
+				e.res.Faults.Delayed++
+				e.active.add(le)
+				return
+			}
+		}
+		depth := int(q.size)
+		if depth > e.res.MaxQueue {
+			e.res.MaxQueue = depth
+		}
+		k := n.cap
+		if n.capOf != nil {
+			k = int(n.capOf[ei])
+		}
+		if k > depth {
+			k = depth
+		}
+		for i := 0; i < k; i++ {
+			m := q.at(int32(i))
+			to := m.To
+			if n.crashed(to) {
+				e.res.Faults.Dropped++
+				e.noteLoss(ei, m, false)
+				continue
+			}
+			if f := n.flt; f != nil && f.drop != nil {
+				if th := f.drop[ei]; th != 0 {
+					f.seq[ei]++
+					if fault.Roll(f.key, uint64(ei), f.seq[ei]) < th {
+						e.res.Faults.LinkDropped++
+						e.noteLoss(ei, m, true)
+						continue
+					}
+				}
+			}
+			e.out = append(e.out, *m)
+			e.res.Messages++
+			e.res.Words += int64(m.words)
+		}
+		q.popN(int32(k))
+		if q.size > 0 {
+			e.active.add(le)
+		}
+		if f := n.flt; f != nil && f.delay != nil && f.delay[ei] > 0 {
+			f.release[ei] = int32(round) + 1 + f.delay[ei]
+		}
+	})
+	e.delivered += int64(len(e.out))
+	return e.out
+}
+
+// noteLoss records a dropped message if it is the run's first loss; the
+// engine-local twin of shard.noteLoss.
+func (e *ShardEngine) noteLoss(ei int32, m *Message, link bool) {
+	if e.loss.valid {
+		return
+	}
+	e.loss = lossInfo{valid: true, link: link, round: int32(e.net.round), edge: ei, from: m.From, to: m.To}
+}
+
+// RunEnd returns the run's counters and first-loss record; the client
+// merges them exactly as runSharded merges per-shard results (counters
+// sum, MaxQueue maxes, losses pick the minimum (round, edge)).
+func (e *ShardEngine) RunEnd() (Result, LossRecord) {
+	return e.res, LossRecord{
+		Valid: e.loss.valid,
+		Link:  e.loss.link,
+		Round: e.loss.round,
+		Edge:  e.loss.edge,
+		From:  e.loss.from,
+		To:    e.loss.to,
+	}
+}
+
+// LossRecord is the exported form of a shard engine's first-loss record,
+// carried over the wire at run end and merged into the client network's
+// request-level loss (see Network.LossError).
+type LossRecord struct {
+	Valid bool
+	Link  bool // lossy-link drop (vs down-receiver drop)
+	Round int32
+	Edge  int32 // global directed-edge index, for the merge order
+	From  graph.NodeID
+	To    graph.NodeID
+}
+
+// MakeMessage constructs a Message explicitly; the wire codec uses it to
+// rebuild messages on the far side of a connection (words is the payload
+// size in O(log n)-bit units as declared by the sender's Payload).
+func MakeMessage(from, to graph.NodeID, kind uint16, words int, w [PayloadWords]uint64) Message {
+	return Message{From: from, To: to, Kind: kind, words: uint16(words), W: w}
+}

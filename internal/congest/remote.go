@@ -1,0 +1,376 @@
+package congest
+
+import (
+	"fmt"
+
+	"distwalk/internal/fault"
+	"distwalk/internal/graph"
+)
+
+// Cluster-mode client: the network's shards run as ShardEngines in other
+// processes (cmd/distwalkd), reached through the RemoteShard transport
+// below. The protocol layer — Init/Step, per-node RNG streams, the awake
+// list — runs here, single-threaded like the sequential engine; the
+// transport layer (edge queues, fault charging, delivery) runs remotely.
+// Each round the client ships its sends to the engine owning the sender,
+// asks every engine to deliver, and merges the returned buffers in
+// ascending shard order — the exact deliverIn merge, so inboxes, RNG
+// traces, counters and fault charging stay bit-identical to the
+// in-process engines at the same shard plan (see the determinism argument
+// in doc.go).
+
+// RemoteShard is one remote shard engine as seen by the client: a
+// strictly alternating request/reply transport over the engine's
+// RunBegin/Push/Deliver/RunEnd state machine. The Send/Read split lets
+// the round loop write to every engine before reading any reply, so the
+// engines of a round work concurrently while the client stays
+// single-threaded. LoopbackShard is the in-process reference
+// implementation; internal/wire provides the TCP one.
+type RemoteShard interface {
+	// RunBegin resets the engine for a fresh run. Implementations may
+	// buffer the request; it must be delivered before (or with) the next
+	// SendPushes.
+	RunBegin() error
+	// SendPushes ships the round's sends from this engine's node range
+	// (possibly none — the engine still needs the round's push barrier).
+	SendPushes(round int, msgs []Message) error
+	// ReadPushAck completes SendPushes, returning the engine's active
+	// edge count — its contribution to the quiescence check.
+	ReadPushAck() (active int, err error)
+	// SendDeliver asks the engine to deliver the given round.
+	SendDeliver(round int) error
+	// ReadBuffer completes SendDeliver, appending the delivered messages
+	// (ascending edge order) to buf and returning the extended slice.
+	ReadBuffer(buf []Message) ([]Message, error)
+	// FinishRun ends the run, returning the engine's counters and
+	// first-loss record.
+	FinishRun() (RemoteResult, error)
+}
+
+// RemoteResult is a shard engine's contribution to a run's Result: its
+// delivery counters and its first-loss record.
+type RemoteResult struct {
+	Res  Result
+	Loss LossRecord
+}
+
+// ConnectRemote switches the network to cluster execution over the given
+// engine group: engine i owns the transport for nodes
+// [bounds[i], bounds[i+1]) (PlanShards produces matching bounds). The
+// network's own transport stays unused; any in-process shard layout is
+// torn down. Cluster mode supports the uniform edge capacity and fault
+// plans (shipped to the engines at dial time by the caller); the
+// per-edge capacity table and WithCrash schedules are client-local
+// constructs the engines never see, so a network using them refuses to
+// connect. Pass an empty group to restore in-process execution.
+func (n *Network) ConnectRemote(group []RemoteShard, bounds []int32) error {
+	if len(group) == 0 {
+		n.remote = nil
+		n.remoteOf = nil
+		n.pushBuf = nil
+		return nil
+	}
+	if !validBounds(bounds, n.g.N()) || len(bounds) != len(group)+1 {
+		return fmt.Errorf("%w: %d engines against bounds %v over [0,%d]",
+			ErrShardPlan, len(group), bounds, n.g.N())
+	}
+	if n.hasCrash {
+		return fmt.Errorf("%w: WithCrash schedules are not supported in cluster mode (use a fault plan)", ErrShardPlan)
+	}
+	if n.capOf != nil {
+		return fmt.Errorf("%w: per-edge capacities are not supported in cluster mode", ErrShardPlan)
+	}
+	n.SetShards(1)
+	n.remote = group
+	n.remoteOf = make([]int32, n.g.N())
+	for i := 0; i < len(group); i++ {
+		for v := bounds[i]; v < bounds[i+1]; v++ {
+			n.remoteOf[v] = int32(i)
+		}
+	}
+	n.pushBuf = make([][]Message, len(group))
+	return nil
+}
+
+// Remote reports the number of connected remote shard engines (0 =
+// in-process execution).
+func (n *Network) Remote() int { return len(n.remote) }
+
+// remoteFail wraps a transport failure of engine i; errors.Is matches
+// both ErrRemoteShard and the transport's own typed cause.
+func remoteFail(i int, err error) error {
+	return fmt.Errorf("%w: shard %d: %w", ErrRemoteShard, i, err)
+}
+
+// sendRemote is Send's cluster-mode body: the same validation (and
+// runErr semantics) as the in-process path, with the queue push replaced
+// by an append to the owning engine's push buffer. The least-loaded
+// parallel-edge pick needs queue depths only the engine knows, so the
+// send ships unresolved (from, to) and the engine resolves it with
+// Network.send's exact tie-break.
+func (n *Network) sendRemote(c *Ctx, to graph.NodeID, kind uint16, words int, w [PayloadWords]uint64) {
+	from := c.node
+	if n.runErr != nil {
+		return
+	}
+	if words < 1 {
+		n.runErr = fmt.Errorf("congest: node %d sent an invalid payload", from)
+		return
+	}
+	lo, hi := n.off[from], n.off[from+1]
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if n.nbrTo[mid] < int32(to) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == n.off[from+1] || n.nbrTo[lo] != int32(to) {
+		n.runErr = fmt.Errorf("congest: node %d sent to non-neighbor %d", from, to)
+		return
+	}
+	d := n.remoteOf[from]
+	n.pushBuf[d] = append(n.pushBuf[d], Message{From: from, To: to, Kind: kind, words: uint16(words), W: w})
+}
+
+// flushPushes ships the buffered sends of the current round to every
+// engine (writes first, then reads, so engines resolve concurrently) and
+// returns the summed active edge count — the cluster analogue of
+// summing sh.active.count over the in-process shards.
+func (n *Network) flushPushes() (int, error) {
+	for i, r := range n.remote {
+		if err := r.SendPushes(n.round, n.pushBuf[i]); err != nil {
+			return 0, remoteFail(i, err)
+		}
+	}
+	active := 0
+	for i, r := range n.remote {
+		a, err := r.ReadPushAck()
+		if err != nil {
+			return 0, remoteFail(i, err)
+		}
+		active += a
+		n.pushBuf[i] = n.pushBuf[i][:0]
+	}
+	return active, nil
+}
+
+// remoteDeliver runs one round's delivery: every engine drains its edge
+// range for the current round, and the returned buffers merge here in
+// ascending shard order — engines own ascending contiguous edge ranges
+// and deliver in ascending edge order, so the concatenation appends to
+// each inbox in ascending global directed-edge order, byte for byte the
+// sequential delivery order (the deliverIn argument). The awake-list
+// compaction then mirrors the in-process engines exactly.
+func (n *Network) remoteDeliver() error {
+	for i, r := range n.remote {
+		if err := r.SendDeliver(n.round); err != nil {
+			return remoteFail(i, err)
+		}
+	}
+	for i, r := range n.remote {
+		buf, err := r.ReadBuffer(n.recvBuf[:0])
+		if err != nil {
+			return remoteFail(i, err)
+		}
+		for j := range buf {
+			m := &buf[j]
+			n.inbox[m.To] = append(n.inbox[m.To], *m)
+			n.stepSet.add(int32(m.To))
+		}
+		n.recvBuf = buf[:0]
+	}
+	live := n.awakeNodes[:0]
+	for _, v := range n.awakeNodes {
+		if !n.awake[v] {
+			continue
+		}
+		if n.crashed(v) {
+			n.awake[v] = false
+			n.awakeCount--
+			continue
+		}
+		live = append(live, v)
+		n.stepSet.add(int32(v))
+	}
+	n.awakeNodes = live
+	return nil
+}
+
+// remoteAdvance is the serial verdict at the end of a round (and after
+// Init), in exactly shardRun.advance's order: protocol error, halt,
+// quiescence, round budget, cancellation — otherwise the next round
+// opens. active is the engines' summed active edge count from the
+// round's push barrier.
+func (n *Network) remoteAdvance(halter Halter, active int) (bool, error) {
+	if n.runErr != nil {
+		return true, n.runErr
+	}
+	if halter != nil && halter.Halted() {
+		return true, nil
+	}
+	if active == 0 && n.awakeCount == 0 {
+		return true, nil
+	}
+	if n.round >= n.maxRound {
+		return true, fmt.Errorf("%w after %d rounds", ErrRoundLimit, n.round)
+	}
+	if n.ctx != nil && n.round&ctxCheckMask == 0 {
+		if err := n.ctx.Err(); err != nil {
+			return true, fmt.Errorf("congest: run aborted at round %d: %w", n.round, err)
+		}
+	}
+	n.round++
+	n.res.Rounds = n.round
+	return false, nil
+}
+
+// finishRemote collects every engine's counters and first-loss record,
+// merging them exactly as runSharded merges per-shard results: Result
+// counters sum in shard order (MaxQueue maxes), losses keep the minimum
+// (round, edge) unless an earlier run of this request already recorded
+// one.
+func (n *Network) finishRemote() error {
+	var firstErr error
+	// An earlier run of this request may already hold the request-level
+	// first loss; this run's losses then never displace it (mergeLoss's
+	// contract). Latch the flag before merging starts mutating n.loss.
+	lossHeld := n.loss.valid
+	for i, r := range n.remote {
+		rr, err := r.FinishRun()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = remoteFail(i, err)
+			}
+			continue
+		}
+		n.res.Add(rr.Res)
+		l := rr.Loss
+		if !l.Valid || lossHeld {
+			continue
+		}
+		if !n.loss.valid || l.Round < n.loss.round ||
+			(l.Round == n.loss.round && l.Edge < n.loss.edge) {
+			n.loss = lossInfo{valid: true, link: l.Link, round: l.Round, edge: l.Edge, from: l.From, to: l.To}
+		}
+	}
+	return firstErr
+}
+
+// runRemote is the cluster-mode round loop; see Run. Structure and check
+// order mirror runSharded: reset, cancellation pre-check, Init, then the
+// push-barrier / verdict / deliver / step cadence with the serial
+// verdict in shardRun.advance's exact order.
+func (n *Network) runRemote(p Proto) (Result, error) {
+	n.reset()
+	for i := range n.pushBuf {
+		n.pushBuf[i] = n.pushBuf[i][:0]
+	}
+	if n.ctx != nil {
+		if err := n.ctx.Err(); err != nil {
+			return n.res, fmt.Errorf("congest: run aborted before round 1: %w", err)
+		}
+	}
+	for i, r := range n.remote {
+		if err := r.RunBegin(); err != nil {
+			return n.res, remoteFail(i, err)
+		}
+	}
+	ctx := &Ctx{net: n}
+	for v := 0; v < n.g.N(); v++ {
+		ctx.node = graph.NodeID(v)
+		ctx.inbox = nil
+		p.Init(ctx)
+		if n.runErr != nil {
+			break
+		}
+	}
+	halter, _ := p.(Halter)
+	active, err := n.flushPushes()
+	if err != nil {
+		return n.res, err
+	}
+	for {
+		stop, verdict := n.remoteAdvance(halter, active)
+		if stop {
+			if ferr := n.finishRemote(); verdict == nil && ferr != nil {
+				verdict = ferr
+			}
+			return n.res, verdict
+		}
+		if err := n.remoteDeliver(); err != nil {
+			return n.res, err
+		}
+		n.step(p, ctx)
+		if active, err = n.flushPushes(); err != nil {
+			return n.res, err
+		}
+	}
+}
+
+// LoopbackShard is the in-process reference implementation of
+// RemoteShard: a ShardEngine called directly, with the request/reply
+// split emulated by a one-slot mailbox. It documents the transport
+// contract, anchors the wire implementation's identity tests (cluster
+// execution must be bit-identical with either transport), and gives
+// tests a cluster client with no processes or sockets involved.
+type LoopbackShard struct {
+	eng   *ShardEngine
+	round int
+}
+
+// NewLoopbackGroup builds an in-process engine group over the same plan a
+// cluster of s distwalkd processes would serve: PlanShards bounds, one
+// ShardEngine per shard, each compiled against g with the given edge
+// capacity and fault plan. It returns the group and the bounds to pass
+// to ConnectRemote.
+func NewLoopbackGroup(g *graph.G, s, edgeCap int, plan *fault.Plan) ([]RemoteShard, []int32, error) {
+	bounds := PlanShards(g, s)
+	group := make([]RemoteShard, len(bounds)-1)
+	for i := range group {
+		eng, err := NewShardEngine(g, bounds, i, edgeCap, plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		group[i] = &LoopbackShard{eng: eng}
+	}
+	return group, bounds, nil
+}
+
+// Engine returns the underlying ShardEngine.
+func (l *LoopbackShard) Engine() *ShardEngine { return l.eng }
+
+// RunBegin implements RemoteShard.
+func (l *LoopbackShard) RunBegin() error {
+	l.eng.RunBegin()
+	return nil
+}
+
+// SendPushes implements RemoteShard.
+func (l *LoopbackShard) SendPushes(round int, msgs []Message) error {
+	l.round = round
+	return l.eng.Push(round, msgs)
+}
+
+// ReadPushAck implements RemoteShard.
+func (l *LoopbackShard) ReadPushAck() (int, error) { return l.eng.Active(), nil }
+
+// SendDeliver implements RemoteShard.
+func (l *LoopbackShard) SendDeliver(round int) error {
+	l.round = round
+	return nil
+}
+
+// ReadBuffer implements RemoteShard.
+func (l *LoopbackShard) ReadBuffer(buf []Message) ([]Message, error) {
+	return append(buf, l.eng.Deliver(l.round)...), nil
+}
+
+// FinishRun implements RemoteShard.
+func (l *LoopbackShard) FinishRun() (RemoteResult, error) {
+	res, loss := l.eng.RunEnd()
+	return RemoteResult{Res: res, Loss: loss}, nil
+}
+
+var _ RemoteShard = (*LoopbackShard)(nil)

@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"distwalk/internal/congest"
+)
+
+// handshakeTimeout bounds the dial-time exchange; once a session is
+// established the round cadence has no deadline (a run's lifetime is the
+// client's business — cancellation surfaces between rounds).
+const handshakeTimeout = 30 * time.Second
+
+// countConn counts bytes through a net.Conn (for the per-engine traffic
+// stats the Service aggregates and the server metrics distwalkd exports).
+type countConn struct {
+	net.Conn
+	r, w *atomic.Int64
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.r.Add(int64(n))
+	return n, err
+}
+
+func (c countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.w.Add(int64(n))
+	return n, err
+}
+
+// EngineStats is a snapshot of one engine connection's cumulative
+// traffic counters.
+type EngineStats struct {
+	// Addr is the engine's dial address; Shard its index in the plan.
+	Addr  string
+	Shard int
+	// Runs counts runs begun; Rounds delivery rounds requested.
+	Runs   int64
+	Rounds int64
+	// MsgsOut counts messages pushed to the engine, MsgsIn messages
+	// delivered back; BytesOut/BytesIn the raw wire traffic.
+	MsgsOut  int64
+	MsgsIn   int64
+	BytesOut int64
+	BytesIn  int64
+}
+
+// Add accumulates other into s (for aggregating across pooled workers).
+func (s *EngineStats) Add(other EngineStats) {
+	if s.Addr == "" {
+		s.Addr, s.Shard = other.Addr, other.Shard
+	}
+	s.Runs += other.Runs
+	s.Rounds += other.Rounds
+	s.MsgsOut += other.MsgsOut
+	s.MsgsIn += other.MsgsIn
+	s.BytesOut += other.BytesOut
+	s.BytesIn += other.BytesIn
+}
+
+// EngineConn is a client session with one remote shard engine: the TCP
+// implementation of congest.RemoteShard. It is single-goroutine like the
+// cluster client that owns it; one Service worker holds one EngineConn
+// per engine.
+type EngineConn struct {
+	addr  string
+	shard int
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	rbuf  []byte // frame read buffer, reused
+	sbuf  []byte // frame encode buffer, reused
+
+	stats    EngineStats
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+var _ congest.RemoteShard = (*EngineConn)(nil)
+
+// DialEngine connects to a distwalkd engine and performs the handshake
+// for h. A server-side rejection surfaces as a *RemoteError that
+// errors.Is-matches the wire sentinel for its code (ErrGeneration,
+// ErrShardIndex, ...).
+func DialEngine(addr string, h Hello) (*EngineConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &EngineConn{addr: addr, shard: h.Shard, conn: conn}
+	c.stats.Addr = addr
+	c.stats.Shard = h.Shard
+	cc := countConn{Conn: conn, r: &c.bytesIn, w: &c.bytesOut}
+	c.br = bufio.NewReaderSize(cc, 1<<16)
+	c.bw = bufio.NewWriterSize(cc, 1<<16)
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	deadline := time.Now().Add(handshakeTimeout)
+	conn.SetDeadline(deadline)
+	c.sbuf = encodeHello(c.sbuf[:0], h)
+	if err := writeFrame(c.bw, FrameHello, c.sbuf); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s: handshake write: %w", addr, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s: handshake write: %w", addr, err)
+	}
+	t, payload, err := c.readReply()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s: handshake: %w", addr, err)
+	}
+	if t != FrameWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s: handshake: %w: unexpected frame type %d", addr, ErrBadFrame, t)
+	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s: handshake: %w", addr, err)
+	}
+	if w.Version != Version || w.Shard != h.Shard {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s: handshake: %w: welcome for version %d shard %d",
+			addr, ErrBadFrame, w.Version, w.Shard)
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// readReply reads one frame, converting a server Error frame into a
+// *RemoteError.
+func (c *EngineConn) readReply() (FrameType, []byte, error) {
+	t, payload, err := readFrame(c.br, c.rbuf)
+	if cap(payload) > cap(c.rbuf) {
+		c.rbuf = payload[:0]
+	}
+	if err != nil {
+		return t, nil, err
+	}
+	if t == FrameError {
+		re, derr := decodeError(payload)
+		if derr != nil {
+			return t, nil, derr
+		}
+		return t, nil, re
+	}
+	return t, payload, nil
+}
+
+// Addr reports the engine's dial address; Shard its shard index.
+func (c *EngineConn) Addr() string { return c.addr }
+
+// Shard reports the engine's shard index in the cluster plan.
+func (c *EngineConn) Shard() int { return c.shard }
+
+// Stats snapshots the connection's cumulative traffic counters.
+func (c *EngineConn) Stats() EngineStats {
+	s := c.stats
+	s.BytesIn = c.bytesIn.Load()
+	s.BytesOut = c.bytesOut.Load()
+	return s
+}
+
+// RunBegin implements congest.RemoteShard. The frame is buffered and
+// flushed with the run's first push barrier, saving a round trip.
+func (c *EngineConn) RunBegin() error {
+	c.stats.Runs++
+	return writeFrame(c.bw, FrameRunBegin, nil)
+}
+
+// SendPushes implements congest.RemoteShard.
+func (c *EngineConn) SendPushes(round int, msgs []congest.Message) error {
+	c.sbuf = encodePush(c.sbuf[:0], round, msgs)
+	c.stats.MsgsOut += int64(len(msgs))
+	if err := writeFrame(c.bw, FramePush, c.sbuf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadPushAck implements congest.RemoteShard.
+func (c *EngineConn) ReadPushAck() (int, error) {
+	t, payload, err := c.readReply()
+	if err != nil {
+		return 0, err
+	}
+	if t != FramePushAck {
+		return 0, fmt.Errorf("%w: expected push-ack, got frame type %d", ErrBadFrame, t)
+	}
+	return decodePushAck(payload)
+}
+
+// SendDeliver implements congest.RemoteShard.
+func (c *EngineConn) SendDeliver(round int) error {
+	c.stats.Rounds++
+	c.sbuf = encodeDeliver(c.sbuf[:0], round)
+	if err := writeFrame(c.bw, FrameDeliver, c.sbuf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadBuffer implements congest.RemoteShard.
+func (c *EngineConn) ReadBuffer(buf []congest.Message) ([]congest.Message, error) {
+	t, payload, err := c.readReply()
+	if err != nil {
+		return buf, err
+	}
+	if t != FrameBuffer {
+		return buf, fmt.Errorf("%w: expected buffer, got frame type %d", ErrBadFrame, t)
+	}
+	out, err := decodeBuffer(payload, buf)
+	c.stats.MsgsIn += int64(len(out) - len(buf))
+	return out, err
+}
+
+// FinishRun implements congest.RemoteShard.
+func (c *EngineConn) FinishRun() (congest.RemoteResult, error) {
+	if err := writeFrame(c.bw, FrameRunEnd, nil); err != nil {
+		return congest.RemoteResult{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return congest.RemoteResult{}, err
+	}
+	t, payload, err := c.readReply()
+	if err != nil {
+		return congest.RemoteResult{}, err
+	}
+	if t != FrameRunResult {
+		return congest.RemoteResult{}, fmt.Errorf("%w: expected run-result, got frame type %d", ErrBadFrame, t)
+	}
+	return decodeRunResult(payload)
+}
+
+// Close sends a best-effort Goodbye and closes the connection.
+func (c *EngineConn) Close() error {
+	if writeFrame(c.bw, FrameGoodbye, nil) == nil {
+		c.bw.Flush()
+	}
+	return c.conn.Close()
+}

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"distwalk/internal/congest"
+	"distwalk/internal/graph"
+)
+
+// FuzzReadFrame pins the decoder's safety contract: any byte stream —
+// truncated, oversized, corrupt, or adversarial — either parses into a
+// known frame or fails with a typed error. It must never panic and never
+// allocate proportionally to a lying length or count field.
+func FuzzReadFrame(f *testing.F) {
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		f.Fatalf("graph: %v", err)
+	}
+	seed := func(t FrameType, payload []byte) {
+		var b bytes.Buffer
+		if err := writeFrame(&b, t, payload); err != nil {
+			f.Fatalf("seed frame %d: %v", t, err)
+		}
+		f.Add(b.Bytes())
+	}
+	seed(FrameHello, encodeHello(nil, HelloFor(g, 2, 0, 1, 42, testPlan())))
+	seed(FrameHello, encodeHello(nil, HelloFor(g, 4, 3, 2, 0, nil)))
+	seed(FrameWelcome, encodeWelcome(nil, Welcome{Version: Version, Shard: 1, PID: 99}))
+	seed(FrameError, encodeError(nil, CodeGeneration, "generation mismatch"))
+	seed(FrameRunBegin, nil)
+	seed(FramePush, encodePush(nil, 3, []congest.Message{
+		congest.MakeMessage(0, 1, 7, 1, [congest.PayloadWords]uint64{42}),
+		congest.MakeMessage(2, 3, 1, 4, [congest.PayloadWords]uint64{1, 2, 3, 4}),
+	}))
+	seed(FramePushAck, encodePushAck(nil, 12))
+	seed(FrameDeliver, encodeDeliver(nil, 4))
+	seed(FrameBuffer, encodeBuffer(nil, []congest.Message{
+		congest.MakeMessage(1, 0, 7, 1, [congest.PayloadWords]uint64{9}),
+	}))
+	seed(FrameRunEnd, nil)
+	seed(FrameRunResult, encodeRunResult(nil, congest.RemoteResult{
+		Res:  congest.Result{Rounds: 5, Messages: 10, Words: 10, MaxQueue: 2},
+		Loss: congest.LossRecord{Valid: true, Round: 3, Edge: 7, From: 1, To: 2},
+	}))
+	// Hand-crafted hostile headers: inflated length, unknown type, zero body.
+	f.Add([]byte{0x7f, 0xff, 0xff, 0xff, byte(FramePush), 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 200})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for i := 0; i < 64; i++ { // bound work per input
+			_, _, err := readFrameAndKeep(r, &buf)
+			if err == nil {
+				continue
+			}
+			if err == io.EOF {
+				return
+			}
+			if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrFrameTooBig) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) &&
+				!errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+	})
+}
+
+// readFrameAndKeep is the fuzz body's ReadFrame wrapper, reusing the read
+// buffer across frames the way real sessions do.
+func readFrameAndKeep(r io.Reader, buf *[]byte) (FrameType, any, error) {
+	t, v, err := ReadFrame(r, *buf)
+	return t, v, err
+}

@@ -38,6 +38,9 @@ type config struct {
 	// fplan is the deterministic fault plan installed on every worker
 	// network (construction-time only; see WithFaultPlan).
 	fplan *fault.Plan
+	// cluster is the distwalkd engine address list (construction-time
+	// only; see WithCluster). Empty = in-process execution.
+	cluster []string
 }
 
 func defaultConfig() config {
@@ -154,6 +157,26 @@ func WithShards(s int) Option {
 			return
 		}
 		c.shards = s
+	}
+}
+
+// WithCluster runs the service's simulated networks in cluster mode: the
+// transport layer (edge queues, fault charging, delivery) of shard i runs
+// inside the distwalkd process at addrs[i], reached over the
+// internal/wire protocol, while the protocol layer stays in this process.
+// Execution is bit-identical to WithShards(len(addrs)) — same results,
+// same cost counters, same fault census, per request key — the cluster
+// identity suite pins exactly that. Each pool worker holds one session
+// per engine, so a service runs Workers()×len(addrs) sessions; Close
+// tears them all down. Construction-time only: per-request use is
+// ignored. Cluster mode excludes WithShards (the in-process shard layout
+// is moot; it is forced to 1) and requires len(addrs) <= n. NewService
+// fails with ErrClusterConfig on a bad engine list and with a
+// wire-typed error (ErrClusterEngine-matching on session failures) when
+// an engine is unreachable or rejects the handshake.
+func WithCluster(addrs ...string) Option {
+	return func(c *config) {
+		c.cluster = append([]string(nil), addrs...)
 	}
 }
 

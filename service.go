@@ -15,6 +15,7 @@ import (
 	"distwalk/internal/rng"
 	"distwalk/internal/sched"
 	"distwalk/internal/spanning"
+	"distwalk/internal/wire"
 )
 
 // Service is the concurrent entry point to the paper's algorithms: a
@@ -65,6 +66,13 @@ type Service struct {
 	shardMu  sync.Mutex
 	shardAgg ShardStats
 
+	// Cluster mode (empty unless WithCluster): every worker's engine
+	// sessions, for Close teardown, and the per-engine traffic aggregate
+	// (guarded by clusterMu, folded in by workers like shardAgg).
+	clusterConns [][]*wire.EngineConn
+	clusterMu    sync.Mutex
+	clusterAgg   []ClusterEngineStats
+
 	// retry counters (see RetryStats); updated lock-free on every attempt.
 	retryAttempts  atomic.Int64
 	retryRetries   atomic.Int64
@@ -84,6 +92,11 @@ type poolWorker struct {
 	// request, for computing per-request deltas to fold into the service
 	// aggregate.
 	lastShard ShardStats
+	// conns are this worker's cluster-mode engine sessions (nil when
+	// in-process), lastCluster their stat snapshots after the previous
+	// request.
+	conns       []*wire.EngineConn
+	lastCluster []ClusterEngineStats
 }
 
 // NewService builds a service over g. seed drives all randomness: together
@@ -103,6 +116,15 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 	}
 	if cfg.shards > g.N() {
 		cfg.shards = g.N() // the engine clamps the same way
+	}
+	if len(cfg.cluster) > 0 {
+		// Remote engines own the transport; the in-process shard layout
+		// is moot (ConnectRemote forces it off anyway).
+		cfg.shards = 1
+		if len(cfg.cluster) > g.N() {
+			return nil, fmt.Errorf("%w: %d cluster engines for a %d-node graph",
+				ErrClusterConfig, len(cfg.cluster), g.N())
+		}
 	}
 	s := &Service{
 		g:    g,
@@ -124,9 +146,19 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 		}
 		nets[i] = n
 	}
-	for _, n := range nets {
+	workers := make([]*poolWorker, cfg.workers)
+	for i, n := range nets {
+		workers[i] = &poolWorker{net: n}
+	}
+	if len(cfg.cluster) > 0 {
+		if err := s.connectCluster(workers); err != nil {
+			s.closeClusterConns()
+			return nil, err
+		}
+	}
+	for _, pw := range workers {
 		s.wg.Add(1)
-		go s.worker(&poolWorker{net: n})
+		go s.worker(pw)
 	}
 	if cfg.batchOn {
 		bc := cfg.batch
@@ -151,8 +183,58 @@ func (s *Service) worker(pw *poolWorker) {
 	}
 }
 
+// connectCluster dials every worker's engine sessions and switches the
+// worker networks to cluster execution. The handshake (graph generation,
+// shard plan, edge capacity, fault plan) is built once and re-sent per
+// session with only the shard index varying.
+func (s *Service) connectCluster(workers []*poolWorker) error {
+	engines := len(s.cfg.cluster)
+	base := wire.HelloFor(s.g, engines, 0, 1, s.seed, s.cfg.fplan)
+	if len(base.Bounds) != engines+1 {
+		return fmt.Errorf("%w: shard plan has %d ranges for %d engines",
+			ErrClusterConfig, len(base.Bounds)-1, engines)
+	}
+	s.clusterConns = make([][]*wire.EngineConn, len(workers))
+	for wi, pw := range workers {
+		conns := make([]*wire.EngineConn, engines)
+		group := make([]congest.RemoteShard, engines)
+		s.clusterConns[wi] = conns
+		for i, addr := range s.cfg.cluster {
+			h := base
+			h.Shard = i
+			c, err := wire.DialEngine(addr, h)
+			if err != nil {
+				return fmt.Errorf("distwalk: cluster engine %d (%s): %w", i, addr, err)
+			}
+			conns[i] = c
+			group[i] = c
+		}
+		if err := pw.net.ConnectRemote(group, base.Bounds); err != nil {
+			return err
+		}
+		pw.conns = conns
+	}
+	return nil
+}
+
+// closeClusterConns tears down every engine session (nil-safe: dial
+// failures leave holes).
+func (s *Service) closeClusterConns() {
+	for _, conns := range s.clusterConns {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+}
+
 // Workers returns the size of the worker pool.
 func (s *Service) Workers() int { return s.cfg.workers }
+
+// Cluster returns the number of remote shard engines serving this
+// service (0 = in-process execution; see WithCluster).
+func (s *Service) Cluster() int { return len(s.cfg.cluster) }
 
 // Shards returns the per-worker network shard count (1 = sequential).
 func (s *Service) Shards() int { return s.cfg.shards }
@@ -173,6 +255,8 @@ func (s *Service) Close() error {
 		}
 		close(s.quit)
 		s.wg.Wait()
+		// Workers are gone; their engine sessions are safe to tear down.
+		s.closeClusterConns()
 	})
 	return nil
 }
@@ -191,6 +275,11 @@ type ServiceStats struct {
 	Shards ShardStats
 	// Retry reports the service's recovery activity (see WithRetry).
 	Retry RetryStats
+	// Cluster reports, per remote shard engine, the traffic carried in
+	// cluster mode (runs, rounds, messages, raw bytes), summed over every
+	// worker's session with that engine. Nil when built without
+	// WithCluster.
+	Cluster []ClusterEngineStats
 }
 
 // RetryStats counts request attempts and their outcomes across the
@@ -223,6 +312,12 @@ func (s *Service) Stats() ServiceStats {
 	s.shardMu.Lock()
 	out.Shards.Add(s.shardAgg)
 	s.shardMu.Unlock()
+	s.clusterMu.Lock()
+	if s.clusterAgg != nil {
+		out.Cluster = make([]ClusterEngineStats, len(s.clusterAgg))
+		copy(out.Cluster, s.clusterAgg)
+	}
+	s.clusterMu.Unlock()
 	out.Retry = RetryStats{
 		Attempts:  s.retryAttempts.Load(),
 		Retries:   s.retryRetries.Load(),
@@ -261,6 +356,46 @@ func (s *Service) collectShardStats(pw *poolWorker) {
 	s.shardMu.Lock()
 	s.shardAgg.Add(delta)
 	s.shardMu.Unlock()
+}
+
+// collectStats folds the worker's post-request counter deltas into the
+// service aggregates (shards in-process, engine traffic in cluster mode).
+func (s *Service) collectStats(pw *poolWorker) {
+	s.collectShardStats(pw)
+	s.collectClusterStats(pw)
+}
+
+// collectClusterStats folds the worker's per-engine traffic deltas since
+// the previous request into the service aggregate. Like
+// collectShardStats, it runs on the worker goroutine while its sessions
+// are idle.
+func (s *Service) collectClusterStats(pw *poolWorker) {
+	if len(pw.conns) == 0 {
+		return
+	}
+	cur := make([]ClusterEngineStats, len(pw.conns))
+	for i, c := range pw.conns {
+		cur[i] = c.Stats()
+	}
+	s.clusterMu.Lock()
+	if s.clusterAgg == nil {
+		s.clusterAgg = make([]ClusterEngineStats, len(pw.conns))
+	}
+	for i := range cur {
+		delta := cur[i]
+		if pw.lastCluster != nil {
+			last := pw.lastCluster[i]
+			delta.Runs -= last.Runs
+			delta.Rounds -= last.Rounds
+			delta.MsgsOut -= last.MsgsOut
+			delta.MsgsIn -= last.MsgsIn
+			delta.BytesOut -= last.BytesOut
+			delta.BytesIn -= last.BytesIn
+		}
+		s.clusterAgg[i].Add(delta)
+	}
+	s.clusterMu.Unlock()
+	pw.lastCluster = cur
 }
 
 // deriveSeed maps (service seed, request key) to the seed of the
@@ -392,7 +527,7 @@ func (s *Service) execute(ctx context.Context, key uint64, cfg config, attempt i
 	}
 	pw.net.SetContext(ctx)
 	defer pw.net.SetContext(nil)
-	defer s.collectShardStats(pw)
+	defer s.collectStats(pw)
 	return core.Faultize(w, fn(w, cfg))
 }
 
@@ -430,7 +565,7 @@ func (s *Service) runBatch(b *sched.Batch) {
 	done := make(chan struct{})
 	job := func(pw *poolWorker) {
 		defer close(done)
-		defer s.collectShardStats(pw)
+		defer s.collectStats(pw)
 		w, err := s.prepare(pw, b.Seed, b.Params, b.MaxRounds)
 		if err != nil {
 			b.Abort(err)
