@@ -1,0 +1,384 @@
+package distwalk_test
+
+// Chaos suite for cluster resilience: real distwalkd processes are
+// SIGKILLed, SIGSTOPped, and idle-reaped mid-flight while the Service
+// must (a) surface typed ErrClusterEngine failures within its round
+// deadline instead of hanging, (b) recover bit-identically in process
+// under WithClusterFallback, and (c) reconnect with the pinned digest
+// once a killed engine returns on its old port. These are the acceptance
+// criteria of the resilience PR, run under -race in CI's chaos-cluster
+// step.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"distwalk"
+)
+
+// waitMidRun polls an engine's expvars until it is demonstrably inside a
+// run (so a kill lands mid-protocol, not between runs).
+func waitMidRun(t *testing.T, eng *engineProc) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		m := fetchEngineVars(t, eng.debug)
+		if m["runs"] >= 1 && m["rounds"] >= 200 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never reached mid-run: %v", m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterChaosKillMidRunFailsTyped is the headline robustness fix: a
+// SIGKILLed engine mid-run surfaces a typed ErrClusterEngine/ErrEngineLost
+// within the round deadline — before this PR the client blocked on a
+// deadline-free read forever.
+func TestClusterChaosKillMidRunFailsTyped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos over TCP skipped in -short mode")
+	}
+	g, err := distwalk.Torus(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := startEngine(t, "-debug-addr", "127.0.0.1:0")
+	svc, err := distwalk.NewService(g, 42,
+		distwalk.WithWorkers(1),
+		distwalk.WithCluster(eng.addr),
+		distwalk.WithClusterRoundTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := svc.SingleRandomWalk(context.Background(), 1, 0, 300_000)
+		errCh <- err
+	}()
+	waitMidRun(t, eng)
+	if err := eng.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("request against a SIGKILLed engine succeeded")
+		}
+		if !errors.Is(err, distwalk.ErrClusterEngine) {
+			t.Fatalf("mid-run kill surfaced untyped: %v", err)
+		}
+		if !errors.Is(err, distwalk.ErrEngineLost) {
+			t.Fatalf("mid-run kill not classified as engine loss: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("request hung past the round deadline after SIGKILL")
+	}
+
+	// The supervisor recorded the loss: the engine is no longer healthy.
+	st := svc.Stats()
+	if len(st.Cluster.Health) != 1 || st.Cluster.Health[0] == "healthy" {
+		t.Fatalf("killed engine still reported healthy: %+v", st.Cluster)
+	}
+	// Without fallback, follow-up requests keep failing typed — fast.
+	if _, err := svc.SingleRandomWalk(context.Background(), 2, 0, 64); !errors.Is(err, distwalk.ErrClusterEngine) {
+		t.Fatalf("request after kill = %v, want ErrClusterEngine", err)
+	}
+}
+
+// TestClusterChaosHungEngineTimesOut: a SIGSTOPped engine (the
+// partition/hang case — the TCP connection stays open but nothing
+// answers) fails the request with ErrEngineTimeout within the configured
+// round deadline.
+func TestClusterChaosHungEngineTimesOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos over TCP skipped in -short mode")
+	}
+	g, err := distwalk.Torus(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := startEngine(t, "-debug-addr", "127.0.0.1:0")
+	svc, err := distwalk.NewService(g, 42,
+		distwalk.WithWorkers(1),
+		distwalk.WithCluster(eng.addr),
+		distwalk.WithClusterRoundTimeout(time.Second),
+		distwalk.WithClusterHeartbeat(-1)) // isolate the deadline path
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := svc.SingleRandomWalk(context.Background(), 1, 0, 300_000)
+		errCh <- err
+	}()
+	waitMidRun(t, eng)
+	if err := eng.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		eng.cmd.Process.Signal(syscall.SIGCONT)
+		eng.cmd.Process.Kill()
+	}()
+
+	start := time.Now()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, distwalk.ErrClusterEngine) || !errors.Is(err, distwalk.ErrEngineTimeout) {
+			t.Fatalf("hung engine surfaced %v, want ErrClusterEngine + ErrEngineTimeout", err)
+		}
+		if elapsed := time.Since(start); elapsed > 20*time.Second {
+			t.Fatalf("timeout took %v, want about the 1s round deadline", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("request hung on a stopped engine despite the round deadline")
+	}
+}
+
+// TestClusterChaosFallbackRecoversBitIdentical is the acceptance
+// criterion for graceful degradation: with WithClusterFallback, killing
+// the engine mid-run makes the request complete in process with results
+// bit-identical to WithShards(S) — the same-seed re-execution argument —
+// and once the engine restarts on its old port the supervisor reconnects
+// with the pinned digest and traffic returns to the cluster.
+func TestClusterChaosFallbackRecoversBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos over TCP skipped in -short mode")
+	}
+	g, err := distwalk.Torus(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const engines = 2
+	// Reference digests from the in-process sharded service cluster mode
+	// is bit-identical to — fallback must land exactly here.
+	ref, err := distwalk.NewService(g, 42, distwalk.WithWorkers(1), distwalk.WithShards(engines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	eng0 := startEngine(t, "-debug-addr", "127.0.0.1:0")
+	eng1 := startEngine(t)
+	svc, err := distwalk.NewService(g, 42,
+		distwalk.WithWorkers(1),
+		distwalk.WithCluster(eng0.addr, eng1.addr),
+		distwalk.WithClusterFallback(),
+		distwalk.WithClusterRoundTimeout(5*time.Second),
+		distwalk.WithClusterBackoff(50*time.Millisecond, 500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Kill engine 0 mid-run: the long walk must still complete, and
+	// bit-identically to the reference.
+	type result struct {
+		out string
+		err error
+	}
+	resCh := make(chan result, 1)
+	longWalk := func(svc *distwalk.Service) (string, error) {
+		res, err := svc.SingleRandomWalk(context.Background(), 99, 0, 300_000)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("dest=%d len=%d cost=%+v", res.Destination, res.Length, res.Cost), nil
+	}
+	go func() {
+		out, err := longWalk(svc)
+		resCh <- result{out, err}
+	}()
+	waitMidRun(t, eng0)
+	if err := eng0.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	var got result
+	select {
+	case got = <-resCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("fallback request hung after SIGKILL")
+	}
+	if got.err != nil {
+		t.Fatalf("request with fallback failed: %v", got.err)
+	}
+	want, err := longWalk(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.out != want {
+		t.Fatalf("fallback diverged from WithShards(%d):\n  cluster:  %s\n  sharded:  %s", engines, got.out, want)
+	}
+	st := svc.Stats()
+	if st.Cluster.Failovers < 1 {
+		t.Fatalf("Stats().Cluster.Failovers = %d, want >= 1", st.Cluster.Failovers)
+	}
+
+	// Restart the engine on its old port: the supervisor must reconnect
+	// (re-handshaking against the pinned digest) and report healthy again.
+	eng0b := startEngineAt(t, eng0.addr, "-debug-addr", "127.0.0.1:0")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := svc.SingleRandomWalk(context.Background(), 7, 0, 64); err == nil {
+			st = svc.Stats()
+			if st.Cluster.Health[0] == "healthy" && st.Cluster.Reconnects >= 1 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor never reconnected to the restarted engine: %+v", svc.Stats().Cluster)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Full identity sweep on the healed cluster: every workload digest
+	// matches the in-process reference again, and the restarted engine is
+	// actually serving (not silently failed over).
+	for _, wl := range shardWorkloads() {
+		a, errA := wl.run(ref, 5)
+		b, errB := wl.run(svc, 5)
+		if errA != nil || errB != nil {
+			t.Fatalf("%s after reconnect: sharded err %v, cluster err %v", wl.name, errA, errB)
+		}
+		if a != b {
+			t.Errorf("%s diverged after reconnect:\n  sharded: %s\n  cluster: %s", wl.name, a, b)
+		}
+	}
+	if m := fetchEngineVars(t, eng0b.debug); m["runs"] == 0 {
+		t.Errorf("restarted engine served no runs after reconnect: %v", m)
+	}
+}
+
+// TestClusterChaosHeartbeatDetectsIdleDeath: an engine killed while the
+// cluster is idle is discovered by the heartbeat (no request in flight to
+// trip a deadline), and the next request falls over in process with
+// results identical to WithShards.
+func TestClusterChaosHeartbeatDetectsIdleDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos over TCP skipped in -short mode")
+	}
+	g, err := distwalk.Torus(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := distwalk.NewService(g, 42, distwalk.WithWorkers(1), distwalk.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	eng := startEngine(t)
+	svc, err := distwalk.NewService(g, 42,
+		distwalk.WithWorkers(1),
+		distwalk.WithCluster(eng.addr),
+		distwalk.WithClusterFallback(),
+		distwalk.WithClusterHeartbeat(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Warm up so a session exists to heartbeat on, then kill while idle.
+	if _, err := svc.SingleRandomWalk(context.Background(), 1, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for svc.Stats().Cluster.HeartbeatMisses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat never noticed the idle death: %+v", svc.Stats().Cluster)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The next request finds the dead session, falls over, and matches
+	// the in-process reference bit for bit.
+	a, errA := ref.SingleRandomWalk(context.Background(), 2, 0, 512)
+	b, errB := svc.SingleRandomWalk(context.Background(), 2, 0, 512)
+	if errA != nil || errB != nil {
+		t.Fatalf("post-death request: ref err %v, cluster err %v", errA, errB)
+	}
+	if a.Destination != b.Destination || a.Length != b.Length || a.Cost != b.Cost {
+		t.Fatalf("fallback after idle death diverged: ref %+v, cluster %+v", a, b)
+	}
+	if svc.Stats().Cluster.Failovers < 1 {
+		t.Fatalf("Failovers = %d, want >= 1", svc.Stats().Cluster.Failovers)
+	}
+}
+
+// TestClusterChaosIdleReap: the daemon's -idle-timeout reaps a session
+// whose client neither runs nor heartbeats, the client's next request
+// fails typed (never hangs), and the request after that reconnects — the
+// server-side half of liveness.
+func TestClusterChaosIdleReap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos over TCP skipped in -short mode")
+	}
+	g, err := distwalk.Torus(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := startEngine(t, "-idle-timeout", "150ms", "-debug-addr", "127.0.0.1:0")
+	svc, err := distwalk.NewService(g, 42,
+		distwalk.WithWorkers(1),
+		distwalk.WithCluster(eng.addr),
+		distwalk.WithClusterHeartbeat(-1), // mute client: let the reaper fire
+		distwalk.WithClusterRoundTimeout(5*time.Second),
+		distwalk.WithClusterBackoff(20*time.Millisecond, 200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.SingleRandomWalk(context.Background(), 1, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	// The session idles past the daemon's window and gets reaped.
+	deadline := time.Now().Add(15 * time.Second)
+	for fetchEngineVars(t, eng.debug)["idle_reaped"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never idle-reaped the mute session")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The next request may land on the corpse — typed failure, no hang —
+	// and a follow-up reconnects to the (still running) daemon. Bound the
+	// loop: with reconnection working this converges in one or two tries.
+	var lastErr error
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		_, err := svc.SingleRandomWalk(context.Background(), 2, 0, 64)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, distwalk.ErrClusterEngine) {
+			t.Fatalf("reaped session surfaced untyped: %v", err)
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			t.Fatalf("service never reconnected after idle reap: %v", lastErr)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if st := svc.Stats(); st.Cluster.Reconnects < 1 {
+		t.Fatalf("Reconnects = %d after idle reap recovery, want >= 1", st.Cluster.Reconnects)
+	}
+	// The error text names the engine for operators grepping logs.
+	if lastErr != nil && !strings.Contains(lastErr.Error(), eng.addr) {
+		t.Errorf("typed failure does not name the engine address: %v", lastErr)
+	}
+}

@@ -103,8 +103,16 @@ type engineProc struct {
 // flags) and blocks until its "listening on" line reports the address.
 func startEngine(t *testing.T, extra ...string) *engineProc {
 	t.Helper()
+	return startEngineAt(t, "127.0.0.1:0", extra...)
+}
+
+// startEngineAt is startEngine with an explicit -listen address — the
+// chaos suite restarts killed engines on their old port so supervisors
+// can reconnect.
+func startEngineAt(t *testing.T, listen string, extra ...string) *engineProc {
+	t.Helper()
 	bin := buildDistwalkd(t)
-	args := append([]string{"-listen", "127.0.0.1:0"}, extra...)
+	args := append([]string{"-listen", listen}, extra...)
 	e := &engineProc{
 		cmd:  exec.Command(bin, args...),
 		out:  &syncBuffer{},
@@ -290,20 +298,30 @@ func testClusterIdentity(t *testing.T, engines int) {
 		}
 	}
 
-	// The cluster service accounted its per-engine traffic.
+	// The cluster service accounted its per-engine traffic, and a
+	// fault-free run reports every engine healthy with zero resilience
+	// activity.
 	st := clu.Stats()
-	if len(st.Cluster) != engines {
-		t.Fatalf("Stats().Cluster has %d entries, want %d", len(st.Cluster), engines)
+	if len(st.Cluster.Engines) != engines {
+		t.Fatalf("Stats().Cluster.Engines has %d entries, want %d", len(st.Cluster.Engines), engines)
 	}
-	for i, es := range st.Cluster {
+	for i, es := range st.Cluster.Engines {
 		if es.Addr != addrs[i] || es.Shard != i {
-			t.Errorf("Stats().Cluster[%d] = %q shard %d, want %q shard %d", i, es.Addr, es.Shard, addrs[i], i)
+			t.Errorf("Stats().Cluster.Engines[%d] = %q shard %d, want %q shard %d", i, es.Addr, es.Shard, addrs[i], i)
 		}
 		if es.Runs == 0 || es.Rounds == 0 || es.BytesOut == 0 || es.BytesIn == 0 {
-			t.Errorf("Stats().Cluster[%d] recorded no traffic: %+v", i, es)
+			t.Errorf("Stats().Cluster.Engines[%d] recorded no traffic: %+v", i, es)
 		}
 	}
-	if shdSt := shd.Stats(); len(shdSt.Cluster) != 0 {
+	for i, h := range st.Cluster.Health {
+		if h != "healthy" {
+			t.Errorf("Stats().Cluster.Health[%d] = %q, want healthy", i, h)
+		}
+	}
+	if st.Cluster.Reconnects != 0 || st.Cluster.HeartbeatMisses != 0 || st.Cluster.Failovers != 0 {
+		t.Errorf("fault-free cluster reported resilience activity: %+v", st.Cluster)
+	}
+	if shdSt := shd.Stats(); len(shdSt.Cluster.Engines) != 0 {
 		t.Fatalf("in-process Stats().Cluster = %+v, want empty", shdSt.Cluster)
 	}
 
@@ -629,10 +647,10 @@ func TestClusterStatsAndDebug(t *testing.T) {
 
 	// Client side: per-engine traffic in Stats().Cluster.
 	st := svc.Stats()
-	if len(st.Cluster) != 1 {
+	if len(st.Cluster.Engines) != 1 {
 		t.Fatalf("Stats().Cluster = %+v, want one engine", st.Cluster)
 	}
-	es := st.Cluster[0]
+	es := st.Cluster.Engines[0]
 	if es.Addr != eng.addr || es.Runs == 0 || es.Rounds == 0 || es.MsgsOut == 0 || es.BytesIn == 0 {
 		t.Fatalf("engine stats incomplete: %+v", es)
 	}
@@ -645,16 +663,22 @@ func TestClusterStatsAndDebug(t *testing.T) {
 		t.Fatalf("StatsHandler status %d", rr.Code)
 	}
 	var decoded struct {
-		Cluster []struct {
-			Addr string
-			Runs int64
+		Cluster struct {
+			Engines []struct {
+				Addr string
+				Runs int64
+			}
+			Health []string
 		}
 	}
 	if err := json.Unmarshal(rr.Body.Bytes(), &decoded); err != nil {
 		t.Fatalf("StatsHandler body is not JSON: %v\n%s", err, rr.Body)
 	}
-	if len(decoded.Cluster) != 1 || decoded.Cluster[0].Addr != eng.addr || decoded.Cluster[0].Runs == 0 {
+	if len(decoded.Cluster.Engines) != 1 || decoded.Cluster.Engines[0].Addr != eng.addr || decoded.Cluster.Engines[0].Runs == 0 {
 		t.Fatalf("StatsHandler cluster section = %+v", decoded.Cluster)
+	}
+	if len(decoded.Cluster.Health) != 1 || decoded.Cluster.Health[0] != "healthy" {
+		t.Fatalf("StatsHandler cluster health = %+v", decoded.Cluster.Health)
 	}
 
 	// Client side via expvar: publish succeeds once, duplicate is a typed

@@ -16,6 +16,11 @@
 // new sessions are refused — and a second one force-closes everything.
 // With -debug-addr, the server's counters are published as the expvar
 // "distwalkd" at http://<debug-addr>/debug/vars.
+//
+// -handshake-timeout bounds the Hello/Welcome exchange of each new
+// session; -idle-timeout (off by default) reaps sessions that go silent —
+// clients with heartbeats enabled keep their idle sessions alive, so set
+// the reaper above the clients' heartbeat interval.
 package main
 
 import (
@@ -62,6 +67,8 @@ func run(args []string, stdout io.Writer) error {
 		listen    = fs.String("listen", "127.0.0.1:7070", "TCP address to serve engine sessions on (host:0 picks a free port)")
 		debugAddr = fs.String("debug-addr", "", "optional HTTP address exposing the server counters at /debug/vars")
 		shard     = fs.Int("shard", -1, "pin this server to one shard index of the cluster plan (-1 serves any shard)")
+		hsTO      = fs.Duration("handshake-timeout", wire.DefaultHandshakeTimeout, "bound on the Hello/Welcome exchange of a new session")
+		idleTO    = fs.Duration("idle-timeout", 0, "reap sessions that send no frame (heartbeats included) for this long; 0 never reaps — set it above the clients' heartbeat interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,12 +82,22 @@ func run(args []string, stdout io.Writer) error {
 	if *shard < -1 {
 		return fmt.Errorf("%w: -shard %d out of range (want -1 for any shard, or a plan index >= 0)", errUsage, *shard)
 	}
+	if *hsTO <= 0 {
+		return fmt.Errorf("%w: -handshake-timeout %v must be positive", errUsage, *hsTO)
+	}
+	if *idleTO < 0 {
+		return fmt.Errorf("%w: -idle-timeout %v must be >= 0 (0 disables reaping)", errUsage, *idleTO)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return fmt.Errorf("%w: %w", errListen, err)
 	}
-	srv := wire.NewServer(wire.ServerConfig{PinShard: *shard})
+	srv := wire.NewServer(wire.ServerConfig{
+		PinShard:         *shard,
+		HandshakeTimeout: *hsTO,
+		IdleTimeout:      *idleTO,
+	})
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {

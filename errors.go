@@ -99,6 +99,16 @@ var (
 	// ErrClusterEngine); errors.As against *wire.RemoteError exposes the
 	// code — but the wire package is internal, so match this sentinel.
 	ErrClusterRejected = wire.ErrEngine
+	// ErrEngineLost reports a cluster engine session that died in use —
+	// connection reset, SIGKILL'd daemon, missed heartbeat, protocol
+	// desync — or an engine whose reconnect is failing/backing off.
+	// Always wrapped in ErrClusterEngine; with WithClusterFallback the
+	// request recovers in-process instead of surfacing this.
+	ErrEngineLost = wire.ErrEngineLost
+	// ErrEngineTimeout reports a cluster engine that failed to answer
+	// within the per-exchange deadline (see WithClusterRoundTimeout) —
+	// hung process, network partition. Also matches ErrEngineLost.
+	ErrEngineTimeout = wire.ErrEngineTimeout
 )
 
 // NodeCrashedError carries which node was down and the simulated round at

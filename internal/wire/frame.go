@@ -42,6 +42,8 @@ const (
 	FrameRunEnd    FrameType = 9  // client → server: finish the run
 	FrameRunResult FrameType = 10 // server → client: counters + first loss
 	FrameGoodbye   FrameType = 11 // client → server: clean close
+	FramePing      FrameType = 12 // client → server: idle heartbeat (u64 nonce)
+	FramePong      FrameType = 13 // server → client: heartbeat echo (same nonce)
 )
 
 // Typed framing errors. Decoding failures never panic and never allocate
@@ -110,7 +112,9 @@ func readFrame(r io.Reader, buf []byte) (FrameType, []byte, error) {
 		start := len(buf)
 		buf = append(buf, make([]byte, k)...)
 		if _, err := io.ReadFull(r, buf[start:]); err != nil {
-			return 0, buf[:0], fmt.Errorf("%w: body ended at %d of %d bytes", ErrTruncated, start, plen)
+			// Wrap the cause too: the server's idle reaper classifies
+			// deadline expiries (net.Error timeouts) behind ErrTruncated.
+			return 0, buf[:0], fmt.Errorf("%w: body ended at %d of %d bytes: %w", ErrTruncated, start, plen, err)
 		}
 	}
 	return FrameType(hdr[4]), buf, nil
@@ -153,6 +157,8 @@ func ReadFrame(r io.Reader, buf []byte) (FrameType, any, error) {
 		v = msgs
 	case FrameRunResult:
 		v, err = decodeRunResult(payload)
+	case FramePing, FramePong:
+		v, err = decodePing(payload)
 	default:
 		err = fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, t)
 	}

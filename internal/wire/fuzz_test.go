@@ -45,7 +45,11 @@ func FuzzReadFrame(f *testing.F) {
 		Res:  congest.Result{Rounds: 5, Messages: 10, Words: 10, MaxQueue: 2},
 		Loss: congest.LossRecord{Valid: true, Round: 3, Edge: 7, From: 1, To: 2},
 	}))
-	// Hand-crafted hostile headers: inflated length, unknown type, zero body.
+	seed(FramePing, encodePing(nil, 0xdeadbeefcafe))
+	seed(FramePong, encodePing(nil, 0))
+	// Hand-crafted hostile headers: inflated length, unknown type, zero
+	// body, and a short ping (7 of 8 nonce bytes).
+	f.Add([]byte{0, 0, 0, 8, byte(FramePing), 1, 2, 3, 4, 5, 6, 7})
 	f.Add([]byte{0x7f, 0xff, 0xff, 0xff, byte(FramePush), 1, 2, 3})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0, 0, 0, 1, 200})

@@ -497,6 +497,19 @@ func decodeDeliver(p []byte) (int, error) {
 	return round, nil
 }
 
+// encodePing encodes a heartbeat nonce; the same codec serves Ping and
+// Pong (a Pong echoes the Ping's nonce verbatim).
+func encodePing(b []byte, nonce uint64) []byte { return putU64(b, nonce) }
+
+func decodePing(p []byte) (uint64, error) {
+	d := &dec{b: p}
+	nonce := d.u64()
+	if err := d.done("ping"); err != nil {
+		return 0, err
+	}
+	return nonce, nil
+}
+
 func encodeBuffer(b []byte, msgs []congest.Message) []byte {
 	b = putU32(b, uint32(len(msgs)))
 	return encodeMsgs(b, msgs)

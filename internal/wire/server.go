@@ -39,6 +39,14 @@ type ServerConfig struct {
 	// PinShard restricts the server to one shard index (-1 = serve any);
 	// a Hello for a different shard is rejected with CodeShardIndex.
 	PinShard int
+	// HandshakeTimeout bounds the Hello/Welcome exchange
+	// (0 = DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
+	// IdleTimeout reaps half-dead sessions: a session that sends no frame
+	// for this long after the handshake is closed and counted in
+	// Metrics.IdleReaped. 0 = never. Set it above the clients' heartbeat
+	// interval, so live-but-idle sessions keep themselves alive.
+	IdleTimeout time.Duration
 }
 
 // Metrics is the server's cumulative counter set, exported by distwalkd
@@ -53,6 +61,8 @@ type Metrics struct {
 	BytesIn        atomic.Int64 // raw bytes read
 	BytesOut       atomic.Int64 // raw bytes written
 	Rejects        atomic.Int64 // error frames sent
+	Pings          atomic.Int64 // heartbeats answered
+	IdleReaped     atomic.Int64 // sessions closed by the idle timeout
 }
 
 // Snapshot returns the counters as a map (expvar.Func-friendly).
@@ -67,6 +77,8 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"bytes_in":        m.BytesIn.Load(),
 		"bytes_out":       m.BytesOut.Load(),
 		"rejects":         m.Rejects.Load(),
+		"pings":           m.Pings.Load(),
+		"idle_reaped":     m.IdleReaped.Load(),
 	}
 }
 
@@ -217,13 +229,20 @@ func (ss *session) run() {
 		return
 	}
 	ss.conn.SetDeadline(time.Time{})
+	idle := srv.cfg.IdleTimeout
 	for {
+		if idle > 0 {
+			ss.conn.SetDeadline(time.Now().Add(idle))
+		}
 		t, payload, err := readFrame(ss.br, ss.rbuf)
 		if cap(payload) > cap(ss.rbuf) {
 			ss.rbuf = payload[:0]
 		}
 		if err != nil {
-			return // EOF, peer vanished, or garbage: session over
+			if idle > 0 && isTimeout(err) {
+				srv.m.IdleReaped.Add(1)
+			}
+			return // EOF, peer vanished, timed out, or garbage: session over
 		}
 		switch t {
 		case FrameRunBegin:
@@ -272,6 +291,17 @@ func (ss *session) run() {
 			if ss.setRun(false) {
 				return // drained: this was the in-flight run
 			}
+		case FramePing:
+			nonce, derr := decodePing(payload)
+			if derr != nil {
+				ss.sendErr(CodeBadFrame, derr.Error())
+				return
+			}
+			srv.m.Pings.Add(1)
+			ss.sbuf = encodePing(ss.sbuf[:0], nonce)
+			if writeFrame(ss.bw, FramePong, ss.sbuf) != nil || ss.bw.Flush() != nil {
+				return
+			}
 		case FrameGoodbye:
 			return
 		default:
@@ -284,7 +314,11 @@ func (ss *session) run() {
 // handshake runs the Hello/Welcome exchange, reporting success.
 func (ss *session) handshake() bool {
 	srv := ss.srv
-	ss.conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	hsTO := srv.cfg.HandshakeTimeout
+	if hsTO <= 0 {
+		hsTO = DefaultHandshakeTimeout
+	}
+	ss.conn.SetDeadline(time.Now().Add(hsTO))
 	t, payload, err := readFrame(ss.br, ss.rbuf)
 	if cap(payload) > cap(ss.rbuf) {
 		ss.rbuf = payload[:0]

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EngineHealth is a supervised engine's client-side health state.
+type EngineHealth int32
+
+const (
+	// EngineHealthy: the last dial succeeded and no loss has been
+	// reported since.
+	EngineHealthy EngineHealth = iota
+	// EngineReconnecting: a session loss or dial failure was recorded;
+	// redials proceed under the backoff schedule (the first one
+	// immediately after a loss).
+	EngineReconnecting
+	// EngineQuarantined: the circuit breaker tripped after too many
+	// consecutive dial failures; dials fail fast until the cooldown
+	// passes, then one probe dial decides between recovery and another
+	// quarantine window.
+	EngineQuarantined
+)
+
+func (h EngineHealth) String() string {
+	switch h {
+	case EngineHealthy:
+		return "healthy"
+	case EngineReconnecting:
+		return "reconnecting"
+	case EngineQuarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("EngineHealth(%d)", int32(h))
+}
+
+// Supervisor backoff/breaker defaults; SupervisorConfig zero values
+// resolve to these.
+const (
+	DefaultBackoffBase     = 100 * time.Millisecond
+	DefaultBackoffMax      = 5 * time.Second
+	DefaultQuarantineAfter = 8
+	DefaultQuarantineFor   = 30 * time.Second
+)
+
+// SupervisorConfig configures one engine's Supervisor.
+type SupervisorConfig struct {
+	// Addr is the engine's dial address; Hello the pinned handshake
+	// (graph digest included) re-sent verbatim on every reconnect, so a
+	// restarted engine serving a different generation is rejected rather
+	// than silently adopted.
+	Addr  string
+	Hello Hello
+	// Dial is the session timing policy for every dial.
+	Dial DialConfig
+	// BackoffBase/BackoffMax bound the capped exponential redial backoff:
+	// the k-th consecutive failure schedules the next dial after
+	// min(BackoffMax, BackoffBase << (k-1)), jittered to [d/2, d].
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// QuarantineAfter is the consecutive-failure count that trips the
+	// breaker; QuarantineFor how long it stays open.
+	QuarantineAfter int
+	QuarantineFor   time.Duration
+}
+
+// Supervisor owns one engine address's client-side lifecycle: it dials
+// sessions on demand, counts losses and heartbeat misses, schedules
+// reconnects with capped exponential backoff + jitter, and quarantines an
+// address that keeps failing behind a small circuit breaker. One
+// Supervisor serves all pooled workers' sessions with that engine; it is
+// safe for concurrent use.
+type Supervisor struct {
+	cfg SupervisorConfig
+
+	reconnects atomic.Int64
+	hbMisses   atomic.Int64
+
+	mu          sync.Mutex
+	state       EngineHealth
+	consecutive int       // dial failures since the last success
+	nextTry     time.Time // dials before this fail fast
+	connected   bool      // ever dialed successfully (reconnect counting)
+}
+
+// NewSupervisor builds a supervisor, resolving zero config values to the
+// package defaults.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.BackoffMax < cfg.BackoffBase {
+		cfg.BackoffMax = cfg.BackoffBase
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = DefaultQuarantineAfter
+	}
+	if cfg.QuarantineFor <= 0 {
+		cfg.QuarantineFor = DefaultQuarantineFor
+	}
+	return &Supervisor{cfg: cfg}
+}
+
+// Addr reports the supervised engine's dial address.
+func (sv *Supervisor) Addr() string { return sv.cfg.Addr }
+
+// State reports the engine's current health.
+func (sv *Supervisor) State() EngineHealth {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.state
+}
+
+// Reconnects reports how many times a session was re-established after
+// the engine had been connected before.
+func (sv *Supervisor) Reconnects() int64 { return sv.reconnects.Load() }
+
+// HeartbeatMisses reports how many idle heartbeats found the engine dead.
+func (sv *Supervisor) HeartbeatMisses() int64 { return sv.hbMisses.Load() }
+
+// Acquire dials a fresh session, re-handshaking with the pinned Hello.
+// Inside a backoff or quarantine window it fails fast (an EngineLostError
+// matching ErrEngineLost) without touching the network; outside one it
+// dials, and the outcome drives the breaker: success resets it, failure
+// extends the backoff and eventually quarantines the address. Concurrent
+// Acquires may dial concurrently — each worker gets its own session.
+func (sv *Supervisor) Acquire() (*EngineConn, error) {
+	sv.mu.Lock()
+	if sv.state != EngineHealthy && time.Now().Before(sv.nextTry) {
+		st, wait, k := sv.state, time.Until(sv.nextTry), sv.consecutive
+		sv.mu.Unlock()
+		return nil, &EngineLostError{Addr: sv.cfg.Addr, Shard: sv.cfg.Hello.Shard,
+			Cause: fmt.Errorf("engine %s: next dial in %v (%d consecutive dial failures)",
+				st, wait.Round(time.Millisecond), k)}
+	}
+	sv.mu.Unlock()
+
+	dial := sv.cfg.Dial
+	userMiss := dial.OnHeartbeatMiss
+	dial.OnHeartbeatMiss = func(err error) {
+		sv.NoteHeartbeatMiss(err)
+		if userMiss != nil {
+			userMiss(err)
+		}
+	}
+	c, err := DialEngineConfig(sv.cfg.Addr, sv.cfg.Hello, dial)
+
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if err != nil {
+		sv.consecutive++
+		sv.state = EngineReconnecting
+		sv.nextTry = time.Now().Add(backoffDelay(sv.consecutive, sv.cfg.BackoffBase, sv.cfg.BackoffMax))
+		if sv.consecutive >= sv.cfg.QuarantineAfter {
+			sv.state = EngineQuarantined
+			sv.nextTry = time.Now().Add(sv.cfg.QuarantineFor)
+		}
+		var le *EngineLostError
+		if errors.As(err, &le) {
+			return nil, err
+		}
+		return nil, &EngineLostError{Addr: sv.cfg.Addr, Shard: sv.cfg.Hello.Shard,
+			Timeout: isTimeout(err), Cause: err}
+	}
+	// A reconnect is a dial that repairs a recorded loss — pooled workers
+	// each dialing their own session of a healthy engine is just fan-out.
+	if sv.connected && sv.state != EngineHealthy {
+		sv.reconnects.Add(1)
+	}
+	sv.connected = true
+	sv.state = EngineHealthy
+	sv.consecutive = 0
+	sv.nextTry = time.Time{}
+	return c, nil
+}
+
+// NoteLoss records a session loss (EOF, deadline, protocol violation on
+// an established session): the engine leaves Healthy and the next Acquire
+// dials immediately — only dial failures themselves back off.
+func (sv *Supervisor) NoteLoss(err error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.state == EngineHealthy {
+		sv.state = EngineReconnecting
+		sv.nextTry = time.Time{}
+	}
+}
+
+// NoteHeartbeatMiss counts a missed idle heartbeat and records the loss.
+// Sessions dialed through Acquire report their misses here automatically.
+func (sv *Supervisor) NoteHeartbeatMiss(err error) {
+	sv.hbMisses.Add(1)
+	sv.NoteLoss(err)
+}
+
+// backoffDelay is the capped exponential backoff with jitter: the k-th
+// consecutive failure (1-based) waits uniformly in [d/2, d] for
+// d = min(max, base << (k-1)). Jitter keeps a worker pool's redials of a
+// shared engine from synchronizing into thundering-herd probes.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(rand.Int63n(int64(half)+1))
+	}
+	return d
+}

@@ -41,6 +41,22 @@ type config struct {
 	// cluster is the distwalkd engine address list (construction-time
 	// only; see WithCluster). Empty = in-process execution.
 	cluster []string
+	// clusterFallback re-executes a request on in-process shards when its
+	// cluster run is lost (see WithClusterFallback).
+	clusterFallback bool
+	// clusterRound is the per-exchange engine I/O deadline (0 = the 30s
+	// default; see WithClusterRoundTimeout). Per-request overridable.
+	clusterRound time.Duration
+	// clusterHandshake bounds dial + handshake of every engine session,
+	// reconnects included (construction-time only; 0 = the wire default).
+	clusterHandshake time.Duration
+	// clusterHeartbeat is the idle heartbeat interval (construction-time
+	// only; 0 = the 10s default, negative = disabled).
+	clusterHeartbeat time.Duration
+	// clusterBackoff/clusterBackoffMax bound the reconnect backoff
+	// (construction-time only; 0 = wire defaults).
+	clusterBackoff    time.Duration
+	clusterBackoffMax time.Duration
 }
 
 func defaultConfig() config {
@@ -177,6 +193,78 @@ func WithShards(s int) Option {
 func WithCluster(addrs ...string) Option {
 	return func(c *config) {
 		c.cluster = append([]string(nil), addrs...)
+	}
+}
+
+// WithClusterFallback enables graceful degradation in cluster mode: when
+// a remote engine is lost mid-request (timeout, crash, missed heartbeat,
+// reconnect refused), the request transparently re-executes on in-process
+// shards — the WithShards(len(addrs)) path — with the same derived seed.
+// Sharded execution is bit-identical to cluster execution per (graph,
+// service seed, key), so a failed-over result is indistinguishable from a
+// fault-free cluster run; Stats().Cluster.Failovers counts how often it
+// happened. Without this option a lost engine fails the request with a
+// typed ErrClusterEngine error. Composes with WithRetry unchanged: the
+// failover happens inside the attempt, before retry salting would kick
+// in. Applies per request or as a service default.
+func WithClusterFallback() Option { return func(c *config) { c.clusterFallback = true } }
+
+// WithClusterRoundTimeout sets the per-exchange I/O deadline of cluster
+// mode: every Push/Deliver/RunResult round trip with every engine must
+// complete within d, or the run fails with ErrEngineTimeout (wrapped in
+// ErrClusterEngine). Default 30s. The effective deadline tightens to the
+// request context's remaining budget when that is shorter, with a 100ms
+// floor so a nearly-expired context still gets one meaningful exchange.
+// Applies per request or as a service default.
+func WithClusterRoundTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.clusterRound = d
+		}
+	}
+}
+
+// WithClusterHandshakeTimeout bounds the TCP dial plus Hello/Welcome
+// exchange of every engine session — the initial W×S dials and every
+// supervisor reconnect (default: the wire package's 30s). Construction
+// time only.
+func WithClusterHandshakeTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.clusterHandshake = d
+		}
+	}
+}
+
+// WithClusterHeartbeat sets the idle heartbeat interval of cluster
+// sessions: while no run is in flight, each session pings its engine
+// every d and treats a missed reply as a lost engine (counted in
+// Stats().Cluster.HeartbeatMisses, and repaired by reconnect on the next
+// request). Default 10s; d <= 0 disables heartbeats. Construction-time
+// only.
+func WithClusterHeartbeat(d time.Duration) Option {
+	return func(c *config) {
+		if d <= 0 {
+			c.clusterHeartbeat = -1
+			return
+		}
+		c.clusterHeartbeat = d
+	}
+}
+
+// WithClusterBackoff bounds the engine reconnect backoff: the k-th
+// consecutive failed redial of an engine waits min(max, base << (k-1)),
+// jittered, before the next attempt (defaults 100ms / 5s). The first
+// redial after a loss is immediate; only dial failures back off.
+// Construction-time only.
+func WithClusterBackoff(base, max time.Duration) Option {
+	return func(c *config) {
+		if base > 0 {
+			c.clusterBackoff = base
+		}
+		if max > 0 {
+			c.clusterBackoffMax = max
+		}
 	}
 }
 

@@ -66,12 +66,18 @@ type Service struct {
 	shardMu  sync.Mutex
 	shardAgg ShardStats
 
-	// Cluster mode (empty unless WithCluster): every worker's engine
-	// sessions, for Close teardown, and the per-engine traffic aggregate
-	// (guarded by clusterMu, folded in by workers like shardAgg).
-	clusterConns [][]*wire.EngineConn
-	clusterMu    sync.Mutex
-	clusterAgg   []ClusterEngineStats
+	// Cluster mode (empty unless WithCluster): one supervisor per engine
+	// address (dial policy, reconnect backoff, circuit breaker, health),
+	// the pinned shard bounds of the cluster plan, the per-engine traffic
+	// aggregate (guarded by clusterMu, folded in by workers like
+	// shardAgg), and the failover counter. workers is kept for Close
+	// teardown of per-worker engine sessions.
+	clusterSup       []*wire.Supervisor
+	clusterBounds    []int32
+	clusterMu        sync.Mutex
+	clusterAgg       []ClusterEngineStats
+	clusterFailovers atomic.Int64
+	workers          []*poolWorker
 
 	// retry counters (see RetryStats); updated lock-free on every attempt.
 	retryAttempts  atomic.Int64
@@ -93,10 +99,14 @@ type poolWorker struct {
 	// aggregate.
 	lastShard ShardStats
 	// conns are this worker's cluster-mode engine sessions (nil when
-	// in-process), lastCluster their stat snapshots after the previous
-	// request.
+	// in-process; individual entries go nil when a session is lost until
+	// the supervisor re-dials it), lastCluster their stat snapshots after
+	// the previous request (reset per entry when a session is replaced,
+	// since a fresh session restarts its counters). attached reports
+	// whether the worker network currently executes through conns.
 	conns       []*wire.EngineConn
 	lastCluster []ClusterEngineStats
+	attached    bool
 }
 
 // NewService builds a service over g. seed drives all randomness: together
@@ -150,9 +160,12 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 	for i, n := range nets {
 		workers[i] = &poolWorker{net: n}
 	}
+	s.workers = workers
 	if len(cfg.cluster) > 0 {
-		if err := s.connectCluster(workers); err != nil {
-			s.closeClusterConns()
+		if err := s.initCluster(workers); err != nil {
+			// A later dial failing must not leak the sessions (and
+			// heartbeat goroutines) already established.
+			closeWorkerConns(workers)
 			return nil, err
 		}
 	}
@@ -183,47 +196,217 @@ func (s *Service) worker(pw *poolWorker) {
 	}
 }
 
-// connectCluster dials every worker's engine sessions and switches the
-// worker networks to cluster execution. The handshake (graph generation,
-// shard plan, edge capacity, fault plan) is built once and re-sent per
-// session with only the shard index varying.
-func (s *Service) connectCluster(workers []*poolWorker) error {
+// Cluster resilience defaults (see WithClusterRoundTimeout and
+// WithClusterHeartbeat).
+const (
+	defaultClusterRoundTimeout = 30 * time.Second
+	clusterRoundFloor          = 100 * time.Millisecond
+	defaultClusterHeartbeat    = 10 * time.Second
+)
+
+// clusterRoundTimeout resolves the configured per-exchange deadline.
+func (c *config) clusterRoundTimeout() time.Duration {
+	if c.clusterRound > 0 {
+		return c.clusterRound
+	}
+	return defaultClusterRoundTimeout
+}
+
+// clusterHeartbeatInterval resolves the idle heartbeat interval
+// (0 = disabled).
+func (c *config) clusterHeartbeatInterval() time.Duration {
+	if c.clusterHeartbeat < 0 {
+		return 0
+	}
+	if c.clusterHeartbeat == 0 {
+		return defaultClusterHeartbeat
+	}
+	return c.clusterHeartbeat
+}
+
+// initCluster builds the per-address engine supervisors and dials every
+// worker's initial sessions. The handshake (graph generation, shard plan,
+// edge capacity, fault plan) is built once and re-sent per session with
+// only the shard index varying; each supervisor keeps its copy and
+// re-sends it verbatim on every reconnect, which is what pins
+// reconnected sessions to the same graph digest.
+func (s *Service) initCluster(workers []*poolWorker) error {
 	engines := len(s.cfg.cluster)
 	base := wire.HelloFor(s.g, engines, 0, 1, s.seed, s.cfg.fplan)
 	if len(base.Bounds) != engines+1 {
 		return fmt.Errorf("%w: shard plan has %d ranges for %d engines",
 			ErrClusterConfig, len(base.Bounds)-1, engines)
 	}
-	s.clusterConns = make([][]*wire.EngineConn, len(workers))
-	for wi, pw := range workers {
-		conns := make([]*wire.EngineConn, engines)
-		group := make([]congest.RemoteShard, engines)
-		s.clusterConns[wi] = conns
-		for i, addr := range s.cfg.cluster {
-			h := base
-			h.Shard = i
-			c, err := wire.DialEngine(addr, h)
-			if err != nil {
-				return fmt.Errorf("distwalk: cluster engine %d (%s): %w", i, addr, err)
-			}
-			conns[i] = c
-			group[i] = c
-		}
-		if err := pw.net.ConnectRemote(group, base.Bounds); err != nil {
+	s.clusterBounds = base.Bounds
+	dial := wire.DialConfig{
+		HandshakeTimeout:  s.cfg.clusterHandshake,
+		RoundTimeout:      s.cfg.clusterRoundTimeout(),
+		HeartbeatInterval: s.cfg.clusterHeartbeatInterval(),
+	}
+	s.clusterSup = make([]*wire.Supervisor, engines)
+	for i := range s.clusterSup {
+		h := base
+		h.Shard = i
+		s.clusterSup[i] = wire.NewSupervisor(wire.SupervisorConfig{
+			Addr:        s.cfg.cluster[i],
+			Hello:       h,
+			Dial:        dial,
+			BackoffBase: s.cfg.clusterBackoff,
+			BackoffMax:  s.cfg.clusterBackoffMax,
+		})
+	}
+	for _, pw := range workers {
+		if err := s.ensureCluster(context.Background(), pw); err != nil {
 			return err
 		}
-		pw.conns = conns
 	}
 	return nil
 }
 
-// closeClusterConns tears down every engine session (nil-safe: dial
-// failures leave holes).
-func (s *Service) closeClusterConns() {
-	for _, conns := range s.clusterConns {
-		for _, c := range conns {
+// ensureCluster repairs a worker's engine sessions before a cluster run:
+// broken sessions are closed (dropping their stat baselines), missing
+// ones are re-acquired from their supervisors (fail-fast inside a backoff
+// or quarantine window), and the worker network is re-attached to the
+// session group. With every session healthy it is a no-op.
+func (s *Service) ensureCluster(ctx context.Context, pw *poolWorker) error {
+	if pw.conns == nil {
+		pw.conns = make([]*wire.EngineConn, len(s.clusterSup))
+	}
+	for i, c := range pw.conns {
+		if c != nil && c.Broken() {
+			c.Close()
+			pw.conns[i] = nil
+			s.resetClusterBaseline(pw, i)
+		}
+		if pw.conns[i] == nil && pw.attached {
+			// The network must never run against a group with holes.
+			pw.attached = false
+			pw.net.ConnectRemote(nil, nil)
+		}
+	}
+	for i := range pw.conns {
+		if pw.conns[i] != nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("distwalk: cluster engine %d (%s) not redialed: %w",
+				i, s.cfg.cluster[i], err)
+		}
+		c, err := s.clusterSup[i].Acquire()
+		if err != nil {
+			return fmt.Errorf("distwalk: cluster engine %d (%s): %w: %w",
+				i, s.cfg.cluster[i], ErrClusterEngine, err)
+		}
+		pw.conns[i] = c
+		s.resetClusterBaseline(pw, i)
+	}
+	if !pw.attached {
+		group := make([]congest.RemoteShard, len(pw.conns))
+		for i, c := range pw.conns {
+			group[i] = c
+		}
+		if err := pw.net.ConnectRemote(group, s.clusterBounds); err != nil {
+			return err
+		}
+		pw.attached = true
+	}
+	return nil
+}
+
+// dropClusterConns tears down every session of the worker after a loss.
+// The protocol is strictly synchronous per session, but the round loop
+// writes to all engines before reading any reply — once one engine fails
+// mid-run, the surviving sessions may hold half-exchanged frames and
+// cannot be trusted with another run, so the whole group goes. The
+// failing engine's supervisor is notified (errors.As digs the shard out
+// of cause) and the network detaches until ensureCluster re-attaches.
+func (s *Service) dropClusterConns(pw *poolWorker, cause error) {
+	var le *wire.EngineLostError
+	if errors.As(cause, &le) && le.Shard >= 0 && le.Shard < len(s.clusterSup) {
+		s.clusterSup[le.Shard].NoteLoss(cause)
+	}
+	for i, c := range pw.conns {
+		if c == nil {
+			continue
+		}
+		c.Close()
+		pw.conns[i] = nil
+		s.resetClusterBaseline(pw, i)
+	}
+	pw.attached = false
+	pw.net.ConnectRemote(nil, nil)
+}
+
+// resetClusterBaseline zeroes the worker's stat snapshot for engine i so
+// the next collect does not subtract a discarded session's totals from a
+// fresh session's counters.
+func (s *Service) resetClusterBaseline(pw *poolWorker, i int) {
+	if pw.lastCluster != nil {
+		pw.lastCluster[i] = ClusterEngineStats{Addr: s.cfg.cluster[i], Shard: i}
+	}
+}
+
+// clusterBroken reports whether any of the worker's sessions failed.
+func clusterBroken(pw *poolWorker) bool {
+	for _, c := range pw.conns {
+		if c != nil && c.Broken() {
+			return true
+		}
+	}
+	return false
+}
+
+// armCluster installs this request's per-exchange deadline on every
+// session: the configured round timeout, tightened to the request
+// context's remaining budget when that is shorter, floored at 100ms so a
+// nearly-expired context still gets one meaningful exchange (the round
+// loop's own context check handles actual expiry).
+func (s *Service) armCluster(ctx context.Context, pw *poolWorker, cfg config) {
+	t := cfg.clusterRoundTimeout()
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < t {
+			t = rem
+		}
+	}
+	if t < clusterRoundFloor {
+		t = clusterRoundFloor
+	}
+	for _, c := range pw.conns {
+		if c != nil {
+			c.SetRoundTimeout(t)
+		}
+	}
+}
+
+// reserveConns/releaseConns bracket a cluster run: holding every
+// session's lock keeps the idle heartbeats out of the byte stream while
+// the round loop owns it. The release set is captured before the run —
+// a mid-run loss nils pw.conns entries.
+func reserveConns(conns []*wire.EngineConn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Reserve()
+		}
+	}
+}
+
+func releaseConns(conns []*wire.EngineConn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Release()
+		}
+	}
+}
+
+// closeWorkerConns tears down every worker's engine sessions and their
+// heartbeat goroutines (nil-safe: dial failures and dropped sessions
+// leave holes). Used by the construction failure path and by Close.
+func closeWorkerConns(workers []*poolWorker) {
+	for _, pw := range workers {
+		for i, c := range pw.conns {
 			if c != nil {
 				c.Close()
+				pw.conns[i] = nil
 			}
 		}
 	}
@@ -256,7 +439,7 @@ func (s *Service) Close() error {
 		close(s.quit)
 		s.wg.Wait()
 		// Workers are gone; their engine sessions are safe to tear down.
-		s.closeClusterConns()
+		closeWorkerConns(s.workers)
 	})
 	return nil
 }
@@ -275,11 +458,28 @@ type ServiceStats struct {
 	Shards ShardStats
 	// Retry reports the service's recovery activity (see WithRetry).
 	Retry RetryStats
-	// Cluster reports, per remote shard engine, the traffic carried in
-	// cluster mode (runs, rounds, messages, raw bytes), summed over every
-	// worker's session with that engine. Nil when built without
-	// WithCluster.
-	Cluster []ClusterEngineStats
+	// Cluster reports cluster-mode traffic and resilience activity (zero
+	// value when built without WithCluster).
+	Cluster ClusterStats
+}
+
+// ClusterStats is the cluster-mode slice of a service's counters:
+// per-engine traffic plus the resilience layer's activity.
+type ClusterStats struct {
+	// Engines reports, per remote shard engine, the traffic carried
+	// (runs, rounds, messages, raw bytes), summed over every worker's
+	// session with that engine. Nil when built without WithCluster.
+	Engines []ClusterEngineStats
+	// Health reports each engine's supervisor state ("healthy",
+	// "reconnecting", "quarantined"), indexed like Engines.
+	Health []string
+	// Reconnects counts sessions re-established after a loss;
+	// HeartbeatMisses idle heartbeats that found an engine dead;
+	// Failovers requests re-executed on in-process shards after losing
+	// their cluster run (see WithClusterFallback).
+	Reconnects      int64
+	HeartbeatMisses int64
+	Failovers       int64
 }
 
 // RetryStats counts request attempts and their outcomes across the
@@ -314,10 +514,19 @@ func (s *Service) Stats() ServiceStats {
 	s.shardMu.Unlock()
 	s.clusterMu.Lock()
 	if s.clusterAgg != nil {
-		out.Cluster = make([]ClusterEngineStats, len(s.clusterAgg))
-		copy(out.Cluster, s.clusterAgg)
+		out.Cluster.Engines = make([]ClusterEngineStats, len(s.clusterAgg))
+		copy(out.Cluster.Engines, s.clusterAgg)
 	}
 	s.clusterMu.Unlock()
+	if len(s.clusterSup) > 0 {
+		out.Cluster.Health = make([]string, len(s.clusterSup))
+		for i, sv := range s.clusterSup {
+			out.Cluster.Health[i] = sv.State().String()
+			out.Cluster.Reconnects += sv.Reconnects()
+			out.Cluster.HeartbeatMisses += sv.HeartbeatMisses()
+		}
+		out.Cluster.Failovers = s.clusterFailovers.Load()
+	}
 	out.Retry = RetryStats{
 		Attempts:  s.retryAttempts.Load(),
 		Retries:   s.retryRetries.Load(),
@@ -375,6 +584,16 @@ func (s *Service) collectClusterStats(pw *poolWorker) {
 	}
 	cur := make([]ClusterEngineStats, len(pw.conns))
 	for i, c := range pw.conns {
+		if c == nil {
+			// Session lost and not yet replaced: carry the old snapshot
+			// forward (zero delta) rather than underflowing against it.
+			if pw.lastCluster != nil {
+				cur[i] = pw.lastCluster[i]
+			} else {
+				cur[i] = ClusterEngineStats{Addr: s.cfg.cluster[i], Shard: i}
+			}
+			continue
+		}
 		cur[i] = c.Stats()
 	}
 	s.clusterMu.Lock()
@@ -521,7 +740,64 @@ func (s *Service) execute(ctx context.Context, key uint64, cfg config, attempt i
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
-	w, err := s.prepare(pw, attemptSeed(s.seed, key, attempt), cfg.params, cfg.maxRounds)
+	seed := attemptSeed(s.seed, key, attempt)
+	if len(s.clusterSup) > 0 {
+		return s.executeCluster(ctx, key, cfg, seed, pw, fn)
+	}
+	w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds)
+	if err != nil {
+		return err
+	}
+	pw.net.SetContext(ctx)
+	defer pw.net.SetContext(nil)
+	defer s.collectStats(pw)
+	return core.Faultize(w, fn(w, cfg))
+}
+
+// executeCluster is execute's cluster-mode body: repair the worker's
+// sessions, arm the round deadlines, run fn over the remote engines —
+// and, when the cluster run is lost and WithClusterFallback is on,
+// re-execute on in-process shards with the same seed. Sharded execution
+// is bit-identical to cluster execution per (graph, seed, request), so
+// the failed-over result is exactly what the fault-free cluster run
+// would have produced.
+func (s *Service) executeCluster(ctx context.Context, key uint64, cfg config, seed uint64, pw *poolWorker, fn func(w *Walker, cfg config) error) error {
+	runErr := func() error {
+		if err := s.ensureCluster(ctx, pw); err != nil {
+			return err
+		}
+		s.armCluster(ctx, pw, cfg)
+		reserved := append([]*wire.EngineConn(nil), pw.conns...)
+		reserveConns(reserved)
+		defer releaseConns(reserved)
+		w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds)
+		if err != nil {
+			return err
+		}
+		pw.net.SetContext(ctx)
+		err = core.Faultize(w, fn(w, cfg))
+		pw.net.SetContext(nil)
+		s.collectStats(pw)
+		if clusterBroken(pw) {
+			s.dropClusterConns(pw, err)
+		}
+		return err
+	}()
+	if runErr == nil || !errors.Is(runErr, ErrClusterEngine) || !cfg.clusterFallback {
+		return runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("distwalk: request %d lost its cluster run and cannot fail over: %w", key, err)
+	}
+	if pw.attached {
+		// Defensive: a cluster-typed failure with no broken session still
+		// means the group cannot be trusted with another run.
+		s.dropClusterConns(pw, runErr)
+	}
+	s.clusterFailovers.Add(1)
+	pw.net.SetShards(len(s.cfg.cluster))
+	defer pw.net.SetShards(1)
+	w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds)
 	if err != nil {
 		return err
 	}
@@ -565,6 +841,26 @@ func (s *Service) runBatch(b *sched.Batch) {
 	done := make(chan struct{})
 	job := func(pw *poolWorker) {
 		defer close(done)
+		if len(s.clusterSup) > 0 {
+			// Same session discipline as executeCluster. Batch.Execute
+			// reports failures to its members (ErrBatchAborted, a
+			// retryable error, so the unbatched retry path recovers and
+			// can fall over in-process), but a loss must still drop the
+			// desynced session group here.
+			if err := s.ensureCluster(context.Background(), pw); err != nil {
+				b.Abort(err)
+				return
+			}
+			s.armCluster(context.Background(), pw, s.cfg)
+			reserved := append([]*wire.EngineConn(nil), pw.conns...)
+			reserveConns(reserved)
+			defer releaseConns(reserved)
+			defer func() {
+				if clusterBroken(pw) {
+					s.dropClusterConns(pw, nil)
+				}
+			}()
+		}
 		defer s.collectStats(pw)
 		w, err := s.prepare(pw, b.Seed, b.Params, b.MaxRounds)
 		if err != nil {
