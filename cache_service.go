@@ -1,0 +1,333 @@
+package distwalk
+
+import (
+	"context"
+	"fmt"
+
+	"distwalk/internal/cache"
+	"distwalk/internal/core"
+)
+
+// Result-cache types re-exported from the cache subsystem.
+type (
+	// CacheStats is the result cache's counter snapshot; see
+	// Service.Stats and the WithResultCache option.
+	CacheStats = cache.Stats
+	// CacheAdmission decides whether a successful result is worth a cache
+	// slot; see WithCacheAdmission.
+	CacheAdmission = cache.Admission
+	// CacheEntryInfo is what a CacheAdmission policy sees about a
+	// candidate result: its deep size estimate and the simulated rounds
+	// its execution cost.
+	CacheEntryInfo = cache.EntryInfo
+)
+
+// CacheMinRounds returns the cost-aware admission policy that only caches
+// results whose execution cost at least r simulated rounds — a hit on an
+// expensive result saves the most re-execution work.
+func CacheMinRounds(r int64) CacheAdmission { return cache.MinRounds(r) }
+
+// Request kinds folded into every cache digest, so requests of different
+// entry points can never share a key even with identical operands.
+const (
+	cacheKindSingle uint64 = iota + 1
+	cacheKindNaive
+	cacheKindMany
+	cacheKindTrace
+	cacheKindRST
+	cacheKindMix
+)
+
+// tracedWalk is the stored master of a WalkTrace/SubmitWalkTrace request:
+// the walk and its regenerated trace travel as one cache entry.
+type tracedWalk struct {
+	walk  *WalkResult
+	trace *Trace
+}
+
+// InvalidateCache invalidates every cached result by bumping the graph
+// generation folded into all cache digests and purging the store. Call it
+// after mutating the served topology out-of-band. Requests already in
+// flight complete under the generation they digested (epoch-pinned);
+// their results can only be reached by requests that started before the
+// bump. Returns ErrCacheDisabled when the service was built without
+// WithResultCache.
+func (s *Service) InvalidateCache() error {
+	if s.cache == nil {
+		return ErrCacheDisabled
+	}
+	s.cacheGen.Add(1)
+	s.cache.Purge()
+	return nil
+}
+
+// requestDigest folds every result-determining input of a request into a
+// canonical cache key: graph generation, request kind, request key, the
+// full walk parameterization, the round budget, the retry budget (under a
+// fault plan, which attempt succeeds — and therefore which attempt-salted
+// seed produced the result — depends on it), the partial-results mode,
+// and the kind-specific operands. Fields that cannot change a result
+// (workers, shards, cluster transport, backoff, batching windows) are
+// deliberately absent; see internal/cache/doc.go.
+func (s *Service) requestDigest(kind, key uint64, cfg config, operands func(*cache.Digest)) cache.Key {
+	d := cache.NewDigest()
+	d.U64(s.cacheGen.Load())
+	d.U64(kind)
+	d.U64(key)
+	p := cfg.params
+	d.F64(p.LambdaC)
+	d.I64(int64(p.Lambda))
+	d.I64(int64(p.Eta))
+	d.Bool(p.Theory)
+	d.Bool(p.FixedLength)
+	d.Bool(p.UniformCounts)
+	d.Bool(p.PerCallBFS)
+	d.Bool(p.Metropolis)
+	d.I64(int64(cfg.maxRounds))
+	d.I64(int64(cfg.retries))
+	d.Bool(cfg.partial)
+	if operands != nil {
+		operands(d)
+	}
+	return d.Key()
+}
+
+// doCached resolves a request through the cache: hit, attach, or lead the
+// execution. The only error Do can surface unwrapped is a coalesced
+// waiter's own context expiry, which gets the request-id wrapping every
+// other failure path carries.
+func (s *Service) doCached(ctx context.Context, key uint64, k cache.Key, exec func() (cache.Execution, error)) (any, error) {
+	v, o, err := s.cache.Do(ctx, k, exec)
+	if err != nil {
+		if o == cache.Coalesced {
+			return nil, fmt.Errorf("distwalk: request %d canceled while coalesced: %w", key, err)
+		}
+		return nil, err
+	}
+	return v, nil
+}
+
+// --- Cached entry-point bodies (the public methods in service.go
+// dispatch here when WithResultCache is on) ---
+
+func (s *Service) cachedSingle(ctx context.Context, kind, key uint64, source NodeID, ell int, opts []Option, run func() (*WalkResult, error)) (*WalkResult, error) {
+	cfg := s.cfg
+	cfg.apply(opts)
+	k := s.requestDigest(kind, key, cfg, func(d *cache.Digest) {
+		d.I64(int64(source))
+		d.I64(int64(ell))
+	})
+	v, err := s.doCached(ctx, key, k, func() (cache.Execution, error) {
+		res, err := run()
+		if err != nil {
+			return cache.Execution{}, err
+		}
+		return cache.Execution{Value: res, Bytes: sizeWalkResult(res), Rounds: int64(res.Cost.Rounds)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return copyWalkResult(v.(*WalkResult)), nil
+}
+
+func (s *Service) cachedMany(ctx context.Context, key uint64, sources []NodeID, ell int, opts []Option) (*ManyResult, error) {
+	cfg := s.cfg
+	cfg.apply(opts)
+	k := s.requestDigest(cacheKindMany, key, cfg, func(d *cache.Digest) {
+		d.I64(int64(len(sources)))
+		for _, src := range sources {
+			d.I64(int64(src))
+		}
+		d.I64(int64(ell))
+	})
+	v, err := s.doCached(ctx, key, k, func() (cache.Execution, error) {
+		res, err := s.manyRandomWalks(ctx, key, sources, ell, opts)
+		if err != nil {
+			return cache.Execution{}, err
+		}
+		// Partial results (some walks lost to faults) are shared with
+		// coalesced waiters but never stored: a retry deserves a chance to
+		// do better than a cached casualty list.
+		return cache.Execution{
+			Value:   res,
+			Bytes:   sizeManyResult(res),
+			Rounds:  int64(res.Cost.Rounds),
+			NoStore: res.Failed > 0,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return copyManyResult(v.(*ManyResult)), nil
+}
+
+func (s *Service) cachedTrace(ctx context.Context, key uint64, source NodeID, ell int, opts []Option) (*WalkResult, *Trace, error) {
+	cfg := s.cfg
+	cfg.apply(opts)
+	k := s.requestDigest(cacheKindTrace, key, cfg, func(d *cache.Digest) {
+		d.I64(int64(source))
+		d.I64(int64(ell))
+	})
+	v, err := s.doCached(ctx, key, k, func() (cache.Execution, error) {
+		walk, tr, err := s.walkTrace(ctx, key, source, ell, opts)
+		if err != nil {
+			return cache.Execution{}, err
+		}
+		return cache.Execution{
+			Value:  tracedWalk{walk: walk, trace: tr},
+			Bytes:  sizeWalkResult(walk) + sizeTrace(tr),
+			Rounds: int64(walk.Cost.Rounds + tr.Cost.Rounds),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	p := v.(tracedWalk)
+	return copyWalkResult(p.walk), copyTrace(p.trace), nil
+}
+
+func (s *Service) cachedRST(ctx context.Context, key uint64, root NodeID, opts []Option) (*RSTResult, error) {
+	cfg := s.cfg
+	cfg.apply(opts)
+	k := s.requestDigest(cacheKindRST, key, cfg, func(d *cache.Digest) {
+		d.I64(int64(root))
+		d.I64(int64(cfg.rst.StartLength))
+		d.I64(int64(cfg.rst.WalksPerPhase))
+		d.I64(int64(cfg.rst.MaxLength))
+		d.Bool(cfg.rst.Deliver)
+	})
+	v, err := s.doCached(ctx, key, k, func() (cache.Execution, error) {
+		res, err := s.randomSpanningTree(ctx, key, root, opts)
+		if err != nil {
+			return cache.Execution{}, err
+		}
+		return cache.Execution{Value: res, Bytes: sizeRST(res), Rounds: int64(res.Cost.Rounds)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return copyRST(v.(*RSTResult)), nil
+}
+
+func (s *Service) cachedMixing(ctx context.Context, key uint64, x NodeID, opts []Option) (*MixingEstimate, error) {
+	cfg := s.cfg
+	cfg.apply(opts)
+	k := s.requestDigest(cacheKindMix, key, cfg, func(d *cache.Digest) {
+		d.I64(int64(x))
+		d.I64(int64(cfg.mix.Samples))
+		d.F64(cfg.mix.Eps)
+		d.F64(cfg.mix.BucketRatio)
+		d.I64(int64(cfg.mix.MaxEll))
+		// Options.Debug only prints; it cannot change the estimate.
+	})
+	v, err := s.doCached(ctx, key, k, func() (cache.Execution, error) {
+		res, err := s.estimateMixingTime(ctx, key, x, opts)
+		if err != nil {
+			return cache.Execution{}, err
+		}
+		return cache.Execution{Value: res, Bytes: sizeMixing(res), Rounds: int64(res.Cost.Rounds)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := *(v.(*MixingEstimate))
+	return &e, nil
+}
+
+// --- Copy-on-return ---
+//
+// Stored results are frozen masters; every return through the cached path
+// (hit, miss and coalesced alike) is a deep copy, so callers can mutate
+// what they get without corrupting future hits. See the design notes in
+// internal/cache/doc.go for why the copy is uniform.
+
+func copyWalkResult(r *WalkResult) *WalkResult {
+	out := *r
+	if r.Segments != nil {
+		out.Segments = append([]core.Segment(nil), r.Segments...)
+	}
+	return &out
+}
+
+func copyManyResult(r *ManyResult) *ManyResult {
+	out := *r
+	if r.Destinations != nil {
+		out.Destinations = append([]NodeID(nil), r.Destinations...)
+	}
+	if r.Walks != nil {
+		out.Walks = make([]*WalkResult, len(r.Walks))
+		for i, w := range r.Walks {
+			if w != nil {
+				out.Walks[i] = copyWalkResult(w)
+			}
+		}
+	}
+	if r.Errs != nil {
+		// Errors are immutable values; the slice itself is copied.
+		out.Errs = append([]error(nil), r.Errs...)
+	}
+	return &out
+}
+
+func copyTrace(t *Trace) *Trace {
+	out := *t
+	if t.Positions != nil {
+		out.Positions = make([][]int32, len(t.Positions))
+		for i, p := range t.Positions {
+			if p != nil {
+				out.Positions[i] = append([]int32(nil), p...)
+			}
+		}
+	}
+	if t.FirstVisitTime != nil {
+		out.FirstVisitTime = append([]int32(nil), t.FirstVisitTime...)
+	}
+	if t.FirstVisitFrom != nil {
+		out.FirstVisitFrom = append([]NodeID(nil), t.FirstVisitFrom...)
+	}
+	return &out
+}
+
+func copyRST(r *RSTResult) *RSTResult {
+	out := *r
+	if r.Parent != nil {
+		out.Parent = append([]NodeID(nil), r.Parent...)
+	}
+	return &out
+}
+
+// --- Deep size estimates, charged against the cache's byte budget ---
+//
+// Struct headers are rounded constants (exactness buys nothing — the
+// budget is a pressure valve, not an allocator); the slice payloads, which
+// dominate for real results, are counted element-exact.
+
+func sizeWalkResult(r *WalkResult) int64 {
+	return int64(96 + 40*len(r.Segments))
+}
+
+func sizeManyResult(r *ManyResult) int64 {
+	sz := int64(112 + 4*len(r.Destinations) + 16*len(r.Errs) + 8*len(r.Walks))
+	for _, w := range r.Walks {
+		if w != nil {
+			sz += sizeWalkResult(w)
+		}
+	}
+	return sz
+}
+
+func sizeTrace(t *Trace) int64 {
+	sz := int64(96 + 24*len(t.Positions) + 4*len(t.FirstVisitTime) + 4*len(t.FirstVisitFrom))
+	for _, p := range t.Positions {
+		sz += int64(4 * len(p))
+	}
+	return sz
+}
+
+func sizeRST(r *RSTResult) int64 {
+	return int64(80 + 4*len(r.Parent))
+}
+
+func sizeMixing(*MixingEstimate) int64 {
+	return 128 // flat struct, no slices
+}

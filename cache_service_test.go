@@ -1,0 +1,439 @@
+package distwalk
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"distwalk/internal/cache"
+)
+
+// The tentpole contract: the cached path is provably bit-identical to a
+// fresh execution. These tests run in the internal package so they can
+// reach the cache's Gate test hook for deterministic singleflight
+// interleavings; everything else goes through the public API.
+
+func cacheTestPair(t *testing.T, opts ...Option) (fresh, cached *Service) {
+	t.Helper()
+	g, err := Torus(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err = NewService(g, 42, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err = NewService(g, 42, append([]Option{WithResultCache(1 << 20)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		fresh.Close()
+		cached.Close()
+	})
+	return fresh, cached
+}
+
+// TestCacheBitIdentityGoldens pins the acceptance criterion: for
+// SingleRandomWalk, ManyRandomWalks and WalkTrace (plus the remaining
+// entry points), a cache-miss result and a cache-hit result both
+// deep-equal an execution on an uncached service — cost counters
+// included.
+func TestCacheBitIdentityGoldens(t *testing.T) {
+	ctx := context.Background()
+	fresh, cached := cacheTestPair(t)
+	sources := []NodeID{0, 11, 22, 33}
+
+	checks := []struct {
+		name string
+		run  func(s *Service, key uint64) (any, error)
+	}{
+		{"single", func(s *Service, key uint64) (any, error) {
+			return s.SingleRandomWalk(ctx, key, 3, 500)
+		}},
+		{"naive", func(s *Service, key uint64) (any, error) {
+			return s.NaiveWalk(ctx, key, 3, 200)
+		}},
+		{"many", func(s *Service, key uint64) (any, error) {
+			return s.ManyRandomWalks(ctx, key, sources, 400)
+		}},
+		{"trace", func(s *Service, key uint64) (any, error) {
+			w, tr, err := s.WalkTrace(ctx, key, 5, 400)
+			if err != nil {
+				return nil, err
+			}
+			return []any{w, tr}, nil
+		}},
+		{"rst", func(s *Service, key uint64) (any, error) {
+			return s.RandomSpanningTree(ctx, key, 0)
+		}},
+		{"mixing", func(s *Service, key uint64) (any, error) {
+			return s.EstimateMixingTime(ctx, key, 0, WithTrials(24))
+		}},
+	}
+	for i, c := range checks {
+		key := uint64(1000 + i)
+		want, err := c.run(fresh, key)
+		if err != nil {
+			t.Fatalf("%s: fresh: %v", c.name, err)
+		}
+		miss, err := c.run(cached, key)
+		if err != nil {
+			t.Fatalf("%s: miss: %v", c.name, err)
+		}
+		hit, err := c.run(cached, key)
+		if err != nil {
+			t.Fatalf("%s: hit: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(want, miss) {
+			t.Errorf("%s: cache-miss result differs from a fresh execution", c.name)
+		}
+		if !reflect.DeepEqual(want, hit) {
+			t.Errorf("%s: cache-hit result differs from a fresh execution", c.name)
+		}
+	}
+	st := cached.Stats().Cache
+	if st.Misses != int64(len(checks)) || st.Hits != int64(len(checks)) {
+		t.Fatalf("cache stats = %+v, want %d misses and %d hits", st, len(checks), len(checks))
+	}
+	if st.BytesUsed <= 0 || st.HitBytes <= 0 {
+		t.Fatalf("byte accounting not live: %+v", st)
+	}
+	if fs := fresh.Stats().Cache; fs != (CacheStats{}) {
+		t.Fatalf("uncached service reported cache stats: %+v", fs)
+	}
+}
+
+// TestCacheCoalescedWaiters is the singleflight acceptance test: k
+// concurrent identical requests execute once, and ServiceStats shows
+// exactly k−1 coalesced waiters. The cache's Gate hook holds the leader
+// in flight until every waiter has attached, making the interleaving
+// deterministic under -race.
+func TestCacheCoalescedWaiters(t *testing.T) {
+	ctx := context.Background()
+	fresh, cached := cacheTestPair(t)
+	want, err := fresh.SingleRandomWalk(ctx, 77, 10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	release := make(chan struct{})
+	cached.cache.Gate = func(cache.Key) { <-release }
+	results := make(chan *WalkResult, k)
+	errs := make(chan error, k)
+	for i := 0; i < k; i++ {
+		go func() {
+			res, err := cached.SingleRandomWalk(ctx, 77, 10, 500)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- res
+		}()
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for cached.Stats().Cache.CoalescedWaiters < k-1 {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters attached", cached.Stats().Cache.CoalescedWaiters, k-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < k; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case res := <-results:
+			if !reflect.DeepEqual(want, res) {
+				t.Fatal("coalesced result differs from a fresh execution")
+			}
+		}
+	}
+	st := cached.Stats().Cache
+	if st.Misses != 1 || st.Hits != 0 || st.CoalescedWaiters != k-1 {
+		t.Fatalf("stats = %+v, want exactly 1 execution and %d coalesced waiters", st, k-1)
+	}
+}
+
+func TestCachedSubmitSharesSyncEntries(t *testing.T) {
+	ctx := context.Background()
+	fresh, cached := cacheTestPair(t)
+
+	want, err := fresh.SingleRandomWalk(ctx, 7, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate via the sync path, then hit via an async submit.
+	if _, err := cached.SingleRandomWalk(ctx, 7, 4, 500); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cached.SubmitWalk(ctx, 7, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("submitted walk's cache hit differs from a fresh execution")
+	}
+	if b := h.Batch(); b.Reason != FlushCached || b.Size != 1 {
+		t.Fatalf("batch info = %+v, want a size-1 FlushCached serve", b)
+	}
+	if b := h.Batch(); !reflect.DeepEqual(b.Cost, want.Cost) {
+		t.Fatalf("cached serve reported cost %+v, want the execution's %+v", b.Cost, want.Cost)
+	}
+
+	// And the reverse: an async leader's stored result serves sync hits.
+	h2, err := cached.SubmitWalkTrace(ctx, 8, 9, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Result(); err != nil {
+		t.Fatal(err)
+	}
+	preHits := cached.Stats().Cache.Hits
+	w2, tr2, err := cached.WalkTrace(ctx, 8, 9, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, ftr, err := fresh.WalkTrace(ctx, 8, 9, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fw, w2) || !reflect.DeepEqual(ftr, tr2) {
+		t.Fatal("sync WalkTrace hit on an async-stored entry differs from fresh")
+	}
+	if cached.Stats().Cache.Hits != preHits+1 {
+		t.Fatal("sync WalkTrace did not hit the async-stored entry")
+	}
+}
+
+// TestCacheMutationIsolation proves frozen entries + copy-on-return:
+// callers mutating what they got must not corrupt future hits.
+func TestCacheMutationIsolation(t *testing.T) {
+	ctx := context.Background()
+	fresh, cached := cacheTestPair(t)
+	want, err := fresh.ManyRandomWalks(ctx, 1, []NodeID{0, 11, 22}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cached.ManyRandomWalks(ctx, 1, []NodeID{0, 11, 22}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vandalize everything reachable from the miss return.
+	for i := range first.Destinations {
+		first.Destinations[i] = -7
+	}
+	for _, w := range first.Walks {
+		w.Destination = -7
+		for j := range w.Segments {
+			w.Segments[j].Start = -7
+		}
+	}
+	first.Cost.Rounds = -7
+	second, err := cached.ManyRandomWalks(ctx, 1, []NodeID{0, 11, 22}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, second) {
+		t.Fatal("mutating a returned result corrupted the cached entry")
+	}
+
+	wWant, trWant, err := fresh.WalkTrace(ctx, 2, 5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, tr1, err := cached.WalkTrace(ctx, 2, 5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Segments = nil
+	for i := range tr1.Positions {
+		for j := range tr1.Positions[i] {
+			tr1.Positions[i][j] = -7
+		}
+	}
+	tr1.FirstVisitTime[0] = -7
+	w2, tr2, err := cached.WalkTrace(ctx, 2, 5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wWant, w2) || !reflect.DeepEqual(trWant, tr2) {
+		t.Fatal("mutating a returned trace corrupted the cached entry")
+	}
+}
+
+func TestInvalidateCache(t *testing.T) {
+	ctx := context.Background()
+	fresh, cached := cacheTestPair(t)
+	if err := fresh.InvalidateCache(); !errors.Is(err, ErrCacheDisabled) {
+		t.Fatalf("uncached InvalidateCache = %v, want ErrCacheDisabled", err)
+	}
+	want, err := fresh.SingleRandomWalk(ctx, 1, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.SingleRandomWalk(ctx, 1, 0, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := cached.InvalidateCache(); err != nil {
+		t.Fatal(err)
+	}
+	st := cached.Stats().Cache
+	if st.BytesUsed != 0 || st.Evictions == 0 {
+		t.Fatalf("stats after invalidate = %+v, want empty store", st)
+	}
+	got, err := cached.SingleRandomWalk(ctx, 1, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("post-invalidate re-execution differs from fresh")
+	}
+	st = cached.Stats().Cache
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v: the generation bump must force a re-execution", st)
+	}
+}
+
+// TestCacheAdmissionPolicy: a CacheMinRounds policy above every
+// execution's cost keeps the store empty — every identical request
+// re-executes — while results stay correct.
+func TestCacheAdmissionPolicy(t *testing.T) {
+	ctx := context.Background()
+	g, err := Torus(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(g, 42, WithResultCache(1<<20), WithCacheAdmission(CacheMinRounds(1<<40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	a, err := svc.SingleRandomWalk(ctx, 1, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.SingleRandomWalk(ctx, 1, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("per-key determinism broke without admission")
+	}
+	st := svc.Stats().Cache
+	if st.Hits != 0 || st.Misses != 2 || st.BytesUsed != 0 {
+		t.Fatalf("stats = %+v: MinRounds(1<<40) must store nothing", st)
+	}
+}
+
+// TestCachePartialResultsNotStored: a ManyRandomWalks result with
+// casualties (Failed > 0) is returned but never admitted — the next
+// identical request re-executes (a retry deserves a chance to do better
+// than a cached casualty list).
+func TestCachePartialResultsNotStored(t *testing.T) {
+	ctx := context.Background()
+	g, err := Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{Churn: []FaultChurn{{Node: 27, From: 30, To: 400}}}
+	svc, err := NewService(g, 42, WithFaultPlan(plan), WithPartialResults(), WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	sources := make([]NodeID, 8)
+	for i := range sources {
+		sources[i] = NodeID(i * 9)
+	}
+	for key := uint64(1); key <= 20; key++ {
+		res, err := svc.ManyRandomWalks(ctx, key, sources, 600)
+		if err != nil || res.Failed == 0 {
+			continue
+		}
+		before := svc.Stats().Cache
+		again, err := svc.ManyRandomWalks(ctx, key, sources, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Fatalf("key %d: partial result not deterministic", key)
+		}
+		after := svc.Stats().Cache
+		if after.Hits != before.Hits || after.Misses != before.Misses+1 {
+			t.Fatalf("key %d: partial result was served from the store (stats %+v -> %+v)",
+				key, before, after)
+		}
+		return
+	}
+	t.Skip("fault plan produced no partial batch in 20 keys")
+}
+
+// TestCacheConcurrentStress drives concurrent hit/miss/coalesce traffic
+// with mutating callers under -race: returned results must never alias
+// the store or each other.
+func TestCacheConcurrentStress(t *testing.T) {
+	ctx := context.Background()
+	fresh, cached := cacheTestPair(t)
+	const keys = 6
+	want := make([]*WalkResult, keys)
+	for k := range want {
+		w, err := fresh.SingleRandomWalk(ctx, uint64(k), NodeID(k*13%81), 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = w
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				k := (g + i) % keys
+				var got *WalkResult
+				var err error
+				if (g+i)%3 == 0 {
+					var h *WalkHandle
+					h, err = cached.SubmitWalk(ctx, uint64(k), NodeID(k*13%81), 400)
+					if err == nil {
+						got, err = h.Result()
+					}
+				} else {
+					got, err = cached.SingleRandomWalk(ctx, uint64(k), NodeID(k*13%81), 400)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(want[k], got) {
+					t.Errorf("key %d: concurrent cached result differs", k)
+					return
+				}
+				// Mutate after the check — the next reader must not see it.
+				got.Destination = -1
+				for j := range got.Segments {
+					got.Segments[j].End = -1
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := cached.Stats().Cache
+	if st.Hits+st.Misses+st.CoalescedWaiters != 12*10 {
+		t.Fatalf("outcomes %d+%d+%d do not sum to 120 lookups",
+			st.Hits, st.Misses, st.CoalescedWaiters)
+	}
+}

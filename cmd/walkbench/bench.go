@@ -44,6 +44,14 @@ type benchRecord struct {
 	// key is absent from pre-fault baselines and decodes to 0, so old
 	// snapshots stay comparable.
 	DroppedPerOp int64 `json:"dropped_per_op,omitempty"`
+	// CacheHitsPerOp / CacheMissesPerOp are the result-cache lookups one
+	// op performs, for workloads running against a caching service. The
+	// workload resets the cache at op start, so both are deterministic —
+	// the diff gates them exactly, like the simulated counters: a changed
+	// hit ratio means the digest or admission policy changed semantics.
+	// Absent (0) for uncached workloads, so old snapshots stay comparable.
+	CacheHitsPerOp   int64 `json:"cache_hits_per_op,omitempty"`
+	CacheMissesPerOp int64 `json:"cache_misses_per_op,omitempty"`
 }
 
 // benchWorkload is one measured workload: run executes a single request
@@ -53,6 +61,10 @@ type benchWorkload struct {
 	graph string
 	svc   *distwalk.Service
 	run   func(svc *distwalk.Service, key uint64) (distwalk.Cost, error)
+	// cacheStats marks a workload whose service runs a result cache:
+	// measure records the per-op hit/miss deltas and asserts they are
+	// identical across reps, same as the simulated counters.
+	cacheStats bool
 }
 
 func benchWorkloads(seed uint64) ([]benchWorkload, func(), error) {
@@ -117,6 +129,16 @@ func benchWorkloads(seed uint64) ([]benchWorkload, func(), error) {
 	faultySvc, err := distwalk.NewService(torus, seed, distwalk.WithWorkers(1),
 		distwalk.WithFaultPlan(faultPlan), distwalk.WithRetry(3), distwalk.WithBackoff(0),
 		distwalk.WithPartialResults())
+	if err != nil {
+		return nil, nil, err
+	}
+	// Caching service: the same torus fronted by the result cache. The
+	// workload below resets the cache at the top of every op, so each op
+	// pays the same 4 cold executions and serves the same 12 repeats from
+	// the store — the amortization, not cache residency across ops, is
+	// what the snapshot measures.
+	cachedSvc, err := distwalk.NewService(torus, seed, distwalk.WithWorkers(1),
+		distwalk.WithResultCache(8<<20))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -220,6 +242,35 @@ func benchWorkloads(seed uint64) ([]benchWorkload, func(), error) {
 					return distwalk.Cost{}, err
 				}
 				return res.Cost, nil
+			},
+		},
+		{
+			// Serving-tier headline: repeated-key traffic through the result
+			// cache. Each op starts cold (InvalidateCache) and issues 16
+			// ManyRandomWalks requests over 4 distinct keys: 4 misses execute,
+			// 12 hits come back as deep copies with the stored execution's
+			// bit-identical cost. The recorded counters are the 16-request
+			// sum, so rounds_per_op is exactly 4x one execution's — the other
+			// 12 requests' rounds are what caching saved — and ns/op divided
+			// by 16 is the amortized per-request latency the summary line
+			// prints. The 4/12 split is pinned by the diff's cache-counter
+			// gate.
+			name: "CachedManyWalks", graph: "torus16x16/cache", svc: cachedSvc,
+			cacheStats: true,
+			run: func(svc *distwalk.Service, key uint64) (distwalk.Cost, error) {
+				if err := svc.InvalidateCache(); err != nil {
+					return distwalk.Cost{}, err
+				}
+				var total distwalk.Cost
+				sources := make([]distwalk.NodeID, 8)
+				for i := 0; i < 16; i++ {
+					res, err := svc.ManyRandomWalks(ctx, key*4+uint64(i%4), sources, 1024)
+					if err != nil {
+						return distwalk.Cost{}, err
+					}
+					total.Add(res.Cost)
+				}
+				return total, nil
 			},
 		},
 		{
@@ -330,6 +381,11 @@ func runBenchJSON(dir string, seed uint64, reps int) error {
 		fmt.Printf("%-20s %12d ns/op %10d allocs/op %8d rounds/op %10d msgs/op %9.0f rounds/s  -> %s\n",
 			wl.name, rec.NsPerOp, rec.AllocsPerOp, rec.RoundsPerOp, rec.MessagesPerOp,
 			float64(rec.RoundsPerOp)/(float64(rec.NsPerOp)/1e9), path)
+		if reqs := rec.CacheHitsPerOp + rec.CacheMissesPerOp; reqs > 0 {
+			fmt.Printf("%-20s %12.1f%% hit ratio (%d hits / %d requests), %d ns/request amortized\n",
+				"", float64(rec.CacheHitsPerOp)*100/float64(reqs),
+				rec.CacheHitsPerOp, reqs, rec.NsPerOp/reqs)
+		}
 	}
 	return nil
 }
@@ -346,10 +402,15 @@ func measure(wl benchWorkload, seed uint64, reps int) (*benchRecord, error) {
 		return nil, err
 	}
 	var (
-		refCost distwalk.Cost
-		best    *benchRecord
+		refCost            distwalk.Cost
+		refHits, refMisses int64
+		best               *benchRecord
 	)
 	for i := 0; i < reps; i++ {
+		var cacheBefore distwalk.CacheStats
+		if wl.cacheStats {
+			cacheBefore = wl.svc.Stats().Cache
+		}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
@@ -360,25 +421,39 @@ func measure(wl benchWorkload, seed uint64, reps int) (*benchRecord, error) {
 		if err != nil {
 			return nil, err
 		}
+		var hits, misses int64
+		if wl.cacheStats {
+			cacheAfter := wl.svc.Stats().Cache
+			hits = cacheAfter.Hits - cacheBefore.Hits
+			misses = cacheAfter.Misses - cacheBefore.Misses
+		}
 		if i == 0 {
-			refCost = cost
+			refCost, refHits, refMisses = cost, hits, misses
 		} else if cost != refCost {
 			return nil, fmt.Errorf(
 				"simulated counters drifted across reps of key %d (rep %d: %+v, rep 1: %+v): per-key determinism is broken",
 				key, i+1, cost, refCost)
+		} else if hits != refHits || misses != refMisses {
+			// The workload resets the cache at op start, so every rep must
+			// replay the same hit/miss sequence.
+			return nil, fmt.Errorf(
+				"cache counters drifted across reps of key %d (rep %d: %d hits %d misses, rep 1: %d hits %d misses)",
+				key, i+1, hits, misses, refHits, refMisses)
 		}
 		rec := &benchRecord{
-			Name:          wl.name,
-			Graph:         wl.graph,
-			Seed:          seed,
-			Reps:          reps,
-			NsPerOp:       elapsed.Nanoseconds(),
-			AllocsPerOp:   int64(after.Mallocs - before.Mallocs),
-			BytesPerOp:    int64(after.TotalAlloc - before.TotalAlloc),
-			RoundsPerOp:   int64(cost.Rounds),
-			MessagesPerOp: cost.Messages,
-			WordsPerOp:    cost.Words,
-			DroppedPerOp:  cost.Faults.Dropped + cost.Faults.LinkDropped,
+			Name:             wl.name,
+			Graph:            wl.graph,
+			Seed:             seed,
+			Reps:             reps,
+			NsPerOp:          elapsed.Nanoseconds(),
+			AllocsPerOp:      int64(after.Mallocs - before.Mallocs),
+			BytesPerOp:       int64(after.TotalAlloc - before.TotalAlloc),
+			RoundsPerOp:      int64(cost.Rounds),
+			MessagesPerOp:    cost.Messages,
+			WordsPerOp:       cost.Words,
+			DroppedPerOp:     cost.Faults.Dropped + cost.Faults.LinkDropped,
+			CacheHitsPerOp:   hits,
+			CacheMissesPerOp: misses,
 		}
 		if best == nil || rec.NsPerOp < best.NsPerOp {
 			best = rec

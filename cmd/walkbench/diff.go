@@ -149,6 +149,18 @@ func diffSnapshots(baseline, candidate map[string]*benchRecord, tol float64) (ro
 			row.problems = append(row.problems, "simulated counters drifted")
 			row.soft = false
 		}
+		// The cache hit/miss split is deterministic the same way (the
+		// workload replays fixed repeated-key traffic from a cold cache),
+		// so any drift means the request digest or the admission policy
+		// changed semantics — a hard failure, like the counters above.
+		if cand.CacheHitsPerOp != base.CacheHitsPerOp || cand.CacheMissesPerOp != base.CacheMissesPerOp {
+			hard = append(hard, fmt.Sprintf(
+				"%s: cache counters drifted: hits %d -> %d, misses %d -> %d (digest or admission semantics changed; regenerate the baseline if intended)",
+				name, base.CacheHitsPerOp, cand.CacheHitsPerOp,
+				base.CacheMissesPerOp, cand.CacheMissesPerOp))
+			row.problems = append(row.problems, "cache counters drifted")
+			row.soft = false
+		}
 		rows = append(rows, row)
 	}
 	for name := range candidate {
@@ -164,8 +176,8 @@ func diffSnapshots(baseline, candidate map[string]*benchRecord, tol float64) (ro
 func writeSummaryMD(path string, rows []diffRow, tol float64) error {
 	var b strings.Builder
 	b.WriteString("### Bench diff vs committed baseline\n\n")
-	b.WriteString("| workload | ns/op (base → cand) | Δns | allocs/op | rounds/op | messages/op | status |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	b.WriteString("| workload | ns/op (base → cand) | Δns | allocs/op | rounds/op | messages/op | hit % | status |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	for _, r := range rows {
 		status := "✅ ok"
 		if len(r.problems) > 0 {
@@ -175,17 +187,23 @@ func writeSummaryMD(path string, rows []diffRow, tol float64) error {
 			}
 		}
 		if r.cand == nil {
-			fmt.Fprintf(&b, "| %s | %d → — | — | — | — | — | %s |\n", r.name, r.base.NsPerOp, status)
+			fmt.Fprintf(&b, "| %s | %d → — | — | — | — | — | — | %s |\n", r.name, r.base.NsPerOp, status)
 			continue
 		}
 		delta := "—"
 		if r.base.NsPerOp > 0 {
 			delta = fmt.Sprintf("%+.1f%%", (float64(r.cand.NsPerOp)/float64(r.base.NsPerOp)-1)*100)
 		}
-		fmt.Fprintf(&b, "| %s | %d → %d | %s | %d → %d | %d | %d | %s |\n",
+		// Hit ratio only applies to caching workloads; everything else has
+		// no cache lookups at all and shows a dash.
+		hitRatio := "—"
+		if reqs := r.cand.CacheHitsPerOp + r.cand.CacheMissesPerOp; reqs > 0 {
+			hitRatio = fmt.Sprintf("%.0f%%", float64(r.cand.CacheHitsPerOp)*100/float64(reqs))
+		}
+		fmt.Fprintf(&b, "| %s | %d → %d | %s | %d → %d | %d | %d | %s | %s |\n",
 			r.name, r.base.NsPerOp, r.cand.NsPerOp, delta,
 			r.base.AllocsPerOp, r.cand.AllocsPerOp,
-			r.cand.RoundsPerOp, r.cand.MessagesPerOp, status)
+			r.cand.RoundsPerOp, r.cand.MessagesPerOp, hitRatio, status)
 	}
 	fmt.Fprintf(&b, "\nns/op tolerance ±%.0f%%; simulated counters must match exactly.\n\n", tol*100)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sync"
 )
 
 // Observability helpers: a Service's counters (ServiceStats — scheduler,
@@ -29,12 +30,20 @@ func (s *Service) StatsHandler() http.Handler {
 	})
 }
 
+// expvarMu serializes the duplicate check against the publish below:
+// expvar names are process-global, and without the lock two concurrent
+// PublishExpvar calls could both pass the Get check and the second
+// Publish would panic.
+var expvarMu sync.Mutex
+
 // PublishExpvar publishes the service's stats as the expvar name, so they
 // appear under /debug/vars next to the runtime's. Unlike expvar.Publish
 // it reports a duplicate name as an error instead of panicking (expvar
 // names are process-global and a second Service — or a second call — may
-// collide).
+// collide). Safe for concurrent use.
 func (s *Service) PublishExpvar(name string) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
 	if expvar.Get(name) != nil {
 		return fmt.Errorf("distwalk: expvar %q already published", name)
 	}

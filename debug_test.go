@@ -1,0 +1,101 @@
+package distwalk_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distwalk"
+)
+
+// TestStatsHandler round-trips a live ServiceStats snapshot — cache
+// counters included — through the debug HTTP handler.
+func TestStatsHandler(t *testing.T) {
+	ctx := context.Background()
+	g, err := distwalk.Torus(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := distwalk.NewService(g, 42, distwalk.WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// One miss, one hit, so every CacheStats field is exercised.
+	if _, err := svc.SingleRandomWalk(ctx, 1, 0, 400); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.SingleRandomWalk(ctx, 1, 0, 400); err != nil {
+		t.Fatal(err)
+	}
+	want := svc.Stats()
+
+	rec := httptest.NewRecorder()
+	svc.StatsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/distwalk", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var got distwalk.ServiceStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decoding body: %v", err)
+	}
+	if got.Cache != want.Cache {
+		t.Fatalf("decoded cache stats %+v, want %+v", got.Cache, want.Cache)
+	}
+	if got.Cache.Hits != 1 || got.Cache.Misses != 1 || got.Cache.BytesUsed <= 0 {
+		t.Fatalf("cache stats did not survive the round trip: %+v", got.Cache)
+	}
+	if got.Retry != want.Retry {
+		t.Fatalf("decoded retry stats %+v, want %+v", got.Retry, want.Retry)
+	}
+}
+
+// TestPublishExpvarConcurrent pins the check-then-publish fix: n
+// concurrent calls on one name must yield exactly one success and n−1
+// duplicate errors — never the panic the unguarded Get/Publish pair
+// allowed.
+func TestPublishExpvarConcurrent(t *testing.T) {
+	g, err := distwalk.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := distwalk.NewService(g, 1, distwalk.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// expvar names are process-global and cannot be unpublished; make the
+	// name unique per run so -count=2 does not collide with itself.
+	name := fmt.Sprintf("distwalk-test-%s-%d", t.Name(), time.Now().UnixNano())
+	const n = 16
+	var ok, dup atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := svc.PublishExpvar(name); err == nil {
+				ok.Add(1)
+			} else {
+				dup.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok.Load() != 1 || dup.Load() != n-1 {
+		t.Fatalf("%d successes and %d duplicate errors, want 1 and %d", ok.Load(), dup.Load(), n-1)
+	}
+	// A later call still reports the collision instead of panicking.
+	if err := svc.PublishExpvar(name); err == nil {
+		t.Fatal("re-publishing an existing name succeeded")
+	}
+}

@@ -62,6 +62,10 @@ const (
 	ReasonSize
 	// ReasonDelay marks a batch flushed by the MaxDelay window expiring.
 	ReasonDelay
+	// ReasonCached marks a request served from the service's result cache
+	// (a stored entry or an in-flight leader's published result) without
+	// an execution of its own.
+	ReasonCached
 )
 
 func (r FlushReason) String() string {
@@ -70,6 +74,8 @@ func (r FlushReason) String() string {
 		return "size"
 	case ReasonDelay:
 		return "delay"
+	case ReasonCached:
+		return "cached"
 	default:
 		return "unbatched"
 	}

@@ -38,6 +38,12 @@ type config struct {
 	// fplan is the deterministic fault plan installed on every worker
 	// network (construction-time only; see WithFaultPlan).
 	fplan *fault.Plan
+	// cacheBytes enables the deterministic result cache with this byte
+	// capacity (construction-time only; see WithResultCache). 0 = no cache.
+	cacheBytes int64
+	// cacheAdmit is the optional cache admission policy (construction-time
+	// only; see WithCacheAdmission).
+	cacheAdmit CacheAdmission
 	// cluster is the distwalkd engine address list (construction-time
 	// only; see WithCluster). Empty = in-process execution.
 	cluster []string
@@ -297,6 +303,34 @@ func WithBatching(maxBatch int, maxDelay time.Duration) Option {
 			c.batch.MaxDelay = maxDelay
 		}
 	}
+}
+
+// WithResultCache equips the service with the deterministic result cache
+// (internal/cache): a sharded, byte-accounted LRU over completed request
+// results, keyed by a canonical digest of every result-determining input.
+// Because each request is a pure function of (graph generation, service
+// seed, request key, parameterization, budgets), a hit is bit-identical
+// to a fresh execution — cost counters included — and entries never
+// expire; the only invalidation is Service.InvalidateCache. Concurrent
+// identical requests coalesce: one executes, the rest attach to it
+// (ServiceStats.Cache.CoalescedWaiters), including async Submit handles.
+// bytes is the total capacity; values below 1 are ignored (no cache).
+// Construction-time only.
+func WithResultCache(bytes int64) Option {
+	return func(c *config) {
+		if bytes >= 1 {
+			c.cacheBytes = bytes
+		}
+	}
+}
+
+// WithCacheAdmission installs an admission policy on the result cache:
+// only successful results the policy accepts are stored (e.g.
+// CacheMinRounds keeps the expensive ones). Policies never see failed,
+// partial, or batched-composition results — those are never offered.
+// No-op without WithResultCache. Construction-time only.
+func WithCacheAdmission(policy CacheAdmission) Option {
+	return func(c *config) { c.cacheAdmit = policy }
 }
 
 // WithRetry sets how many times a failed request is re-executed before

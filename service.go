@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distwalk/internal/cache"
 	"distwalk/internal/congest"
 	"distwalk/internal/core"
 	"distwalk/internal/mixing"
@@ -59,6 +60,13 @@ type Service struct {
 	// was given): SubmitWalk/SubmitWalkTrace requests queue here and
 	// execute as shared MANY-RANDOM-WALKS batches on the same pool.
 	batch *sched.Scheduler
+
+	// cache is the deterministic result cache (nil unless WithResultCache
+	// was given); cacheGen the graph generation folded into every cache
+	// digest — InvalidateCache bumps it, making all prior keys
+	// unreachable. See internal/cache.
+	cache    *cache.Cache
+	cacheGen atomic.Uint64
 
 	// shardMu guards shardAgg, the per-shard occupancy and barrier-wait
 	// counters aggregated across all workers' sharded networks (each worker
@@ -142,6 +150,13 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 		cfg:  cfg,
 		jobs: make(chan func(*poolWorker)),
 		quit: make(chan struct{}),
+	}
+	if cfg.cacheBytes > 0 {
+		cc, err := cache.New(cache.Config{MaxBytes: cfg.cacheBytes, Admit: cfg.cacheAdmit})
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cc
 	}
 	// Build and validate every worker network before spawning anything: an
 	// invalid fault plan fails construction with ErrBadFault instead of
@@ -461,6 +476,10 @@ type ServiceStats struct {
 	// Cluster reports cluster-mode traffic and resilience activity (zero
 	// value when built without WithCluster).
 	Cluster ClusterStats
+	// Cache reports the result cache's activity — hits, misses, coalesced
+	// waiters, evictions, byte footprint (zero value when built without
+	// WithResultCache).
+	Cache CacheStats
 }
 
 // ClusterStats is the cluster-mode slice of a service's counters:
@@ -526,6 +545,9 @@ func (s *Service) Stats() ServiceStats {
 			out.Cluster.HeartbeatMisses += sv.HeartbeatMisses()
 		}
 		out.Cluster.Failovers = s.clusterFailovers.Load()
+	}
+	if s.cache != nil {
+		out.Cache = s.cache.Stats()
 	}
 	out.Retry = RetryStats{
 		Attempts:  s.retryAttempts.Load(),
@@ -879,8 +901,20 @@ func (s *Service) runBatch(b *sched.Batch) {
 
 // SingleRandomWalk samples the endpoint of an ℓ-step random walk from
 // source in Õ(√(ℓD)) simulated rounds (Theorem 2.5). key identifies the
-// request: same key, same result, regardless of concurrency.
+// request: same key, same result, regardless of concurrency. With
+// WithResultCache, repeated and concurrent identical requests are served
+// from the cache or coalesced onto one execution — bit-identically.
 func (s *Service) SingleRandomWalk(ctx context.Context, key uint64, source NodeID, ell int, opts ...Option) (*WalkResult, error) {
+	if s.cache == nil {
+		return s.singleRandomWalk(ctx, key, source, ell, opts)
+	}
+	return s.cachedSingle(ctx, cacheKindSingle, key, source, ell, opts, func() (*WalkResult, error) {
+		return s.singleRandomWalk(ctx, key, source, ell, opts)
+	})
+}
+
+// singleRandomWalk is the uncached per-key execution body.
+func (s *Service) singleRandomWalk(ctx context.Context, key uint64, source NodeID, ell int, opts []Option) (*WalkResult, error) {
 	var out *WalkResult
 	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
 		res, err := w.SingleRandomWalk(source, ell)
@@ -895,6 +929,15 @@ func (s *Service) SingleRandomWalk(ctx context.Context, key uint64, source NodeI
 
 // NaiveWalk runs the O(ℓ)-round token-forwarding baseline.
 func (s *Service) NaiveWalk(ctx context.Context, key uint64, source NodeID, ell int, opts ...Option) (*WalkResult, error) {
+	if s.cache == nil {
+		return s.naiveWalk(ctx, key, source, ell, opts)
+	}
+	return s.cachedSingle(ctx, cacheKindNaive, key, source, ell, opts, func() (*WalkResult, error) {
+		return s.naiveWalk(ctx, key, source, ell, opts)
+	})
+}
+
+func (s *Service) naiveWalk(ctx context.Context, key uint64, source NodeID, ell int, opts []Option) (*WalkResult, error) {
 	var out *WalkResult
 	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
 		res, err := w.NaiveWalk(source, ell)
@@ -913,6 +956,13 @@ func (s *Service) NaiveWalk(ctx context.Context, key uint64, source NodeID, ell 
 // path (sched.ExecGroup) that serves coalesced SubmitWalk batches — one
 // explicit batch under the caller's key instead of a scheduled one.
 func (s *Service) ManyRandomWalks(ctx context.Context, key uint64, sources []NodeID, ell int, opts ...Option) (*ManyResult, error) {
+	if s.cache == nil {
+		return s.manyRandomWalks(ctx, key, sources, ell, opts)
+	}
+	return s.cachedMany(ctx, key, sources, ell, opts)
+}
+
+func (s *Service) manyRandomWalks(ctx context.Context, key uint64, sources []NodeID, ell int, opts []Option) (*ManyResult, error) {
 	var out *ManyResult
 	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
 		res, _, err := sched.ExecGroup(w, sources, ell, nil, cfg.partial)
@@ -932,6 +982,13 @@ func (s *Service) ManyRandomWalks(ctx context.Context, key uint64, sources []Nod
 // the spanning-tree application builds on — plus the regeneration cost;
 // the WalkResult carries the walk itself.
 func (s *Service) WalkTrace(ctx context.Context, key uint64, source NodeID, ell int, opts ...Option) (*WalkResult, *Trace, error) {
+	if s.cache == nil {
+		return s.walkTrace(ctx, key, source, ell, opts)
+	}
+	return s.cachedTrace(ctx, key, source, ell, opts)
+}
+
+func (s *Service) walkTrace(ctx context.Context, key uint64, source NodeID, ell int, opts []Option) (*WalkResult, *Trace, error) {
 	var (
 		walk  *WalkResult
 		trace *Trace
@@ -957,6 +1014,13 @@ func (s *Service) WalkTrace(ctx context.Context, key uint64, source NodeID, ell 
 // RandomSpanningTree samples a uniformly random spanning tree rooted at
 // root in Õ(√(mD)) simulated rounds (Theorem 4.1).
 func (s *Service) RandomSpanningTree(ctx context.Context, key uint64, root NodeID, opts ...Option) (*RSTResult, error) {
+	if s.cache == nil {
+		return s.randomSpanningTree(ctx, key, root, opts)
+	}
+	return s.cachedRST(ctx, key, root, opts)
+}
+
+func (s *Service) randomSpanningTree(ctx context.Context, key uint64, root NodeID, opts []Option) (*RSTResult, error) {
 	var out *RSTResult
 	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
 		res, err := spanning.RandomSpanningTree(w, root, cfg.rst)
@@ -972,6 +1036,13 @@ func (s *Service) RandomSpanningTree(ctx context.Context, key uint64, root NodeI
 // EstimateMixingTime estimates τ^x_mix decentralized, in
 // Õ(n^{1/2} + n^{1/4}√(Dτ)) simulated rounds (Theorem 4.6).
 func (s *Service) EstimateMixingTime(ctx context.Context, key uint64, x NodeID, opts ...Option) (*MixingEstimate, error) {
+	if s.cache == nil {
+		return s.estimateMixingTime(ctx, key, x, opts)
+	}
+	return s.cachedMixing(ctx, key, x, opts)
+}
+
+func (s *Service) estimateMixingTime(ctx context.Context, key uint64, x NodeID, opts []Option) (*MixingEstimate, error) {
 	var out *MixingEstimate
 	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
 		res, err := mixing.EstimateTau(w, x, cfg.mix)

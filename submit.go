@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"distwalk/internal/cache"
 	"distwalk/internal/sched"
 )
 
@@ -28,6 +29,10 @@ const (
 	FlushSize = sched.ReasonSize
 	// FlushDelay marks a batch flushed by its max-delay window expiring.
 	FlushDelay = sched.ReasonDelay
+	// FlushCached marks a request served from the result cache — a stored
+	// entry, or another request's in-flight execution the handle attached
+	// to — without an execution of its own (see WithResultCache).
+	FlushCached = sched.ReasonCached
 )
 
 // WalkHandle is the future of a submitted walk. Exactly one result is
@@ -132,11 +137,62 @@ func (s *Service) submitAsync(ctx context.Context, key uint64, source NodeID, el
 		return nil, fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
 	if s.batch == nil {
-		// Unbatched default: the per-key deterministic path, run async.
+		// Unbatched default: the per-key deterministic path, run async —
+		// through the cache when the service has one, so submitted walks
+		// hit, lead, and coalesce exactly like the synchronous entry
+		// points.
 		ch := make(chan sched.Result, 1)
-		go func() { ch <- s.unbatchedWalk(ctx, key, source, ell, trace, opts) }()
+		if s.cache != nil {
+			k := s.submitDigest(key, source, ell, trace, cfg)
+			go func() { ch <- s.cachedSubmit(ctx, k, key, source, ell, trace, opts) }()
+		} else {
+			go func() { ch <- s.unbatchedWalk(ctx, key, source, ell, trace, opts) }()
+		}
 		return newWalkHandle(ch), nil
 	}
+	if s.cache != nil {
+		// Batched service: a submission still serves from the cache or
+		// attaches to an in-flight per-key leader instead of queueing —
+		// but a batch execution never leads a flight, because its result
+		// is deterministic per batch composition, not per key, and must
+		// not be published to per-key waiters (or the store).
+		k := s.submitDigest(key, source, ell, trace, cfg)
+		if v, f, o := s.cache.Attach(k); o != cache.Miss {
+			ch := make(chan sched.Result, 1)
+			if o == cache.Hit {
+				ch <- s.cachedSchedResult(v, key, trace)
+				return newWalkHandle(ch), nil
+			}
+			go func() {
+				wv, err := s.cache.Wait(ctx, f)
+				switch {
+				case err == nil:
+					ch <- s.cachedSchedResult(wv, key, trace)
+				case ctx.Err() != nil:
+					ch <- sched.Result{Err: fmt.Errorf("distwalk: request %d canceled while coalesced: %w", key, ctx.Err())}
+				default:
+					// The leader failed with an error that may be private
+					// to it; fall back to this request's own batched
+					// submission.
+					h, err := s.submitBatched(ctx, key, source, ell, trace, cfg, opts)
+					if err != nil {
+						ch <- sched.Result{Err: err}
+						return
+					}
+					h.wait()
+					ch <- h.res
+				}
+			}()
+			return newWalkHandle(ch), nil
+		}
+	}
+	return s.submitBatched(ctx, key, source, ell, trace, cfg, opts)
+}
+
+// submitBatched queues one submission to the batching scheduler: the
+// pre-cache submitAsync body, kept fail-fast (ErrQueueFull at submit
+// time) and wrapped with the abort-fallback when retries are on.
+func (s *Service) submitBatched(ctx context.Context, key uint64, source NodeID, ell int, trace bool, cfg config, opts []Option) (*WalkHandle, error) {
 	req := sched.Request{
 		Key:       key,
 		Source:    source,
@@ -187,10 +243,12 @@ func (s *Service) submitAsync(ctx context.Context, key uint64, source NodeID, el
 
 // unbatchedWalk serves one submitted request on the per-key path — the
 // same execution SingleRandomWalk/WalkTrace perform — and wraps it in a
-// size-one BatchInfo so callers can treat both modes uniformly.
+// size-one BatchInfo so callers can treat both modes uniformly. It runs
+// the uncached bodies: the cached submit paths call it as their leader
+// execution, and the abort-fallback must not dogpile the cache either.
 func (s *Service) unbatchedWalk(ctx context.Context, key uint64, source NodeID, ell int, trace bool, opts []Option) sched.Result {
 	if trace {
-		walk, tr, err := s.WalkTrace(ctx, key, source, ell, opts...)
+		walk, tr, err := s.walkTrace(ctx, key, source, ell, opts)
 		if err != nil {
 			return sched.Result{Err: err}
 		}
@@ -201,7 +259,7 @@ func (s *Service) unbatchedWalk(ctx context.Context, key uint64, source NodeID, 
 			Cost: cost, Amortized: cost,
 		}}
 	}
-	walk, err := s.SingleRandomWalk(ctx, key, source, ell, opts...)
+	walk, err := s.singleRandomWalk(ctx, key, source, ell, opts)
 	if err != nil {
 		return sched.Result{Err: err}
 	}
@@ -209,4 +267,94 @@ func (s *Service) unbatchedWalk(ctx context.Context, key uint64, source NodeID, 
 		Size: 1, Seed: deriveSeed(s.seed, key), Reason: FlushUnbatched,
 		Cost: walk.Cost, Amortized: walk.Cost,
 	}}
+}
+
+// submitDigest is the cache key of a submitted walk. trace=false shares
+// the SingleRandomWalk digest space and trace=true the WalkTrace one —
+// they are the same pure functions, so a submitted walk hits entries the
+// synchronous entry points stored and vice versa.
+func (s *Service) submitDigest(key uint64, source NodeID, ell int, trace bool, cfg config) cache.Key {
+	kind := cacheKindSingle
+	if trace {
+		kind = cacheKindTrace
+	}
+	return s.requestDigest(kind, key, cfg, func(d *cache.Digest) {
+		d.I64(int64(source))
+		d.I64(int64(ell))
+	})
+}
+
+// cachedSchedResult wraps a frozen cache master (stored entry or a
+// leader's published value) as one submitted walk's outcome: a deep copy
+// of the result under a size-one FlushCached BatchInfo whose cost is the
+// saved execution's — bit-equal to what a fresh unbatched run would have
+// reported.
+func (s *Service) cachedSchedResult(v any, key uint64, trace bool) sched.Result {
+	if trace {
+		p := v.(tracedWalk)
+		walk, tr := copyWalkResult(p.walk), copyTrace(p.trace)
+		cost := walk.Cost
+		cost.Add(tr.Cost)
+		return sched.Result{Walk: walk, Trace: tr, Batch: BatchInfo{
+			Size: 1, Seed: deriveSeed(s.seed, key), Reason: FlushCached,
+			Cost: cost, Amortized: cost,
+		}}
+	}
+	walk := copyWalkResult(v.(*WalkResult))
+	return sched.Result{Walk: walk, Batch: BatchInfo{
+		Size: 1, Seed: deriveSeed(s.seed, key), Reason: FlushCached,
+		Cost: walk.Cost, Amortized: walk.Cost,
+	}}
+}
+
+// cachedSubmit resolves one submitted walk through the cache on an
+// unbatched service: serve a stored result, attach to an in-flight
+// leader (sync or async), or lead the per-key execution and publish it.
+// Mirrors cache.Do, with the leader path returning the execution's real
+// BatchInfo instead of a synthesized one.
+func (s *Service) cachedSubmit(ctx context.Context, k cache.Key, key uint64, source NodeID, ell int, trace bool, opts []Option) sched.Result {
+	for {
+		v, f, o := s.cache.Begin(k)
+		switch o {
+		case cache.Hit:
+			return s.cachedSchedResult(v, key, trace)
+		case cache.Coalesced:
+			wv, err := s.cache.Wait(ctx, f)
+			if err == nil {
+				return s.cachedSchedResult(wv, key, trace)
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return sched.Result{Err: fmt.Errorf("distwalk: request %d canceled while coalesced: %w", key, cerr)}
+			}
+			continue // leader failed; contend to lead the next attempt
+		default:
+			r := s.unbatchedWalk(ctx, key, source, ell, trace, opts)
+			if r.Err != nil {
+				s.cache.Finish(k, f, cache.Execution{}, r.Err)
+				return r
+			}
+			var ex cache.Execution
+			if trace {
+				ex = cache.Execution{
+					Value:  tracedWalk{walk: r.Walk, trace: r.Trace},
+					Bytes:  sizeWalkResult(r.Walk) + sizeTrace(r.Trace),
+					Rounds: int64(r.Walk.Cost.Rounds + r.Trace.Cost.Rounds),
+				}
+			} else {
+				ex = cache.Execution{
+					Value:  r.Walk,
+					Bytes:  sizeWalkResult(r.Walk),
+					Rounds: int64(r.Walk.Cost.Rounds),
+				}
+			}
+			s.cache.Finish(k, f, ex, nil)
+			// The masters are frozen now; the leader's own return is a
+			// copy too (uniform copy-on-return), under its real BatchInfo.
+			out := sched.Result{Batch: r.Batch, Walk: copyWalkResult(r.Walk)}
+			if trace {
+				out.Trace = copyTrace(r.Trace)
+			}
+			return out
+		}
+	}
 }
