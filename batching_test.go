@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"distwalk"
+	"distwalk/internal/core"
 )
 
 // Batching subsystem tests: coalesced SubmitWalk requests must execute as
@@ -122,7 +123,7 @@ func TestBatchedDeterminismStress(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	w, err := distwalk.NewWalker(g, h.Batch().Seed, distwalk.DefaultParams())
+	w, err := core.NewWalker(g, h.Batch().Seed, distwalk.DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,10 @@ import (
 	"testing"
 
 	"distwalk"
+	"distwalk/internal/core"
 	"distwalk/internal/experiments"
+	"distwalk/internal/mixing"
+	"distwalk/internal/spanning"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -64,7 +67,7 @@ func BenchmarkSingleRandomWalk(b *testing.B) {
 			g := benchGraph(b)
 			rounds := 0
 			for i := 0; i < b.N; i++ {
-				w, err := distwalk.NewWalker(g, uint64(i), distwalk.DefaultParams())
+				w, err := core.NewWalker(g, uint64(i), distwalk.DefaultParams())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -84,7 +87,7 @@ func BenchmarkNaiveWalk(b *testing.B) {
 	const ell = 1 << 12
 	rounds := 0
 	for i := 0; i < b.N; i++ {
-		w, err := distwalk.NewWalker(g, uint64(i), distwalk.DefaultParams())
+		w, err := core.NewWalker(g, uint64(i), distwalk.DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +107,7 @@ func BenchmarkManyRandomWalks(b *testing.B) {
 			sources := make([]distwalk.NodeID, k)
 			rounds := 0
 			for i := 0; i < b.N; i++ {
-				w, err := distwalk.NewWalker(g, uint64(i), distwalk.DefaultParams())
+				w, err := core.NewWalker(g, uint64(i), distwalk.DefaultParams())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -123,11 +126,11 @@ func BenchmarkRandomSpanningTree(b *testing.B) {
 	g := benchGraph(b)
 	rounds := 0
 	for i := 0; i < b.N; i++ {
-		w, err := distwalk.NewWalker(g, uint64(i), distwalk.DefaultParams())
+		w, err := core.NewWalker(g, uint64(i), distwalk.DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := distwalk.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
+		res, err := spanning.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,11 +146,11 @@ func BenchmarkEstimateMixingTime(b *testing.B) {
 	}
 	rounds := 0
 	for i := 0; i < b.N; i++ {
-		w, err := distwalk.NewWalker(g, uint64(i), distwalk.DefaultParams())
+		w, err := core.NewWalker(g, uint64(i), distwalk.DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
-		est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+		est, err := mixing.EstimateTau(w, 0, distwalk.MixingOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -45,33 +45,43 @@ type tracedWalk struct {
 	trace *Trace
 }
 
-// InvalidateCache invalidates every cached result by bumping the graph
-// generation folded into all cache digests and purging the store. Call it
-// after mutating the served topology out-of-band. Requests already in
-// flight complete under the generation they digested (epoch-pinned);
-// their results can only be reached by requests that started before the
-// bump. Returns ErrCacheDisabled when the service was built without
-// WithResultCache.
+// InvalidateCache invalidates every cached result by publishing a new
+// topology generation over the unchanged graph and purging the store —
+// the same epoch source ApplyMutations uses, minus the graph change: the
+// generation is folded into every cache digest, so all prior keys become
+// unreachable. Requests already in flight complete under the generation
+// they admitted with (epoch-pinned) and are not stored; abort-mode
+// requests (WithStaleAbort) fail with ErrStaleGeneration and, retried,
+// re-execute bit-identically (the graph is unchanged and stale retries
+// are unsalted). Workers only restamp their warm state — no network is
+// rebuilt, and in cluster mode no session is re-dialed (the graph digest
+// is unchanged). Returns ErrCacheDisabled when the service was built
+// without WithResultCache.
 func (s *Service) InvalidateCache() error {
 	if s.cache == nil {
 		return ErrCacheDisabled
 	}
-	s.cacheGen.Add(1)
-	s.cache.Purge()
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	cur := s.topo.Load()
+	s.publishTopology(&topology{gen: cur.gen + 1, g: cur.g, stale: make(chan struct{})})
 	return nil
 }
 
 // requestDigest folds every result-determining input of a request into a
-// canonical cache key: graph generation, request kind, request key, the
-// full walk parameterization, the round budget, the retry budget (under a
-// fault plan, which attempt succeeds — and therefore which attempt-salted
-// seed produced the result — depends on it), the partial-results mode,
-// and the kind-specific operands. Fields that cannot change a result
-// (workers, shards, cluster transport, backoff, batching windows) are
-// deliberately absent; see internal/cache/doc.go.
-func (s *Service) requestDigest(kind, key uint64, cfg config, operands func(*cache.Digest)) cache.Key {
+// canonical cache key: topology generation, request kind, request key,
+// the full walk parameterization, the round budget, the retry budget
+// (under a fault plan, which attempt succeeds — and therefore which
+// attempt-salted seed produced the result — depends on it), the
+// partial-results mode, and the kind-specific operands. Fields that
+// cannot change a result (workers, shards, cluster transport, backoff,
+// batching windows) are deliberately absent; see internal/cache/doc.go.
+// gen is the generation the caller admitted under — passed in, not
+// re-loaded, so the digest and the caller's NoStore staleness check
+// agree on one epoch.
+func (s *Service) requestDigest(gen, kind, key uint64, cfg config, operands func(*cache.Digest)) cache.Key {
 	d := cache.NewDigest()
-	d.U64(s.cacheGen.Load())
+	d.U64(gen)
 	d.U64(kind)
 	d.U64(key)
 	p := cfg.params
@@ -112,8 +122,11 @@ func (s *Service) doCached(ctx context.Context, key uint64, k cache.Key, exec fu
 
 func (s *Service) cachedSingle(ctx context.Context, kind, key uint64, source NodeID, ell int, opts []Option, run func() (*WalkResult, error)) (*WalkResult, error) {
 	cfg := s.cfg
-	cfg.apply(opts)
-	k := s.requestDigest(kind, key, cfg, func(d *cache.Digest) {
+	if err := cfg.applyRequest(opts); err != nil {
+		return nil, fmt.Errorf("distwalk: request %d: %w", key, err)
+	}
+	gen := s.topo.Load().gen
+	k := s.requestDigest(gen, kind, key, cfg, func(d *cache.Digest) {
 		d.I64(int64(source))
 		d.I64(int64(ell))
 	})
@@ -122,7 +135,15 @@ func (s *Service) cachedSingle(ctx context.Context, kind, key uint64, source Nod
 		if err != nil {
 			return cache.Execution{}, err
 		}
-		return cache.Execution{Value: res, Bytes: sizeWalkResult(res), Rounds: int64(res.Cost.Rounds)}, nil
+		return cache.Execution{
+			Value:  res,
+			Bytes:  sizeWalkResult(res),
+			Rounds: int64(res.Cost.Rounds),
+			// An epoch-pinned result that outlived its generation would be
+			// stale on arrival under this digest's successor keys — and its
+			// own key is already unreachable. Never store it.
+			NoStore: s.topo.Load().gen != gen,
+		}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -132,8 +153,11 @@ func (s *Service) cachedSingle(ctx context.Context, kind, key uint64, source Nod
 
 func (s *Service) cachedMany(ctx context.Context, key uint64, sources []NodeID, ell int, opts []Option) (*ManyResult, error) {
 	cfg := s.cfg
-	cfg.apply(opts)
-	k := s.requestDigest(cacheKindMany, key, cfg, func(d *cache.Digest) {
+	if err := cfg.applyRequest(opts); err != nil {
+		return nil, fmt.Errorf("distwalk: request %d: %w", key, err)
+	}
+	gen := s.topo.Load().gen
+	k := s.requestDigest(gen, cacheKindMany, key, cfg, func(d *cache.Digest) {
 		d.I64(int64(len(sources)))
 		for _, src := range sources {
 			d.I64(int64(src))
@@ -147,12 +171,13 @@ func (s *Service) cachedMany(ctx context.Context, key uint64, sources []NodeID, 
 		}
 		// Partial results (some walks lost to faults) are shared with
 		// coalesced waiters but never stored: a retry deserves a chance to
-		// do better than a cached casualty list.
+		// do better than a cached casualty list. Likewise results pinned to
+		// a generation a mutation retired mid-flight.
 		return cache.Execution{
 			Value:   res,
 			Bytes:   sizeManyResult(res),
 			Rounds:  int64(res.Cost.Rounds),
-			NoStore: res.Failed > 0,
+			NoStore: res.Failed > 0 || s.topo.Load().gen != gen,
 		}, nil
 	})
 	if err != nil {
@@ -163,8 +188,11 @@ func (s *Service) cachedMany(ctx context.Context, key uint64, sources []NodeID, 
 
 func (s *Service) cachedTrace(ctx context.Context, key uint64, source NodeID, ell int, opts []Option) (*WalkResult, *Trace, error) {
 	cfg := s.cfg
-	cfg.apply(opts)
-	k := s.requestDigest(cacheKindTrace, key, cfg, func(d *cache.Digest) {
+	if err := cfg.applyRequest(opts); err != nil {
+		return nil, nil, fmt.Errorf("distwalk: request %d: %w", key, err)
+	}
+	gen := s.topo.Load().gen
+	k := s.requestDigest(gen, cacheKindTrace, key, cfg, func(d *cache.Digest) {
 		d.I64(int64(source))
 		d.I64(int64(ell))
 	})
@@ -174,9 +202,10 @@ func (s *Service) cachedTrace(ctx context.Context, key uint64, source NodeID, el
 			return cache.Execution{}, err
 		}
 		return cache.Execution{
-			Value:  tracedWalk{walk: walk, trace: tr},
-			Bytes:  sizeWalkResult(walk) + sizeTrace(tr),
-			Rounds: int64(walk.Cost.Rounds + tr.Cost.Rounds),
+			Value:   tracedWalk{walk: walk, trace: tr},
+			Bytes:   sizeWalkResult(walk) + sizeTrace(tr),
+			Rounds:  int64(walk.Cost.Rounds + tr.Cost.Rounds),
+			NoStore: s.topo.Load().gen != gen,
 		}, nil
 	})
 	if err != nil {
@@ -188,8 +217,11 @@ func (s *Service) cachedTrace(ctx context.Context, key uint64, source NodeID, el
 
 func (s *Service) cachedRST(ctx context.Context, key uint64, root NodeID, opts []Option) (*RSTResult, error) {
 	cfg := s.cfg
-	cfg.apply(opts)
-	k := s.requestDigest(cacheKindRST, key, cfg, func(d *cache.Digest) {
+	if err := cfg.applyRequest(opts); err != nil {
+		return nil, fmt.Errorf("distwalk: request %d: %w", key, err)
+	}
+	gen := s.topo.Load().gen
+	k := s.requestDigest(gen, cacheKindRST, key, cfg, func(d *cache.Digest) {
 		d.I64(int64(root))
 		d.I64(int64(cfg.rst.StartLength))
 		d.I64(int64(cfg.rst.WalksPerPhase))
@@ -201,7 +233,12 @@ func (s *Service) cachedRST(ctx context.Context, key uint64, root NodeID, opts [
 		if err != nil {
 			return cache.Execution{}, err
 		}
-		return cache.Execution{Value: res, Bytes: sizeRST(res), Rounds: int64(res.Cost.Rounds)}, nil
+		return cache.Execution{
+			Value:   res,
+			Bytes:   sizeRST(res),
+			Rounds:  int64(res.Cost.Rounds),
+			NoStore: s.topo.Load().gen != gen,
+		}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -211,8 +248,11 @@ func (s *Service) cachedRST(ctx context.Context, key uint64, root NodeID, opts [
 
 func (s *Service) cachedMixing(ctx context.Context, key uint64, x NodeID, opts []Option) (*MixingEstimate, error) {
 	cfg := s.cfg
-	cfg.apply(opts)
-	k := s.requestDigest(cacheKindMix, key, cfg, func(d *cache.Digest) {
+	if err := cfg.applyRequest(opts); err != nil {
+		return nil, fmt.Errorf("distwalk: request %d: %w", key, err)
+	}
+	gen := s.topo.Load().gen
+	k := s.requestDigest(gen, cacheKindMix, key, cfg, func(d *cache.Digest) {
 		d.I64(int64(x))
 		d.I64(int64(cfg.mix.Samples))
 		d.F64(cfg.mix.Eps)
@@ -225,7 +265,12 @@ func (s *Service) cachedMixing(ctx context.Context, key uint64, x NodeID, opts [
 		if err != nil {
 			return cache.Execution{}, err
 		}
-		return cache.Execution{Value: res, Bytes: sizeMixing(res), Rounds: int64(res.Cost.Rounds)}, nil
+		return cache.Execution{
+			Value:   res,
+			Bytes:   sizeMixing(res),
+			Rounds:  int64(res.Cost.Rounds),
+			NoStore: s.topo.Load().gen != gen,
+		}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -31,12 +31,19 @@
 // ErrBudgetExceeded, ErrDisconnected, ...) and are errors.Is-able; see
 // errors.go for the taxonomy.
 //
-// # Legacy Walker surface
+// # Dynamic graphs
 //
-// The original single-threaded Walker API (NewWalker, Params, RSTOptions,
-// MixingOptions) remains as a thin deprecated shim so existing code and
-// the golden cost-model tests keep working bit-identically. New code
-// should use Service.
+// The served topology is mutable under live traffic: ApplyMutations
+// applies a batch of edge edits copy-on-write and publishes it as the
+// next Generation. Requests in flight across the boundary either
+// complete epoch-pinned against the snapshot they admitted under (the
+// default) or fail fast with ErrStaleGeneration (WithStaleAbort) and,
+// under WithRetry, re-execute on the new topology. See mutate.go.
+//
+// The single-threaded Walker shim that predated Service (NewWalker and
+// the bare-Params entry points) has been removed; the same engine is
+// reachable through Service with identical bit-exact results, and the
+// low-level surface lives in internal/core for this module's own tests.
 package distwalk
 
 import (
@@ -62,11 +69,6 @@ type (
 	// Params tunes the walk algorithms; see DefaultParams. Prefer the
 	// functional options (WithEta, WithTheory, ...) with Service.
 	Params = core.Params
-	// Walker runs the paper's walk algorithms over one simulated network.
-	//
-	// Deprecated: Walker is the single-threaded legacy surface; it remains
-	// for the golden cost-model tests and existing callers. Use Service.
-	Walker = core.Walker
 	// WalkResult describes one completed walk and its simulated cost.
 	WalkResult = core.WalkResult
 	// ManyResult describes a MANY-RANDOM-WALKS batch.
@@ -127,15 +129,6 @@ func RandomFaultPlan(seed uint64, g *Graph, spec ChaosSpec) *FaultPlan {
 // AddWeightedEdge.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
-// NewWalker builds a Walker over g; seed drives all randomness.
-//
-// Deprecated: NewWalker is the single-threaded legacy entry point, kept so
-// the golden cost-model tests stay bit-identical. Use NewService: it adds
-// concurrency, contexts, per-request determinism and typed errors.
-func NewWalker(g *Graph, seed uint64, p Params) (*Walker, error) {
-	return core.NewWalker(g, seed, p)
-}
-
 // DefaultParams returns the practical parameterization (λ = √(ℓD), η = 1).
 func DefaultParams() Params { return core.DefaultParams() }
 
@@ -194,25 +187,9 @@ func GeometricRandom(n int, radius float64, seed uint64) (*Graph, error) {
 	return graph.ConnectedRGG(n, radius, rng.New(seed), 1000)
 }
 
-// RandomSpanningTree samples a uniformly random spanning tree rooted at
-// root in Õ(√(mD)) rounds (Theorem 4.1).
-//
-// Deprecated: use Service.RandomSpanningTree.
-func RandomSpanningTree(w *Walker, root NodeID, opt RSTOptions) (*RSTResult, error) {
-	return spanning.RandomSpanningTree(w, root, opt)
-}
-
 // ValidateSpanningTree checks a parent array against g.
 func ValidateSpanningTree(g *Graph, root NodeID, parent []NodeID) error {
 	return spanning.ValidateTree(g, root, parent)
-}
-
-// EstimateMixingTime estimates τ^x_mix decentralized, in
-// Õ(n^{1/2} + n^{1/4}√(Dτ)) rounds (Theorem 4.6).
-//
-// Deprecated: use Service.EstimateMixingTime.
-func EstimateMixingTime(w *Walker, x NodeID, opt MixingOptions) (*MixingEstimate, error) {
-	return mixing.EstimateTau(w, x, opt)
 }
 
 // Reference (centralized) quantities used for validation.

@@ -1,6 +1,7 @@
 package distwalk_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,12 +16,13 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := distwalk.NewWalker(g, 42, distwalk.DefaultParams())
+	svc, err := distwalk.NewService(g, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer svc.Close()
 	const ell = 10000
-	res, err := w.SingleRandomWalk(0, ell)
+	res, err := svc.SingleRandomWalk(context.Background(), 1, 0, ell)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +73,12 @@ func TestFacadeSpanningTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := distwalk.NewWalker(g, 7, distwalk.DefaultParams())
+	svc, err := distwalk.NewService(g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := distwalk.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
+	defer svc.Close()
+	res, err := svc.RandomSpanningTree(context.Background(), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +92,12 @@ func TestFacadeMixingTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := distwalk.NewWalker(g, 9, distwalk.DefaultParams())
+	svc, err := distwalk.NewService(g, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+	defer svc.Close()
+	est, err := svc.EstimateMixingTime(context.Background(), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

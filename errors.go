@@ -36,9 +36,6 @@ var (
 	ErrGraphTooSmall = core.ErrGraphTooSmall
 	// ErrBadParams reports an invalid parameterization.
 	ErrBadParams = core.ErrBadParams
-	// ErrConcurrentUse reports overlapping calls into one (deprecated,
-	// single-threaded) Walker. The Service never returns it.
-	ErrConcurrentUse = core.ErrConcurrentUse
 	// ErrBudgetExceeded reports a simulated run that exceeded its round
 	// budget (see WithMaxRounds).
 	ErrBudgetExceeded = congest.ErrRoundLimit
@@ -112,7 +109,54 @@ var (
 	// within the per-exchange deadline (see WithClusterRoundTimeout) —
 	// hung process, network partition. Also matches ErrEngineLost.
 	ErrEngineTimeout = wire.ErrEngineTimeout
+	// ErrBadMutation reports an invalid ApplyMutations batch: endpoints
+	// out of range, a self-loop, a negative weight, a removal naming a
+	// missing edge, or an edit that would isolate a node. The batch is
+	// rejected whole; the service's topology is unchanged.
+	ErrBadMutation = graph.ErrEdit
+	// ErrStaleGeneration reports a request that admitted under a topology
+	// generation a mutation (or InvalidateCache) then retired, on a
+	// service configured with WithStaleAbort. errors.As against
+	// *StaleGenerationError exposes the old and new generations.
+	// Retryable: a retry re-admits under the current generation.
+	ErrStaleGeneration = errors.New("distwalk: topology generation superseded")
 )
+
+// StaleGenerationError carries the generation a stale-aborted request
+// admitted under (Old) and the one current when it failed (New); matches
+// ErrStaleGeneration under errors.Is.
+type StaleGenerationError struct {
+	Old, New Generation
+}
+
+func (e *StaleGenerationError) Error() string {
+	return "distwalk: topology generation superseded (admitted under " +
+		e.Old.String() + ", now " + e.New.String() + ")"
+}
+
+// Unwrap makes the error match ErrStaleGeneration.
+func (e *StaleGenerationError) Unwrap() error { return ErrStaleGeneration }
+
+// OptionScopeError reports a construction-only option passed to a
+// per-request call; Option names the offender. Matches ErrOptionScope
+// under errors.Is.
+type OptionScopeError struct {
+	Option string
+}
+
+func (e *OptionScopeError) Error() string {
+	return "distwalk: option " + e.Option + " is construction-only (pass it to NewService)"
+}
+
+// Unwrap makes the error match ErrOptionScope.
+func (e *OptionScopeError) Unwrap() error { return ErrOptionScope }
+
+// ErrOptionScope reports a construction-only option (pool and cluster
+// shape, batching, cache, fault plan) passed to a per-request call.
+// Before the mutation API these were silently ignored per request; they
+// are now rejected so a caller cannot believe a request ran with e.g. a
+// different shard count than it did.
+var ErrOptionScope = errors.New("distwalk: construction-only option in per-request call")
 
 // NodeCrashedError carries which node was down and the simulated round at
 // which the first token was lost to it; matches ErrNodeCrashed under
@@ -124,16 +168,19 @@ type NodeCrashedError = congest.NodeCrashedError
 type MessageLostError = congest.MessageLostError
 
 // Retryable reports whether err is worth re-executing with a fresh
-// attempt seed: typed fault losses (ErrNodeCrashed, ErrMessageLost) and
+// attempt seed: typed fault losses (ErrNodeCrashed, ErrMessageLost),
 // transient scheduling rejections (ErrQueueFull, ErrBatchAborted — unless
-// the abort was the service closing). WithRetry uses exactly this
-// predicate; callers running their own retry loops should too.
+// the abort was the service closing), and stale-generation aborts
+// (ErrStaleGeneration — the retry re-admits on the new topology).
+// WithRetry uses exactly this predicate; callers running their own retry
+// loops should too.
 func Retryable(err error) bool {
 	if errors.Is(err, ErrServiceClosed) {
 		return false
 	}
 	return errors.Is(err, ErrNodeCrashed) || errors.Is(err, ErrMessageLost) ||
-		errors.Is(err, ErrQueueFull) || errors.Is(err, ErrBatchAborted)
+		errors.Is(err, ErrQueueFull) || errors.Is(err, ErrBatchAborted) ||
+		errors.Is(err, ErrStaleGeneration)
 }
 
 // GenRetryError is the typed generator retry-exhaustion error; it carries

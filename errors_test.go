@@ -21,7 +21,6 @@ func TestSentinelTaxonomy(t *testing.T) {
 		{"ErrBadLength", distwalk.ErrBadLength},
 		{"ErrGraphTooSmall", distwalk.ErrGraphTooSmall},
 		{"ErrBadParams", distwalk.ErrBadParams},
-		{"ErrConcurrentUse", distwalk.ErrConcurrentUse},
 		{"ErrBudgetExceeded", distwalk.ErrBudgetExceeded},
 		{"ErrDisconnected", distwalk.ErrDisconnected},
 		{"ErrRetryExhausted", distwalk.ErrRetryExhausted},

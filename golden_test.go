@@ -19,6 +19,9 @@ import (
 	"testing"
 
 	"distwalk"
+	"distwalk/internal/core"
+	"distwalk/internal/mixing"
+	"distwalk/internal/spanning"
 )
 
 var captureGolden = flag.Bool("capture-golden", false, "print actual golden counters instead of failing")
@@ -38,9 +41,12 @@ func torus16(t *testing.T) *distwalk.Graph {
 	return g
 }
 
-func newWalker(t *testing.T, g *distwalk.Graph, seed uint64, p distwalk.Params) *distwalk.Walker {
+// newWalker builds the low-level single-threaded engine the goldens were
+// captured on. The public NewWalker shim is gone; the goldens reach the
+// identical engine through internal/core (same module, same bits).
+func newWalker(t *testing.T, g *distwalk.Graph, seed uint64, p distwalk.Params) *core.Walker {
 	t.Helper()
-	w, err := distwalk.NewWalker(g, seed, p)
+	w, err := core.NewWalker(g, seed, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +129,7 @@ func goldenCases() []goldenCase {
 					t.Fatal(err)
 				}
 				w := newWalker(t, g, 11, distwalk.DefaultParams())
-				res, err := distwalk.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
+				res, err := spanning.RandomSpanningTree(w, 0, distwalk.RSTOptions{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -139,7 +145,7 @@ func goldenCases() []goldenCase {
 					t.Fatal(err)
 				}
 				w := newWalker(t, g, 13, distwalk.DefaultParams())
-				est, err := distwalk.EstimateMixingTime(w, 0, distwalk.MixingOptions{})
+				est, err := mixing.EstimateTau(w, 0, distwalk.MixingOptions{})
 				if err != nil {
 					t.Fatal(err)
 				}

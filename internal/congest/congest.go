@@ -177,6 +177,12 @@ type Network struct {
 	maxRound int
 	ctx      context.Context // optional; checked periodically by Run
 
+	// topoGen is the topology generation stamp for warm-state coherence:
+	// the service layer stamps every network with the generation of the
+	// graph it was last (re)shaped for, and compares it against the
+	// current epoch on prepare. See reshape.go.
+	topoGen uint64
+
 	// Sharded execution (nil/empty = sequential): the shard workers and
 	// the node -> shard index; see shard.go.
 	sh      []*shard
@@ -321,29 +327,41 @@ func NewNetwork(g *graph.G, seed uint64, opts ...Option) *Network {
 	base := rng.New(seed)
 	for v := 0; v < n; v++ {
 		net.nodeRNG[v] = base.Stream(uint64(v))
-		net.off[v+1] = net.off[v] + int32(g.Degree(graph.NodeID(v)))
 	}
-	total := net.off[n]
-	net.queues = make([]ring, total)
-	net.nbrTo = make([]int32, total)
-	net.nbrEdge = make([]int32, total)
-	for v := 0; v < n; v++ {
-		lo, hi := net.off[v], net.off[v+1]
-		for j, h := range g.Neighbors(graph.NodeID(v)) {
-			net.nbrTo[lo+int32(j)] = int32(h.To)
-			net.nbrEdge[lo+int32(j)] = lo + int32(j)
-		}
-		// Sort by (To, directed index): the directed-index tie-break keeps
-		// parallel edges in adjacency order, so Send's least-loaded
-		// tie-break matches the old map index exactly.
-		sort.Sort(&halfIndex{to: net.nbrTo[lo:hi], edge: net.nbrEdge[lo:hi]})
-	}
-	net.active = newSched(int(total))
+	net.buildIndex()
 	net.stepSet = newSched(n)
 	for _, opt := range opts {
 		opt(net)
 	}
 	return net
+}
+
+// buildIndex (re)builds the directed-edge machinery — off, nbrTo,
+// nbrEdge, queues and the edge scheduler — from the current n.g. Shared
+// by NewNetwork and Reshape so the index layout cannot drift between
+// construction and re-shaping.
+func (n *Network) buildIndex() {
+	nn := n.g.N()
+	n.off[0] = 0
+	for v := 0; v < nn; v++ {
+		n.off[v+1] = n.off[v] + int32(n.g.Degree(graph.NodeID(v)))
+	}
+	total := n.off[nn]
+	n.queues = make([]ring, total)
+	n.nbrTo = make([]int32, total)
+	n.nbrEdge = make([]int32, total)
+	for v := 0; v < nn; v++ {
+		lo, hi := n.off[v], n.off[v+1]
+		for j, h := range n.g.Neighbors(graph.NodeID(v)) {
+			n.nbrTo[lo+int32(j)] = int32(h.To)
+			n.nbrEdge[lo+int32(j)] = lo + int32(j)
+		}
+		// Sort by (To, directed index): the directed-index tie-break keeps
+		// parallel edges in adjacency order, so Send's least-loaded
+		// tie-break matches the old map index exactly.
+		sort.Sort(&halfIndex{to: n.nbrTo[lo:hi], edge: n.nbrEdge[lo:hi]})
+	}
+	n.active = newSched(int(total))
 }
 
 // Graph returns the underlying topology.

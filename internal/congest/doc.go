@@ -214,6 +214,54 @@
 // the service determinism stress tests pin that a worker's Nth request is
 // bit-identical to the same request on a zero-history worker.
 //
+// # Generation-stamped warm state
+//
+// Warm reuse survives topology mutation through a generation stamp.
+// Every Network carries an opaque uint64 set by its owner
+// (SetGeneration/Generation — the engine never interprets it); the
+// service layer stamps each pooled worker with the topology generation
+// it was last built or reshaped for. On checkout it compares the stamp
+// against the current generation: equal means the warm state is
+// current and the request proceeds on the unchanged hot path (one
+// integer compare — mutation support is zero-cost for static graphs,
+// which the unchanged goldens and baselines prove); stale means the
+// worker calls Reshape(g2) before serving.
+//
+// Reshape rebuilds exactly the structures that depend on the edge set
+// — the directed-edge index (off/nbrTo/nbrEdge), the queue slab, the
+// compiled fault plan — via the same buildIndex that NewNetwork uses,
+// and leaves everything sized-to-n alone (per-node RNG stream slots,
+// tree scratch, inboxes). It reports what the shard partition needed:
+//
+//   - ReshapeNone: same *graph.G pointer — only the stamp was behind
+//     (an InvalidateCache generation bump publishes the same graph),
+//     nothing rebuilds.
+//   - ReshapeIncremental: the old contiguous node bounds still balance
+//     the new edge distribution within the planner's slack (maxLoad*S
+//     within 5/4 of mean), so the partition is kept and only the flat
+//     index and rings rebuild. This is the common case for small edit
+//     batches and keeps per-shard warm structures meaningful.
+//   - ReshapeFull: the edit skewed per-shard load past the slack (or
+//     the network is unsharded, where the distinction is vacuous), so
+//     PlanShards re-partitions from scratch.
+//
+// Reshape refuses what cannot be reshaped in place: a nil or
+// node-count-changing graph, a network attached to remote cluster
+// engines (the service swaps the cluster plan instead; engines re-pin
+// via the rotated handshake), and per-edge capacity functions (capOf
+// closures may capture the old graph). An installed fault plan is
+// recompiled against the new topology; a plan naming a now-removed
+// link fails the reshape with ErrBadFault — the service validates
+// plan-vs-edit before publishing, so hitting this in a worker is the
+// defensive backstop, not a control path.
+//
+// Reshape must be followed by Reseed before serving: after
+// Reshape(g2)+Reseed(s) the network is observably identical to
+// NewNetwork(g2, s) — the same contract warm reuse already pinned,
+// extended to the mutation axis. The generation stamp itself is owner
+// state and survives Reshape untouched; the service re-stamps after a
+// successful reshape so a failed one retries on the next checkout.
+//
 // # Fault injection and charging order
 //
 // SetFaultPlan installs a deterministic fault plan (internal/fault):

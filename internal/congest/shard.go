@@ -146,7 +146,17 @@ func (n *Network) SetShards(s int) {
 		n.shardOf = nil
 		return
 	}
-	bounds := planShards(n.off, nn, s)
+	n.applyShardBounds(planShards(n.off, nn, s))
+}
+
+// applyShardBounds rebuilds the shard workers over the given node
+// boundaries (len s+1, bounds[0]==0, bounds[s]==n). Callers must have
+// drained transient run state first. Factored out of SetShards so
+// Reshape can keep an old partition's bounds (the incremental re-shard)
+// while still rebuilding the off-dependent per-shard state.
+func (n *Network) applyShardBounds(bounds []int32) {
+	nn := n.g.N()
+	s := len(bounds) - 1
 	if n.shardOf == nil || len(n.shardOf) != nn {
 		n.shardOf = make([]int32, nn)
 	}

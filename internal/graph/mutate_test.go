@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func editTorus(t *testing.T) *G {
+	t.Helper()
+	g, err := Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// snapshotAdj deep-copies one adjacency list so a later comparison can
+// prove the original graph was not touched.
+func snapshotAdj(g *G, v NodeID) []Half {
+	return append([]Half(nil), g.adj[v]...)
+}
+
+func TestApplyEditsBasics(t *testing.T) {
+	g := editTorus(t)
+	pre0 := snapshotAdj(g, 0)
+	pre1 := snapshotAdj(g, 1)
+	preM := g.M()
+
+	g2, err := g.ApplyEdits(
+		[]EdgeEdit{{U: 0, V: 1}},
+		[]EdgeEdit{{U: 0, V: 27, W: 2}, {U: 5, V: 40}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The original is untouched (copy-on-write contract).
+	if g.M() != preM {
+		t.Fatalf("original edge count changed: %d -> %d", preM, g.M())
+	}
+	for i, h := range g.adj[0] {
+		if h != pre0[i] {
+			t.Fatalf("original adj[0][%d] changed: %+v -> %+v", i, pre0[i], h)
+		}
+	}
+	for i, h := range g.adj[1] {
+		if h != pre1[i] {
+			t.Fatalf("original adj[1][%d] changed: %+v -> %+v", i, pre1[i], h)
+		}
+	}
+
+	// The derived graph reflects the edits.
+	if g2.M() != preM+1 {
+		t.Fatalf("derived edge count = %d, want %d", g2.M(), preM+1)
+	}
+	if hasEdge(g2, 0, 1) {
+		t.Fatal("removed edge (0,1) still present in derived graph")
+	}
+	if !hasEdge(g2, 0, 27) || !hasEdge(g2, 5, 40) {
+		t.Fatal("added edges missing from derived graph")
+	}
+	if !g2.Weighted() {
+		t.Fatal("adding a weight-2 edge did not mark the derived graph weighted")
+	}
+	wantW0 := g.WeightedDegree(0) - 1 + 2
+	if math.Abs(g2.WeightedDegree(0)-wantW0) > 1e-12 {
+		t.Fatalf("derived wdeg(0) = %v, want %v", g2.WeightedDegree(0), wantW0)
+	}
+}
+
+func hasEdge(g *G, u, v NodeID) bool {
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestApplyEditsSharesUntouchedSegments pins the COW mechanics: adjacency
+// lists of nodes no edit touches are shared backing arrays, not copies.
+func TestApplyEditsSharesUntouchedSegments(t *testing.T) {
+	g := editTorus(t)
+	g2, err := g.ApplyEdits([]EdgeEdit{{U: 0, V: 1}}, []EdgeEdit{{U: 2, V: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 40 is far from every edit: its list must be aliased.
+	if &g.adj[40][0] != &g2.adj[40][0] {
+		t.Fatal("untouched adjacency segment was copied instead of shared")
+	}
+	// Touched nodes must NOT alias, or edits would leak into the original.
+	for _, v := range []NodeID{0, 1, 2, 20} {
+		if len(g.adj[v]) > 0 && len(g2.adj[v]) > 0 && &g.adj[v][0] == &g2.adj[v][0] {
+			t.Fatalf("touched node %d still shares its adjacency backing array", v)
+		}
+	}
+}
+
+// TestApplyEditsIndexIntegrity checks the swap-remove bookkeeping: after a
+// batch that forces edge-slot reuse, every half-edge's E index points at a
+// dense edge whose endpoints and weight match the half.
+func TestApplyEditsIndexIntegrity(t *testing.T) {
+	g := editTorus(t)
+	g2, err := g.ApplyEdits(
+		[]EdgeEdit{{U: 0, V: 1}, {U: 0, V: 8}, {U: 10, V: 11}},
+		[]EdgeEdit{{U: 0, V: 63, W: 3}, {U: 1, V: 62}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIndex(t, g2)
+}
+
+func checkIndex(t *testing.T, g *G) {
+	t.Helper()
+	seen := make([]int, g.M())
+	for v := range g.adj {
+		for _, h := range g.adj[v] {
+			if h.E < 0 || int(h.E) >= g.M() {
+				t.Fatalf("adj[%d] half %+v has out-of-range edge index (m=%d)", v, h, g.M())
+			}
+			e := g.edges[h.E]
+			u := NodeID(v)
+			if !((e.U == u && e.V == h.To) || (e.V == u && e.U == h.To)) {
+				t.Fatalf("adj[%d] half %+v disagrees with edges[%d] = %+v", v, h, h.E, e)
+			}
+			if e.W != h.W {
+				t.Fatalf("adj[%d] half weight %v disagrees with edges[%d] weight %v", v, h.W, h.E, e.W)
+			}
+			seen[h.E]++
+		}
+	}
+	for e, c := range seen {
+		if c != 2 {
+			t.Fatalf("edges[%d] referenced by %d halves, want 2", e, c)
+		}
+	}
+}
+
+func TestApplyEditsWeightedRecompute(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddWeightedEdge(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("setup: graph should be weighted")
+	}
+	// Removing the only non-unit edge must clear the weighted flag; node 2
+	// keeps a replacement edge so it is not isolated.
+	g2, err := g.ApplyEdits([]EdgeEdit{{U: 1, V: 2, W: 5}}, []EdgeEdit{{U: 0, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Weighted() {
+		t.Fatal("derived graph still weighted after removing the only weighted edge")
+	}
+}
+
+func TestApplyEditsParallelEdges(t *testing.T) {
+	g := editTorus(t)
+	// Add two parallel (0,1) edges on top of the torus edge, then remove
+	// one: exactly two (0,1) edges must survive.
+	g2, err := g.ApplyEdits(nil, []EdgeEdit{{U: 0, V: 1}, {U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := g2.ApplyEdits([]EdgeEdit{{U: 0, V: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n01 := 0
+	for _, h := range g3.adj[0] {
+		if h.To == 1 {
+			n01++
+		}
+	}
+	if n01 != 2 {
+		t.Fatalf("(0,1) multiplicity after add two / remove one = %d, want 2", n01)
+	}
+	checkIndex(t, g3)
+}
+
+func TestApplyEditsErrors(t *testing.T) {
+	g := editTorus(t)
+	cases := []struct {
+		name     string
+		rem, add []EdgeEdit
+	}{
+		{"self-loop add", nil, []EdgeEdit{{U: 3, V: 3}}},
+		{"out-of-range add", nil, []EdgeEdit{{U: 0, V: 64}}},
+		{"negative weight add", nil, []EdgeEdit{{U: 0, V: 2, W: -1}}},
+		{"missing removal", []EdgeEdit{{U: 0, V: 2}}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := g.ApplyEdits(tc.rem, tc.add); !errors.Is(err, ErrEdit) {
+				t.Fatalf("err = %v, want ErrEdit", err)
+			}
+		})
+	}
+
+	t.Run("isolation", func(t *testing.T) {
+		p, err := Path(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Removing (0,1) strands node 0.
+		if _, err := p.ApplyEdits([]EdgeEdit{{U: 0, V: 1}}, nil); !errors.Is(err, ErrEdit) {
+			t.Fatalf("isolating edit: err = %v, want ErrEdit", err)
+		}
+	})
+
+	t.Run("all-or-nothing", func(t *testing.T) {
+		preM := g.M()
+		// Valid add + invalid removal in one batch: nothing applies.
+		if _, err := g.ApplyEdits([]EdgeEdit{{U: 0, V: 2}}, []EdgeEdit{{U: 0, V: 27}}); !errors.Is(err, ErrEdit) {
+			t.Fatalf("mixed batch: err = %v, want ErrEdit", err)
+		}
+		if g.M() != preM || hasEdge(g, 0, 27) {
+			t.Fatal("failed batch mutated the original graph")
+		}
+	})
+}

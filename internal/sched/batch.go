@@ -38,6 +38,16 @@ type Request struct {
 	Trace     bool
 	Params    core.Params
 	MaxRounds int
+	// Topo identifies the topology epoch the request admitted under; it
+	// joins the compatibility group so no batch ever mixes generations.
+	// The scheduler only compares it (comparable, typically a pointer).
+	Topo any
+	// StaleAbort marks a request whose caller wants fail-fast semantics
+	// across a topology mutation: AbortPending can evict it from the
+	// admission queue. It deliberately does NOT join the compatibility
+	// group — pin- and abort-mode requests on the same epoch batch
+	// together.
+	StaleAbort bool
 }
 
 // Result is one member's demultiplexed outcome. Exactly one Result is
@@ -122,6 +132,9 @@ type Batch struct {
 	// keys: determinism is per batch composition, not per member.
 	Seed   uint64
 	Reason FlushReason
+	// Topo is the topology epoch shared by every member (part of the
+	// compatibility group); the executor prepares its walker against it.
+	Topo any
 
 	sched   *Scheduler
 	members []*pending

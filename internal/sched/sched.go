@@ -59,6 +59,7 @@ type groupKey struct {
 	params    core.Params
 	maxRounds int
 	ell       int
+	topo      any
 }
 
 // group is one admission queue plus its flush-window state.
@@ -121,7 +122,7 @@ func (s *Scheduler) Submit(ctx context.Context, req Request) (<-chan Result, err
 	if s.closed {
 		return nil, fmt.Errorf("%w (request %d)", ErrSchedulerClosed, req.Key)
 	}
-	gk := groupKey{params: req.Params, maxRounds: req.MaxRounds, ell: req.Ell}
+	gk := groupKey{params: req.Params, maxRounds: req.MaxRounds, ell: req.Ell, topo: req.Topo}
 	g := s.groups[gk]
 	if g == nil {
 		g = &group{key: gk}
@@ -344,9 +345,45 @@ func (s *Scheduler) newBatchLocked(gk groupKey, members []*pending, reason Flush
 		MaxRounds: gk.maxRounds,
 		Seed:      BatchSeed(s.seed, keys),
 		Reason:    reason,
+		Topo:      gk.topo,
 		sched:     s,
 		members:   members,
 	}
+}
+
+// AbortPending evicts queued (not yet flushed) members matching match,
+// completing each with a Result whose Err wraps cause, and returns the
+// number evicted. Batches already cut keep their composition — the epoch
+// they admitted under executes them. The service uses this on topology
+// mutation to fail fast the pending abort-mode members of the dead
+// epoch; pin-mode members stay queued and execute against their pinned
+// snapshot.
+func (s *Scheduler) AbortPending(match func(Request) bool, cause error) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	n := 0
+	for _, g := range s.groups {
+		kept := g.members[:0]
+		for _, p := range g.members {
+			if !match(p.req) {
+				kept = append(kept, p)
+				continue
+			}
+			p.release()
+			s.st.Aborted++
+			n++
+			p.out <- Result{Err: fmt.Errorf("distwalk: request %d dropped from pending batch: %w",
+				p.req.Key, cause)}
+		}
+		g.members = kept
+		if len(g.members) == 0 {
+			s.retireLocked(g)
+		}
+	}
+	return n
 }
 
 func (s *Scheduler) noteExecuted(info BatchInfo) {

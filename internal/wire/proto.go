@@ -21,7 +21,9 @@ const (
 	// Magic is the protocol magic number ("DWK1").
 	Magic = 0x44574b31
 	// Version is the protocol version; both ends must match exactly.
-	Version = 1
+	// Version 2 added Hello.Gen (the topology generation ordinal that
+	// lets a mutated client rotate the server's pinned digest).
+	Version = 2
 )
 
 // Handshake rejection taxonomy: the server answers a bad Hello with an
@@ -168,9 +170,11 @@ func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64
 
 // GraphDigest fingerprints a topology (FNV-1a 64 over the node count and
 // the weighted edge list, in insertion order). The handshake carries it
-// as the graph generation: a distwalkd process pins the first generation
-// it serves and refuses sessions for any other, so one cluster never
-// silently mixes topologies.
+// alongside the generation ordinal: a distwalkd process pins the
+// (digest, generation) pair of the first session it serves and refuses
+// sessions for any other digest — unless the session offers a strictly
+// newer generation, which rotates the pin (see Hello.Gen) — so one
+// cluster never silently mixes topologies.
 func GraphDigest(g *graph.G) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -200,8 +204,14 @@ func GraphDigest(g *graph.G) uint64 {
 // the engine edge capacity, the request-derivation seed (informational),
 // and the fault plan the engine must charge.
 type Hello struct {
-	Seed    uint64
-	Digest  uint64
+	Seed   uint64
+	Digest uint64
+	// Gen is the client's topology generation ordinal. The server pins
+	// (Digest, Gen) from the first session it serves; a later Hello with
+	// a strictly greater Gen rotates the pin to its digest (the client
+	// mutated its graph), while a different digest at the same or older
+	// Gen is rejected with CodeGeneration.
+	Gen     uint64
 	N       int
 	Edges   []graph.Edge
 	Bounds  []int32
@@ -212,6 +222,8 @@ type Hello struct {
 
 // HelloFor builds the Hello a client sends for one shard of a cluster
 // over g: PlanShards bounds for `engines` shards and the graph's digest.
+// Gen is left zero; callers serving epoch-versioned topologies stamp it
+// before dialing.
 func HelloFor(g *graph.G, engines, shard, edgeCap int, seed uint64, plan *fault.Plan) Hello {
 	return Hello{
 		Seed:    seed,
@@ -239,6 +251,7 @@ func encodeHello(b []byte, h Hello) []byte {
 	b = putU16(b, Version)
 	b = putU64(b, h.Seed)
 	b = putU64(b, h.Digest)
+	b = putU64(b, h.Gen)
 	b = putU32(b, uint32(h.N))
 	b = putU32(b, uint32(len(h.Edges)))
 	for _, e := range h.Edges {
@@ -296,6 +309,7 @@ func decodeHello(p []byte) (Hello, error) {
 	}
 	h.Seed = d.u64()
 	h.Digest = d.u64()
+	h.Gen = d.u64()
 	h.N = int(d.u32())
 	m := int(d.u32())
 	if d.fail || m > d.rem()/edgeWire {

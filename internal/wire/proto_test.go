@@ -82,8 +82,8 @@ func TestHelloRejectsBadMagicAndVersion(t *testing.T) {
 func TestHelloRejectsInflatedCounts(t *testing.T) {
 	h := HelloFor(testGraph(t), 2, 0, 1, 1, testPlan())
 	b := encodeHello(nil, h)
-	// The edge count sits right after magic+version+seed+digest+n.
-	const edgeCountOff = 4 + 2 + 8 + 8 + 4
+	// The edge count sits right after magic+version+seed+digest+gen+n.
+	const edgeCountOff = 4 + 2 + 8 + 8 + 8 + 4
 	bad := append([]byte(nil), b...)
 	bad[edgeCountOff] = 0xff
 	bad[edgeCountOff+1] = 0xff

@@ -15,7 +15,8 @@ import (
 )
 
 // Server is the distwalkd session host: it accepts engine sessions, runs
-// the handshake (pinning the first graph generation it serves), and
+// the handshake (pinning the first graph generation it serves; a session
+// offering a strictly newer generation ordinal rotates the pin), and
 // drives one congest.ShardEngine per connection through the
 // RunBegin/Push/Deliver/RunEnd state machine. Sessions are independent —
 // each client worker holds its own session per engine, exactly as each
@@ -30,6 +31,7 @@ type Server struct {
 	closing   bool
 	pinned    bool
 	pinDigest uint64
+	pinGen    uint64
 
 	wg sync.WaitGroup
 }
@@ -359,10 +361,21 @@ func (ss *session) handshake() bool {
 	case !srv.pinned:
 		srv.pinned = true
 		srv.pinDigest = h.Digest
-	case srv.pinDigest != h.Digest:
-		pin := srv.pinDigest
+		srv.pinGen = h.Gen
+	case srv.pinDigest == h.Digest:
+		// Same topology; the generation ordinal is irrelevant (a pure
+		// cache-epoch bump does not change the digest).
+	case h.Gen > srv.pinGen:
+		// The client mutated its graph: a strictly newer generation
+		// rotates the pin. Sessions already running keep their own
+		// engines (built at their handshake) and finish undisturbed.
+		srv.pinDigest = h.Digest
+		srv.pinGen = h.Gen
+	default:
+		pin, gen := srv.pinDigest, srv.pinGen
 		srv.mu.Unlock()
-		ss.sendErr(CodeGeneration, fmt.Sprintf("engine serves generation %016x, session offered %016x", pin, h.Digest))
+		ss.sendErr(CodeGeneration, fmt.Sprintf("engine serves generation %d (digest %016x), session offered generation %d (digest %016x)",
+			gen, pin, h.Gen, h.Digest))
 		return false
 	}
 	srv.mu.Unlock()

@@ -141,9 +141,12 @@ func (sv *Supervisor) Acquire() (*EngineConn, error) {
 			Cause: fmt.Errorf("engine %s: next dial in %v (%d consecutive dial failures)",
 				st, wait.Round(time.Millisecond), k)}
 	}
+	// Snapshot the handshake under the lock: UpdateHello may rotate it
+	// concurrently and a dial must use one coherent Hello.
+	hello := sv.cfg.Hello
+	dial := sv.cfg.Dial
 	sv.mu.Unlock()
 
-	dial := sv.cfg.Dial
 	userMiss := dial.OnHeartbeatMiss
 	dial.OnHeartbeatMiss = func(err error) {
 		sv.NoteHeartbeatMiss(err)
@@ -151,7 +154,7 @@ func (sv *Supervisor) Acquire() (*EngineConn, error) {
 			userMiss(err)
 		}
 	}
-	c, err := DialEngineConfig(sv.cfg.Addr, sv.cfg.Hello, dial)
+	c, err := DialEngineConfig(sv.cfg.Addr, hello, dial)
 
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
@@ -180,6 +183,17 @@ func (sv *Supervisor) Acquire() (*EngineConn, error) {
 	sv.consecutive = 0
 	sv.nextTry = time.Time{}
 	return c, nil
+}
+
+// UpdateHello rotates the handshake future dials send — the topology
+// mutation path installs the new graph's Hello (fresh digest, bumped
+// generation ordinal) here so reconnects re-pin the engine instead of
+// being rejected forever. Sessions already established are untouched;
+// they keep executing against the engines their own handshake built.
+func (sv *Supervisor) UpdateHello(h Hello) {
+	sv.mu.Lock()
+	sv.cfg.Hello = h
+	sv.mu.Unlock()
 }
 
 // NoteLoss records a session loss (EOF, deadline, protocol violation on

@@ -1,0 +1,714 @@
+package distwalk_test
+
+// Dynamic-topology tests: ApplyMutations semantics (atomicity, COW,
+// generation accounting), cache invalidation equivalence with
+// InvalidateCache, epoch pinning and stale aborts across in-flight and
+// queued requests, and the mutation axis of the bit-identity contract
+// (same results at every shard count, in-process and cluster alike).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distwalk"
+)
+
+func mustTorus(t *testing.T, r, c int) *distwalk.Graph {
+	t.Helper()
+	g, err := distwalk.Torus(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// neighborsHave reports whether g has an edge u-v.
+func neighborsHave(g *distwalk.Graph, u, v distwalk.NodeID) bool {
+	for _, h := range g.Neighbors(u) {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestApplyMutationsBasics(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 6, 6)
+	svc, err := distwalk.NewService(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if got := svc.Generation(); got != 1 {
+		t.Fatalf("fresh Generation() = %v, want 1", got)
+	}
+
+	// An empty batch is a no-op, not a bump.
+	gen, err := svc.ApplyMutations(ctx, distwalk.Mutations{})
+	if err != nil || gen != 1 {
+		t.Fatalf("empty batch: gen %v err %v, want 1 <nil>", gen, err)
+	}
+
+	gen, err = svc.ApplyMutations(ctx, distwalk.Mutations{
+		RemoveEdges: []distwalk.EdgeMutation{{U: 0, V: 1}},
+		AddEdges:    []distwalk.EdgeMutation{{U: 0, V: 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || svc.Generation() != 2 {
+		t.Fatalf("post-mutation generation = %v / %v, want 2", gen, svc.Generation())
+	}
+	g2 := svc.Graph()
+	if g2 == g {
+		t.Fatal("Graph() still returns the pre-mutation graph")
+	}
+	if neighborsHave(g2, 0, 1) || !neighborsHave(g2, 0, 20) {
+		t.Fatalf("mutated graph edges wrong: 0-1 present=%v, 0-20 present=%v",
+			neighborsHave(g2, 0, 1), neighborsHave(g2, 0, 20))
+	}
+	// Copy-on-write: the input graph is untouched.
+	if !neighborsHave(g, 0, 1) || neighborsHave(g, 0, 20) {
+		t.Fatal("ApplyMutations modified the original graph")
+	}
+
+	st := svc.Stats().Mutation
+	if st.Generation != 2 || st.Applied != 1 || st.EdgesAdded != 1 || st.EdgesRemoved != 1 {
+		t.Fatalf("MutationStats = %+v, want gen 2, 1 applied, 1 added, 1 removed", st)
+	}
+
+	// A request on the mutated topology is bit-identical to the same
+	// request on a service built directly over the mutated graph: the
+	// generation ordinal must leave results untouched.
+	res, err := svc.SingleRandomWalk(ctx, 9, 0, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := distwalk.NewService(g2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	want, err := fresh.SingleRandomWalk(ctx, 9, 0, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Destination != want.Destination || res.Cost != want.Cost {
+		t.Fatalf("post-mutation request diverged from fresh service:\n  mutated: dest=%d cost=%+v\n  fresh:   dest=%d cost=%+v",
+			res.Destination, res.Cost, want.Destination, want.Cost)
+	}
+}
+
+func TestApplyMutationsRejectsBadBatches(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 6, 6)
+	svc, err := distwalk.NewService(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cases := []struct {
+		name string
+		m    distwalk.Mutations
+	}{
+		{"missing removal", distwalk.Mutations{RemoveEdges: []distwalk.EdgeMutation{{U: 0, V: 20}}}},
+		{"self loop", distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 3, V: 3}}}},
+		{"out of range", distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 99}}}},
+		{"negative weight", distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 20, W: -1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gen, err := svc.ApplyMutations(ctx, tc.m)
+			if !errors.Is(err, distwalk.ErrBadMutation) {
+				t.Fatalf("err = %v, want ErrBadMutation", err)
+			}
+			if gen != 1 || svc.Generation() != 1 {
+				t.Fatalf("rejected batch bumped the generation to %v", svc.Generation())
+			}
+		})
+	}
+
+	// A valid edit paired with an invalid one is rejected whole.
+	gen, err := svc.ApplyMutations(ctx, distwalk.Mutations{
+		AddEdges: []distwalk.EdgeMutation{{U: 0, V: 20}, {U: 5, V: 5}},
+	})
+	if !errors.Is(err, distwalk.ErrBadMutation) || gen != 1 {
+		t.Fatalf("mixed batch: gen %v err %v, want rejection at gen 1", gen, err)
+	}
+	if neighborsHave(svc.Graph(), 0, 20) {
+		t.Fatal("rejected batch partially applied")
+	}
+
+	// A done context rejects the batch before it applies.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := svc.ApplyMutations(cctx, distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 20}}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("done context: err = %v, want context.Canceled", err)
+	}
+
+	svc.Close()
+	if _, err := svc.ApplyMutations(ctx, distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 20}}}); !errors.Is(err, distwalk.ErrServiceClosed) {
+		t.Fatalf("closed service: err = %v, want ErrServiceClosed", err)
+	}
+}
+
+func TestApplyMutationsRejectsFaultPlanOrphan(t *testing.T) {
+	g := mustTorus(t, 6, 6)
+	plan := &distwalk.FaultPlan{
+		LinkDrops: []distwalk.FaultLinkDrop{{From: 0, To: 1, Prob: 0.5}},
+	}
+	svc, err := distwalk.NewService(g, 1, distwalk.WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// Removing the dropped link would strand the installed plan on every
+	// future worker reshape; the mutation must fail atomically instead.
+	_, err = svc.ApplyMutations(context.Background(), distwalk.Mutations{
+		RemoveEdges: []distwalk.EdgeMutation{{U: 0, V: 1}},
+	})
+	if !errors.Is(err, distwalk.ErrBadMutation) || !errors.Is(err, distwalk.ErrBadFault) {
+		t.Fatalf("err = %v, want ErrBadMutation and ErrBadFault", err)
+	}
+	if svc.Generation() != 1 {
+		t.Fatalf("generation bumped to %v by a rejected mutation", svc.Generation())
+	}
+	// Removing some other edge is fine.
+	if _, err := svc.ApplyMutations(context.Background(), distwalk.Mutations{
+		RemoveEdges: []distwalk.EdgeMutation{{U: 2, V: 3}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutationInvalidatesLikeInvalidateCache pins the invalidation
+// contract: ApplyMutations and InvalidateCache are the same epoch bump as
+// far as the result cache is concerned — after either, a previously
+// cached request misses (an old-generation hit is impossible), and
+// repeats under the new generation hit again.
+func TestMutationInvalidatesLikeInvalidateCache(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 8, 8)
+	svc, err := distwalk.NewService(g, 42, distwalk.WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	run := func() {
+		t.Helper()
+		if _, err := svc.SingleRandomWalk(ctx, 5, 0, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitsMisses := func() (int64, int64) {
+		st := svc.Stats().Cache
+		return st.Hits, st.Misses
+	}
+
+	run() // lead
+	run() // hit
+	if h, m := hitsMisses(); h != 1 || m != 1 {
+		t.Fatalf("warmup: hits=%d misses=%d, want 1/1", h, m)
+	}
+
+	if _, err := svc.ApplyMutations(ctx, distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 30}}}); err != nil {
+		t.Fatal(err)
+	}
+	run() // must miss: the old generation's entry is unreachable
+	if h, m := hitsMisses(); h != 1 || m != 2 {
+		t.Fatalf("after ApplyMutations: hits=%d misses=%d, want 1/2", h, m)
+	}
+	run() // and hit again under the new generation
+	if h, m := hitsMisses(); h != 2 || m != 2 {
+		t.Fatalf("re-warm after ApplyMutations: hits=%d misses=%d, want 2/2", h, m)
+	}
+
+	if err := svc.InvalidateCache(); err != nil {
+		t.Fatal(err)
+	}
+	run() // identical behavior: miss
+	if h, m := hitsMisses(); h != 2 || m != 3 {
+		t.Fatalf("after InvalidateCache: hits=%d misses=%d, want 2/3", h, m)
+	}
+	if svc.Generation() != 3 {
+		t.Fatalf("Generation() = %v after one mutation and one invalidation, want 3", svc.Generation())
+	}
+}
+
+// TestMutationPinnedInFlightNotStored submits a long epoch-pinned request,
+// mutates the topology while it is (likely still) in flight, and checks
+// both halves of the pinning contract: the request completes without
+// error, and its result is never stored — the next identical request
+// leads its own execution instead of hitting.
+func TestMutationPinnedInFlightNotStored(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 16, 16)
+	svc, err := distwalk.NewService(g, 42, distwalk.WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.SingleRandomWalk(ctx, 11, 0, 1<<17)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // give the walk a head start
+	if _, err := svc.ApplyMutations(ctx, distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 100}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("epoch-pinned in-flight request failed across the mutation: %v", err)
+	}
+	// Whether or not the mutation actually overlapped the execution, the
+	// old-generation result must be unreachable now: same request again
+	// must miss.
+	if _, err := svc.SingleRandomWalk(ctx, 11, 0, 1<<17); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats().Cache; st.Hits != 0 {
+		t.Fatalf("post-mutation repeat hit a stale entry: %+v", st)
+	}
+}
+
+// TestMutationStaleAbortEvictsQueuedBatch pins the deterministic abort
+// path: a WithStaleAbort submission waiting in a pending batch is evicted
+// at publish with a typed stale-generation error carrying both ordinals.
+func TestMutationStaleAbortEvictsQueuedBatch(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 8, 8)
+	// A huge size threshold and an hour-long window: the batch can only
+	// leave the queue through the mutation's eviction.
+	svc, err := distwalk.NewService(g, 42, distwalk.WithBatching(64, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	h, err := svc.SubmitWalk(ctx, 3, 0, 256, distwalk.WithStaleAbort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ApplyMutations(ctx, distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 30}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.Result()
+	if !errors.Is(err, distwalk.ErrStaleGeneration) {
+		t.Fatalf("queued abort-mode walk: err = %v, want ErrStaleGeneration", err)
+	}
+	var sg *distwalk.StaleGenerationError
+	if !errors.As(err, &sg) {
+		t.Fatalf("err %v does not carry *StaleGenerationError", err)
+	}
+	if sg.Old != 1 || sg.New != 2 {
+		t.Fatalf("StaleGenerationError = %+v, want Old 1 New 2", sg)
+	}
+	if st := svc.Stats().Mutation; st.StaleAborts == 0 {
+		t.Fatalf("MutationStats.StaleAborts = 0 after an eviction: %+v", st)
+	}
+
+	// Epoch-pinned members of the same dead epoch are NOT evicted: they
+	// stay queued and execute pinned when the window flushes.
+	svc2, err := distwalk.NewService(g, 42, distwalk.WithBatching(64, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	h2, err := svc2.SubmitWalk(ctx, 3, 0, 256) // default: epoch pinning
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.ApplyMutations(ctx, distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 30}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Result(); err != nil {
+		t.Fatalf("queued epoch-pinned walk failed across the mutation: %v", err)
+	}
+}
+
+// TestMutationStaleAbortRetryReexecutes pins the retry contract: a
+// stale-aborted request under WithRetry re-admits on the new topology and
+// returns exactly what a fresh post-mutation request would — stale
+// retries are unsalted.
+func TestMutationStaleAbortRetryReexecutes(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 8, 8)
+	svc, err := distwalk.NewService(g, 42, distwalk.WithBatching(64, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	h, err := svc.SubmitWalk(ctx, 3, 0, 256, distwalk.WithStaleAbort(), distwalk.WithRetry(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 30}}}
+	if _, err := svc.ApplyMutations(ctx, mut); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Result()
+	if err != nil {
+		t.Fatalf("stale-aborted walk did not recover under WithRetry: %v", err)
+	}
+
+	// The recovered result is bit-identical to the same request on a
+	// service built directly over the mutated graph.
+	g2, err := g.ApplyEdits(nil, mut.AddEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := distwalk.NewService(g2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	want, err := fresh.SingleRandomWalk(ctx, 3, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Destination != want.Destination || res.Cost != want.Cost {
+		t.Fatalf("recovered walk diverged from fresh post-mutation request:\n  retried: dest=%d cost=%+v\n  fresh:   dest=%d cost=%+v",
+			res.Destination, res.Cost, want.Destination, want.Cost)
+	}
+}
+
+// TestMutationStaleAbortInFlight drives the cancellation path: an
+// abort-mode execution already running when the mutation publishes is
+// cancelled mid-run with the typed stale error. The walk is sized to
+// stay in flight well past the mutation; if this machine nonetheless
+// finishes it first, the test retries with a longer walk before giving
+// up (the queued-eviction and fast-fail paths are covered
+// deterministically elsewhere).
+func TestMutationStaleAbortInFlight(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 16, 16)
+	for attempt, ell := 0, 1<<17; attempt < 4; attempt, ell = attempt+1, ell*4 {
+		svc, err := distwalk.NewService(g, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := svc.SingleRandomWalk(ctx, 11, 0, ell, distwalk.WithStaleAbort())
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		if _, err := svc.ApplyMutations(ctx, distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: 100}}}); err != nil {
+			svc.Close()
+			t.Fatal(err)
+		}
+		err = <-done
+		svc.Close()
+		if err == nil {
+			continue // walk won the race; try a longer one
+		}
+		if !errors.Is(err, distwalk.ErrStaleGeneration) {
+			t.Fatalf("in-flight abort-mode walk: err = %v, want ErrStaleGeneration", err)
+		}
+		var sg *distwalk.StaleGenerationError
+		if !errors.As(err, &sg) || sg.Old != 1 || sg.New != 2 {
+			t.Fatalf("err %v does not carry StaleGenerationError{1,2}", err)
+		}
+		return
+	}
+	t.Skip("walk completed before every mutation attempt; cancellation path not exercised on this machine")
+}
+
+// testShardIdentityMutate extends the bit-identity contract across a
+// mutation: requests before and after the same edit batch must produce
+// identical results at every shard count — whichever reshape kind
+// (incremental or full) each shard count's worker networks took.
+func testShardIdentityMutate(t *testing.T, shards int) {
+	ctx := context.Background()
+	g := mustTorus(t, 12, 12)
+	mut := distwalk.Mutations{
+		RemoveEdges: []distwalk.EdgeMutation{{U: 0, V: 1}},
+		AddEdges:    []distwalk.EdgeMutation{{U: 0, V: 77, W: 2}, {U: 5, V: 130}},
+	}
+
+	digest := func(svc *distwalk.Service) string {
+		var b []string
+		// Concurrent requests against the current epoch.
+		var (
+			mu sync.Mutex
+			wg sync.WaitGroup
+		)
+		outs := make(map[uint64]string)
+		for key := uint64(1); key <= 4; key++ {
+			wg.Add(1)
+			go func(key uint64) {
+				defer wg.Done()
+				res, err := svc.SingleRandomWalk(ctx, key, 0, 1024)
+				s := ""
+				if err != nil {
+					s = "err:" + err.Error()
+				} else {
+					s = fmt.Sprintf("dest=%d len=%d cost=%+v", res.Destination, res.Length, res.Cost)
+				}
+				mu.Lock()
+				outs[key] = s
+				mu.Unlock()
+			}(key)
+		}
+		wg.Wait()
+		for key := uint64(1); key <= 4; key++ {
+			b = append(b, fmt.Sprintf("key%d{%s}", key, outs[key]))
+		}
+		return fmt.Sprint(b)
+	}
+
+	run := func() string {
+		opts := []distwalk.Option{distwalk.WithWorkers(2)}
+		if shards > 1 {
+			opts = append(opts, distwalk.WithShards(shards))
+		}
+		svc, err := distwalk.NewService(g, 42, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		pre := digest(svc)
+		if _, err := svc.ApplyMutations(ctx, mut); err != nil {
+			t.Fatal(err)
+		}
+		post := digest(svc)
+		return "pre" + pre + "|post" + post
+	}
+
+	got := run()
+
+	// Reference: an unsharded single-worker service over the same graphs.
+	ref, err := distwalk.NewService(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	pre := digest(ref)
+	if _, err := ref.ApplyMutations(ctx, mut); err != nil {
+		t.Fatal(err)
+	}
+	want := "pre" + pre + "|post" + digest(ref)
+	if got != want {
+		t.Fatalf("mutate-between-requests diverged at %d shards:\n  got:  %s\n  want: %s", shards, got, want)
+	}
+}
+
+func TestShardIdentityMutate1(t *testing.T) { testShardIdentityMutate(t, 1) }
+func TestShardIdentityMutate2(t *testing.T) { testShardIdentityMutate(t, 2) }
+func TestShardIdentityMutate4(t *testing.T) { testShardIdentityMutate(t, 4) }
+func TestShardIdentityMutate8(t *testing.T) { testShardIdentityMutate(t, 8) }
+
+func TestOptionScopeRejected(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 6, 6)
+	svc, err := distwalk.NewService(g, 1, distwalk.WithResultCache(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	_, err = svc.SingleRandomWalk(ctx, 1, 0, 64, distwalk.WithWorkers(4))
+	if !errors.Is(err, distwalk.ErrOptionScope) {
+		t.Fatalf("per-request WithWorkers: err = %v, want ErrOptionScope", err)
+	}
+	var oe *distwalk.OptionScopeError
+	if !errors.As(err, &oe) || oe.Option != "WithWorkers" {
+		t.Fatalf("err %v does not name the offending option (got %+v)", err, oe)
+	}
+	if _, err := svc.SubmitWalk(ctx, 2, 0, 64, distwalk.WithShards(2)); !errors.Is(err, distwalk.ErrOptionScope) {
+		t.Fatalf("per-request WithShards on SubmitWalk: err = %v, want ErrOptionScope", err)
+	}
+	if _, err := svc.RandomSpanningTree(ctx, 3, 0, distwalk.WithResultCache(1)); !errors.Is(err, distwalk.ErrOptionScope) {
+		t.Fatalf("per-request WithResultCache: err = %v, want ErrOptionScope", err)
+	}
+	// Per-request options still work, construction still honors both.
+	if _, err := svc.SingleRandomWalk(ctx, 4, 0, 64, distwalk.WithMaxRounds(1<<20), distwalk.WithEpochPinning()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutationChaos is the mutation stress test the chaos CI job runs:
+// concurrent pinned and abort-mode requests race a stream of mutations;
+// every failure must be a typed stale abort, and the surviving topology
+// must equal the same edit sequence applied cold.
+func TestMutationChaos(t *testing.T) {
+	ctx := context.Background()
+	g := mustTorus(t, 10, 10)
+	svc, err := distwalk.NewService(g, 42, distwalk.WithWorkers(4), distwalk.WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// The mutation stream toggles a diagonal chord on and off and
+	// keeps a weighted edge moving; every batch is valid by construction.
+	batches := make([]distwalk.Mutations, 0, 12)
+	for i := 0; i < 12; i++ {
+		v := distwalk.NodeID(30 + i)
+		if i%2 == 0 {
+			batches = append(batches, distwalk.Mutations{AddEdges: []distwalk.EdgeMutation{{U: 0, V: v}}})
+		} else {
+			batches = append(batches, distwalk.Mutations{RemoveEdges: []distwalk.EdgeMutation{{U: 0, V: v - 1}}})
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var failures []string
+	var mu sync.Mutex
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var opts []distwalk.Option
+			if w%2 == 1 {
+				opts = append(opts, distwalk.WithStaleAbort(), distwalk.WithRetry(3))
+			}
+			for key := uint64(w * 100); ; key++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := svc.SingleRandomWalk(ctx, key, 0, 4096, opts...)
+				if err != nil && !errors.Is(err, distwalk.ErrStaleGeneration) {
+					mu.Lock()
+					failures = append(failures, fmt.Sprintf("worker %d key %d: %v", w, key, err))
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	for _, m := range batches {
+		time.Sleep(5 * time.Millisecond)
+		if _, err := svc.ApplyMutations(ctx, m); err != nil {
+			t.Fatalf("mutation under load: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("requests failed with non-stale errors under mutation load:\n%v", failures)
+	}
+
+	// The surviving topology is exactly the edit sequence applied cold,
+	// and a request on it matches a fresh service bit for bit.
+	cold := g
+	for _, m := range batches {
+		cold, err = cold.ApplyEdits(m.RemoveEdges, m.AddEdges)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := svc.SingleRandomWalk(ctx, 9999, 0, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := distwalk.NewService(cold, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	want, err := fresh.SingleRandomWalk(ctx, 9999, 0, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Destination != want.Destination || res.Cost != want.Cost {
+		t.Fatalf("post-chaos topology diverged from cold replay:\n  live:  dest=%d cost=%+v\n  fresh: dest=%d cost=%+v",
+			res.Destination, res.Cost, want.Destination, want.Cost)
+	}
+	if gen := svc.Generation(); gen != distwalk.Generation(1+len(batches)) {
+		t.Fatalf("Generation() = %v after %d mutations, want %d", gen, len(batches), 1+len(batches))
+	}
+}
+
+// TestClusterMutationRehandshake drives a mutation through a real
+// 2-process cluster: after ApplyMutations rotates the supervisors'
+// handshake, the next request re-dials the engines, the engines re-pin
+// to the new graph digest and higher generation (instead of rejecting
+// the unknown digest forever), and the result is bit-identical to an
+// in-process service over the mutated graph. No WithClusterFallback is
+// installed, so a successful request proves the remote path worked.
+func TestClusterMutationRehandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster re-handshake over TCP skipped in -short mode")
+	}
+	ctx := context.Background()
+	g := mustTorus(t, 12, 12)
+	addrs := startEngines(t, 2)
+	clu, err := distwalk.NewService(g, 42, distwalk.WithWorkers(2), distwalk.WithCluster(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+
+	if _, err := clu.SingleRandomWalk(ctx, 1, 0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	preRuns := int64(0)
+	for _, e := range clu.Stats().Cluster.Engines {
+		preRuns += e.Runs
+	}
+	if preRuns == 0 {
+		t.Fatal("pre-mutation request recorded no engine runs")
+	}
+
+	mut := distwalk.Mutations{
+		RemoveEdges: []distwalk.EdgeMutation{{U: 0, V: 1}},
+		AddEdges:    []distwalk.EdgeMutation{{U: 0, V: 77, W: 2}},
+	}
+	if _, err := clu.ApplyMutations(ctx, mut); err != nil {
+		t.Fatal(err)
+	}
+	res, err := clu.SingleRandomWalk(ctx, 2, 0, 1024)
+	if err != nil {
+		t.Fatalf("post-mutation cluster request failed (engines should re-pin, not reject): %v", err)
+	}
+
+	// The request genuinely ran on the re-handshaken engines.
+	st := clu.Stats()
+	postRuns := int64(0)
+	for _, e := range st.Cluster.Engines {
+		postRuns += e.Runs
+	}
+	if postRuns <= preRuns {
+		t.Fatalf("post-mutation request carried no engine traffic: runs %d -> %d", preRuns, postRuns)
+	}
+	if st.Cluster.Failovers != 0 {
+		t.Fatalf("post-mutation request failed over in-process: %+v", st.Cluster)
+	}
+	for i, h := range st.Cluster.Health {
+		if h != "healthy" {
+			t.Errorf("engine %d health = %q after re-handshake, want healthy", i, h)
+		}
+	}
+
+	// Bit-identity with an in-process service over the mutated graph.
+	g2, err := g.ApplyEdits(mut.RemoveEdges, mut.AddEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := distwalk.NewService(g2, 42, distwalk.WithWorkers(2), distwalk.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	want, err := fresh.SingleRandomWalk(ctx, 2, 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Destination != want.Destination || res.Cost != want.Cost {
+		t.Fatalf("cluster post-mutation walk diverged from in-process:\n  cluster: dest=%d cost=%+v\n  local:   dest=%d cost=%+v",
+			res.Destination, res.Cost, want.Destination, want.Cost)
+	}
+}

@@ -35,6 +35,10 @@ type config struct {
 	backoff time.Duration
 	// partial switches ManyRandomWalks to per-walk failure isolation.
 	partial bool
+	// staleAbort fails requests straddling a topology mutation with
+	// ErrStaleGeneration instead of pinning them to their admission
+	// epoch (see WithStaleAbort / WithEpochPinning).
+	staleAbort bool
 	// fplan is the deterministic fault plan installed on every worker
 	// network (construction-time only; see WithFaultPlan).
 	fplan *fault.Plan
@@ -74,89 +78,172 @@ func defaultConfig() config {
 }
 
 // Option configures a Service at construction and/or a single request at
-// the call site: NewService's options set the service defaults, and every
-// request method accepts further options that override them for that
-// request only.
-type Option func(*config)
+// the call site. Options come in two scopes:
+//
+//   - Per-request options (walk parameterization, budgets, retries,
+//     partial results, the epoch-pinning mode, cluster fallback and
+//     round timeout) may be passed to NewService — where they set the
+//     service default — or to any request method, where they override
+//     the default for that request only.
+//
+//   - Construction-only options shape state that exists once per
+//     service: the worker pool (WithWorkers), the shard layout
+//     (WithShards), cluster membership and its session policies
+//     (WithCluster, WithClusterHandshakeTimeout, WithClusterHeartbeat,
+//     WithClusterBackoff), the batching scheduler (WithBatching,
+//     WithBatchQueueLimit), the result cache (WithResultCache,
+//     WithCacheAdmission) and the fault plan (WithFaultPlan). Passing
+//     one to a request method fails the call with a *OptionScopeError
+//     matching ErrOptionScope — there is no per-request meaning it
+//     could honor. Each option's doc comment states its scope.
+type Option struct {
+	name     string
+	ctorOnly bool
+	f        func(*config)
+}
 
+// newOption builds a per-request (and construction) option.
+func newOption(name string, f func(*config)) Option {
+	return Option{name: name, f: f}
+}
+
+// ctorOption builds a construction-only option; applyRequest rejects it.
+func ctorOption(name string, f func(*config)) Option {
+	return Option{name: name, ctorOnly: true, f: f}
+}
+
+// apply applies opts at construction scope: every option is honored.
 func (c *config) apply(opts []Option) {
 	for _, o := range opts {
-		o(c)
+		if o.f != nil {
+			o.f(c)
+		}
 	}
+}
+
+// applyRequest applies opts at request scope, rejecting construction-only
+// options with a typed *OptionScopeError naming the offender.
+func (c *config) applyRequest(opts []Option) error {
+	for _, o := range opts {
+		if o.ctorOnly {
+			return &OptionScopeError{Option: o.name}
+		}
+		if o.f != nil {
+			o.f(c)
+		}
+	}
+	return nil
 }
 
 // --- Walk parameterization (core.Params) ---
 
 // WithParams replaces the whole walk parameterization. Use the finer
-// options below for single-knob changes.
-func WithParams(p Params) Option { return func(c *config) { c.params = p } }
+// options below for single-knob changes. Per request or service default.
+func WithParams(p Params) Option {
+	return newOption("WithParams", func(c *config) { c.params = p })
+}
 
 // WithLambda pins the short-walk base length λ directly (tests/ablations).
-func WithLambda(lambda int) Option { return func(c *config) { c.params.Lambda = lambda } }
+// Per request or service default.
+func WithLambda(lambda int) Option {
+	return newOption("WithLambda", func(c *config) { c.params.Lambda = lambda })
+}
 
 // WithLambdaC scales the practical short-walk length λ = ⌈c·√(ℓD)⌉.
-func WithLambdaC(cc float64) Option { return func(c *config) { c.params.LambdaC = cc } }
+// Per request or service default.
+func WithLambdaC(cc float64) Option {
+	return newOption("WithLambdaC", func(c *config) { c.params.LambdaC = cc })
+}
 
 // WithEta sets η, the Phase 1 short walks prepared per unit of degree.
-func WithEta(eta int) Option { return func(c *config) { c.params.Eta = eta } }
+// Per request or service default.
+func WithEta(eta int) Option {
+	return newOption("WithEta", func(c *config) { c.params.Eta = eta })
+}
 
 // WithTheory applies the paper's constants verbatim
-// (λ = 24·√(ℓD)·(log₂ n)³, η = 1).
-func WithTheory() Option { return func(c *config) { c.params.Theory = true } }
+// (λ = 24·√(ℓD)·(log₂ n)³, η = 1). Per request or service default.
+func WithTheory() Option {
+	return newOption("WithTheory", func(c *config) { c.params.Theory = true })
+}
 
 // WithMetropolis samples the Metropolis-Hastings walk with uniform target
-// distribution instead of the simple walk.
-func WithMetropolis() Option { return func(c *config) { c.params.Metropolis = true } }
+// distribution instead of the simple walk. Per request or service default.
+func WithMetropolis() Option {
+	return newOption("WithMetropolis", func(c *config) { c.params.Metropolis = true })
+}
 
 // WithDNP09 applies the PODC 2009 baseline parameterization
 // (Õ(ℓ^{2/3}D^{1/3}) rounds) for the given walk length and diameter.
+// Per request or service default.
 func WithDNP09(ell, diam int) Option {
-	return func(c *config) { c.params = core.DNP09Params(ell, diam) }
+	return newOption("WithDNP09", func(c *config) { c.params = core.DNP09Params(ell, diam) })
 }
 
 // --- Spanning-tree driver (spanning.Options) ---
 
 // WithRSTOptions replaces the whole random-spanning-tree tuning.
-func WithRSTOptions(o RSTOptions) Option { return func(c *config) { c.rst = o } }
+// Per request or service default.
+func WithRSTOptions(o RSTOptions) Option {
+	return newOption("WithRSTOptions", func(c *config) { c.rst = o })
+}
 
 // WithStartLength sets the initial walk length ℓ of the RST cover search.
-func WithStartLength(ell int) Option { return func(c *config) { c.rst.StartLength = ell } }
+// Per request or service default.
+func WithStartLength(ell int) Option {
+	return newOption("WithStartLength", func(c *config) { c.rst.StartLength = ell })
+}
 
 // WithWalksPerPhase sets the number of candidate walks per RST doubling
-// phase (default ⌈log₂ n⌉).
-func WithWalksPerPhase(k int) Option { return func(c *config) { c.rst.WalksPerPhase = k } }
+// phase (default ⌈log₂ n⌉). Per request or service default.
+func WithWalksPerPhase(k int) Option {
+	return newOption("WithWalksPerPhase", func(c *config) { c.rst.WalksPerPhase = k })
+}
 
 // WithDeliverTree additionally upcasts the sampled tree's edges to the
-// root (the paper's optional O(n) delivery).
-func WithDeliverTree() Option { return func(c *config) { c.rst.Deliver = true } }
+// root (the paper's optional O(n) delivery). Per request or service
+// default.
+func WithDeliverTree() Option {
+	return newOption("WithDeliverTree", func(c *config) { c.rst.Deliver = true })
+}
 
 // --- Mixing-time estimator (mixing.Options) ---
 
 // WithMixingOptions replaces the whole mixing-estimator tuning.
-func WithMixingOptions(o MixingOptions) Option { return func(c *config) { c.mix = o } }
+// Per request or service default.
+func WithMixingOptions(o MixingOptions) Option {
+	return newOption("WithMixingOptions", func(c *config) { c.mix = o })
+}
 
 // WithTrials sets K, the walks sampled per tested length in the
-// mixing-time estimator (default ⌈6·√n⌉).
-func WithTrials(k int) Option { return func(c *config) { c.mix.Samples = k } }
+// mixing-time estimator (default ⌈6·√n⌉). Per request or service default.
+func WithTrials(k int) Option {
+	return newOption("WithTrials", func(c *config) { c.mix.Samples = k })
+}
 
 // WithEps sets the target ℓ₁ closeness of the mixing test (default 1/2e,
-// the paper's τ_mix definition).
-func WithEps(eps float64) Option { return func(c *config) { c.mix.Eps = eps } }
+// the paper's τ_mix definition). Per request or service default.
+func WithEps(eps float64) Option {
+	return newOption("WithEps", func(c *config) { c.mix.Eps = eps })
+}
 
-// WithMaxEll caps the mixing estimator's doubling search.
-func WithMaxEll(ell int) Option { return func(c *config) { c.mix.MaxEll = ell } }
+// WithMaxEll caps the mixing estimator's doubling search. Per request or
+// service default.
+func WithMaxEll(ell int) Option {
+	return newOption("WithMaxEll", func(c *config) { c.mix.MaxEll = ell })
+}
 
 // --- Service-level knobs ---
 
 // WithWorkers sets the worker-pool size, i.e. how many requests execute
-// concurrently (default GOMAXPROCS). Construction-time only: per-request
-// use is ignored, since the pool is already built.
+// concurrently (default GOMAXPROCS). Construction-only: the pool is
+// built once; per-request use fails with ErrOptionScope.
 func WithWorkers(n int) Option {
-	return func(c *config) {
+	return ctorOption("WithWorkers", func(c *config) {
 		if n >= 1 {
 			c.workers = n
 		}
-	}
+	})
 }
 
 // WithShards partitions every worker's simulated network into s parallel
@@ -165,21 +252,21 @@ func WithWorkers(n int) Option {
 // the round barrier, so results, walk outputs and simulated cost counters
 // stay bit-identical to the sequential engine while wall-clock time for
 // large graphs drops with cores. s <= 0 selects auto (GOMAXPROCS at
-// construction); s is clamped to the graph size. Construction-time only:
-// per-request use is ignored. Sharding helps when per-round work is large
-// (big graphs, wide batches); for small graphs the barrier overhead
-// dominates and the default s = 1 is faster. Compose with WithWorkers
-// deliberately: workers multiply throughput across requests, shards cut
-// the latency of one request, and workers*shards goroutines contend for
-// the same cores.
+// construction); s is clamped to the graph size. Construction-only:
+// per-request use fails with ErrOptionScope. Sharding helps when
+// per-round work is large (big graphs, wide batches); for small graphs
+// the barrier overhead dominates and the default s = 1 is faster.
+// Compose with WithWorkers deliberately: workers multiply throughput
+// across requests, shards cut the latency of one request, and
+// workers*shards goroutines contend for the same cores.
 func WithShards(s int) Option {
-	return func(c *config) {
+	return ctorOption("WithShards", func(c *config) {
 		if s <= 0 {
 			c.shards = -1
 			return
 		}
 		c.shards = s
-	}
+	})
 }
 
 // WithCluster runs the service's simulated networks in cluster mode: the
@@ -190,16 +277,16 @@ func WithShards(s int) Option {
 // same cost counters, same fault census, per request key — the cluster
 // identity suite pins exactly that. Each pool worker holds one session
 // per engine, so a service runs Workers()×len(addrs) sessions; Close
-// tears them all down. Construction-time only: per-request use is
-// ignored. Cluster mode excludes WithShards (the in-process shard layout
-// is moot; it is forced to 1) and requires len(addrs) <= n. NewService
-// fails with ErrClusterConfig on a bad engine list and with a
+// tears them all down. Construction-only: per-request use fails with
+// ErrOptionScope. Cluster mode excludes WithShards (the in-process shard
+// layout is moot; it is forced to 1) and requires len(addrs) <= n.
+// NewService fails with ErrClusterConfig on a bad engine list and with a
 // wire-typed error (ErrClusterEngine-matching on session failures) when
 // an engine is unreachable or rejects the handshake.
 func WithCluster(addrs ...string) Option {
-	return func(c *config) {
+	return ctorOption("WithCluster", func(c *config) {
 		c.cluster = append([]string(nil), addrs...)
-	}
+	})
 }
 
 // WithClusterFallback enables graceful degradation in cluster mode: when
@@ -213,7 +300,9 @@ func WithCluster(addrs ...string) Option {
 // typed ErrClusterEngine error. Composes with WithRetry unchanged: the
 // failover happens inside the attempt, before retry salting would kick
 // in. Applies per request or as a service default.
-func WithClusterFallback() Option { return func(c *config) { c.clusterFallback = true } }
+func WithClusterFallback() Option {
+	return newOption("WithClusterFallback", func(c *config) { c.clusterFallback = true })
+}
 
 // WithClusterRoundTimeout sets the per-exchange I/O deadline of cluster
 // mode: every Push/Deliver/RunResult round trip with every engine must
@@ -223,78 +312,80 @@ func WithClusterFallback() Option { return func(c *config) { c.clusterFallback =
 // floor so a nearly-expired context still gets one meaningful exchange.
 // Applies per request or as a service default.
 func WithClusterRoundTimeout(d time.Duration) Option {
-	return func(c *config) {
+	return newOption("WithClusterRoundTimeout", func(c *config) {
 		if d > 0 {
 			c.clusterRound = d
 		}
-	}
+	})
 }
 
 // WithClusterHandshakeTimeout bounds the TCP dial plus Hello/Welcome
 // exchange of every engine session — the initial W×S dials and every
-// supervisor reconnect (default: the wire package's 30s). Construction
-// time only.
+// supervisor reconnect (default: the wire package's 30s).
+// Construction-only: per-request use fails with ErrOptionScope.
 func WithClusterHandshakeTimeout(d time.Duration) Option {
-	return func(c *config) {
+	return ctorOption("WithClusterHandshakeTimeout", func(c *config) {
 		if d > 0 {
 			c.clusterHandshake = d
 		}
-	}
+	})
 }
 
 // WithClusterHeartbeat sets the idle heartbeat interval of cluster
 // sessions: while no run is in flight, each session pings its engine
 // every d and treats a missed reply as a lost engine (counted in
 // Stats().Cluster.HeartbeatMisses, and repaired by reconnect on the next
-// request). Default 10s; d <= 0 disables heartbeats. Construction-time
-// only.
+// request). Default 10s; d <= 0 disables heartbeats. Construction-only:
+// per-request use fails with ErrOptionScope.
 func WithClusterHeartbeat(d time.Duration) Option {
-	return func(c *config) {
+	return ctorOption("WithClusterHeartbeat", func(c *config) {
 		if d <= 0 {
 			c.clusterHeartbeat = -1
 			return
 		}
 		c.clusterHeartbeat = d
-	}
+	})
 }
 
 // WithClusterBackoff bounds the engine reconnect backoff: the k-th
 // consecutive failed redial of an engine waits min(max, base << (k-1)),
 // jittered, before the next attempt (defaults 100ms / 5s). The first
 // redial after a loss is immediate; only dial failures back off.
-// Construction-time only.
+// Construction-only: per-request use fails with ErrOptionScope.
 func WithClusterBackoff(base, max time.Duration) Option {
-	return func(c *config) {
+	return ctorOption("WithClusterBackoff", func(c *config) {
 		if base > 0 {
 			c.clusterBackoff = base
 		}
 		if max > 0 {
 			c.clusterBackoffMax = max
 		}
-	}
+	})
 }
 
 // WithMaxRounds caps the simulated rounds of every engine run performed
 // for a request; runs that exceed it fail with ErrBudgetExceeded.
+// Per request or service default.
 func WithMaxRounds(r int) Option {
-	return func(c *config) {
+	return newOption("WithMaxRounds", func(c *config) {
 		if r >= 1 {
 			c.maxRounds = r
 		}
-	}
+	})
 }
 
-// WithBatching enables the request-coalescing scheduler (construction
-// time only): concurrent SubmitWalk/SubmitWalkTrace requests with
-// compatible config coalesce into shared MANY-RANDOM-WALKS executions,
-// amortizing the batch cost Õ(min(√(kℓD)+k, k+ℓ)) across its k walks. A
-// batch flushes when it reaches maxBatch members or maxDelay after its
-// first member arrived, whichever comes first; non-positive values keep
-// the defaults (8 members, 2ms). Batched results are deterministic per
-// batch composition — see internal/sched for the contract; the
-// synchronous entry points keep their per-key determinism regardless.
+// WithBatching enables the request-coalescing scheduler: concurrent
+// SubmitWalk/SubmitWalkTrace requests with compatible config coalesce
+// into shared MANY-RANDOM-WALKS executions, amortizing the batch cost
+// Õ(min(√(kℓD)+k, k+ℓ)) across its k walks. A batch flushes when it
+// reaches maxBatch members or maxDelay after its first member arrived,
+// whichever comes first; non-positive values keep the defaults (8
+// members, 2ms). Batched results are deterministic per batch composition
+// — see internal/sched for the contract; the synchronous entry points
+// keep their per-key determinism regardless. Construction-only:
+// per-request use fails with ErrOptionScope.
 func WithBatching(maxBatch int, maxDelay time.Duration) Option {
-	return func(c *config) {
+	return ctorOption("WithBatching", func(c *config) {
 		c.batchOn = true
 		if maxBatch >= 1 {
 			c.batch.MaxBatch = maxBatch
@@ -302,67 +393,71 @@ func WithBatching(maxBatch int, maxDelay time.Duration) Option {
 		if maxDelay > 0 {
 			c.batch.MaxDelay = maxDelay
 		}
-	}
+	})
 }
 
 // WithResultCache equips the service with the deterministic result cache
 // (internal/cache): a sharded, byte-accounted LRU over completed request
 // results, keyed by a canonical digest of every result-determining input.
-// Because each request is a pure function of (graph generation, service
+// Because each request is a pure function of (topology generation, service
 // seed, request key, parameterization, budgets), a hit is bit-identical
 // to a fresh execution — cost counters included — and entries never
-// expire; the only invalidation is Service.InvalidateCache. Concurrent
-// identical requests coalesce: one executes, the rest attach to it
-// (ServiceStats.Cache.CoalescedWaiters), including async Submit handles.
-// bytes is the total capacity; values below 1 are ignored (no cache).
-// Construction-time only.
+// expire; invalidation is Service.InvalidateCache or any ApplyMutations.
+// Concurrent identical requests coalesce: one executes, the rest attach
+// to it (ServiceStats.Cache.CoalescedWaiters), including async Submit
+// handles. bytes is the total capacity; values below 1 are ignored (no
+// cache). Construction-only: per-request use fails with ErrOptionScope.
 func WithResultCache(bytes int64) Option {
-	return func(c *config) {
+	return ctorOption("WithResultCache", func(c *config) {
 		if bytes >= 1 {
 			c.cacheBytes = bytes
 		}
-	}
+	})
 }
 
 // WithCacheAdmission installs an admission policy on the result cache:
 // only successful results the policy accepts are stored (e.g.
 // CacheMinRounds keeps the expensive ones). Policies never see failed,
 // partial, or batched-composition results — those are never offered.
-// No-op without WithResultCache. Construction-time only.
+// No-op without WithResultCache. Construction-only: per-request use
+// fails with ErrOptionScope.
 func WithCacheAdmission(policy CacheAdmission) Option {
-	return func(c *config) { c.cacheAdmit = policy }
+	return ctorOption("WithCacheAdmission", func(c *config) { c.cacheAdmit = policy })
 }
 
 // WithRetry sets how many times a failed request is re-executed before
 // its error is returned (default 0: fail fast). Only retryable failures
 // re-execute — see Retryable: typed fault errors (ErrNodeCrashed,
-// ErrMessageLost) and transient scheduling rejections (ErrQueueFull,
-// ErrBatchAborted). Each retry runs with a fresh seed derived from
-// (service seed, request key, attempt number), so a walk that died in a
-// crashed or lossy region re-randomizes deterministically: the result of
-// (key, attempt) is reproducible, and attempt 0 is bit-identical to a
-// service without retries. Context deadlines are honored between
-// attempts (see WithBackoff). Applies per request or as a service
-// default.
+// ErrMessageLost), transient scheduling rejections (ErrQueueFull,
+// ErrBatchAborted) and stale-generation aborts (ErrStaleGeneration).
+// Each retry runs with a fresh seed derived from (service seed, request
+// key, attempt number), so a walk that died in a crashed or lossy region
+// re-randomizes deterministically: the result of (key, attempt) is
+// reproducible, and attempt 0 is bit-identical to a service without
+// retries. A stale-generation retry is the exception to the salting: it
+// re-admits on the new topology with the original attempt seed, so the
+// retried request is bit-identical to one freshly submitted after the
+// mutation. Context deadlines are honored between attempts (see
+// WithBackoff). Applies per request or as a service default.
 func WithRetry(max int) Option {
-	return func(c *config) {
+	return newOption("WithRetry", func(c *config) {
 		if max >= 0 {
 			c.retries = max
 		}
-	}
+	})
 }
 
 // WithBackoff sets the base wait before retries: the r-th retry waits
 // base << (r-1), aborting early (with the context error) if the request
 // context expires first. Default 0: retries run back to back — the
 // "network" is simulated, so waiting is only useful when callers want to
-// rate-limit recovery work.
+// rate-limit recovery work. Per request or service default.
 func WithBackoff(base time.Duration) Option {
-	return func(c *config) {
+	return newOption("WithBackoff", func(c *config) {
 		if base >= 0 {
 			c.backoff = base
 		}
-	}
+	})
 }
 
 // WithPartialResults switches ManyRandomWalks to per-walk failure
@@ -371,26 +466,57 @@ func WithBackoff(base time.Duration) Option {
 // (Errs[i] non-nil, Destinations[i] == None). Shared-phase failures
 // (BFS tree, Phase 1, cancellation) still fail the request. Per-walk
 // errors do not trigger WithRetry — the request itself succeeded.
-func WithPartialResults() Option { return func(c *config) { c.partial = true } }
+// Per request or service default.
+func WithPartialResults() Option {
+	return newOption("WithPartialResults", func(c *config) { c.partial = true })
+}
+
+// WithEpochPinning makes requests that straddle an ApplyMutations (or
+// InvalidateCache) complete against the topology generation they
+// admitted under — the default. The pre-mutation graph is immutable and
+// stays alive as long as pinned requests reference it, so results are
+// exactly those of a service never mutated; they are simply not cached
+// (the store would be stale on arrival). Applies per request or as a
+// service default; the explicit option exists to override a service
+// built with WithStaleAbort.
+func WithEpochPinning() Option {
+	return newOption("WithEpochPinning", func(c *config) { c.staleAbort = false })
+}
+
+// WithStaleAbort makes requests that straddle a topology mutation fail
+// fast with an ErrStaleGeneration-matching *StaleGenerationError instead
+// of completing on the superseded topology: queued batch members are
+// evicted immediately and in-flight executions are cancelled at the next
+// engine round. Combine with WithRetry to re-execute transparently on
+// the new topology — the stale retry neither consumes salting nor
+// changes the result a fresh post-mutation request would compute.
+// Applies per request or as a service default.
+func WithStaleAbort() Option {
+	return newOption("WithStaleAbort", func(c *config) { c.staleAbort = true })
+}
 
 // WithFaultPlan installs a deterministic fault plan on every worker's
 // simulated network: crash-stop failures, churn windows, lossy and slow
 // links, all derived from the plan's seed (see FaultPlan and
 // RandomFaultPlan). Same (plan, graph, request key) — same faults, same
-// result, at any shard count. Construction-time only: per-request use is
-// ignored. NewService fails with ErrBadFault if the plan is invalid for
-// the graph.
-func WithFaultPlan(p *FaultPlan) Option { return func(c *config) { c.fplan = p } }
+// result, at any shard count. Construction-only: per-request use fails
+// with ErrOptionScope. NewService fails with ErrBadFault if the plan is
+// invalid for the graph, and ApplyMutations rejects mutations that would
+// invalidate the installed plan (removing a faulted link).
+func WithFaultPlan(p *FaultPlan) Option {
+	return ctorOption("WithFaultPlan", func(c *config) { c.fplan = p })
+}
 
-// WithBatchQueueLimit bounds each batch admission queue (construction
-// time only; default 4x the batch size). When executions cannot keep up
-// and a queue is full, SubmitWalk fails fast with ErrQueueFull instead
-// of queueing unboundedly. A limit below the batch size is honored:
-// batches then cap at the limit and flush on the delay window.
+// WithBatchQueueLimit bounds each batch admission queue (default 4x the
+// batch size). When executions cannot keep up and a queue is full,
+// SubmitWalk fails fast with ErrQueueFull instead of queueing
+// unboundedly. A limit below the batch size is honored: batches then cap
+// at the limit and flush on the delay window. Construction-only:
+// per-request use fails with ErrOptionScope.
 func WithBatchQueueLimit(n int) Option {
-	return func(c *config) {
+	return ctorOption("WithBatchQueueLimit", func(c *config) {
 		if n >= 1 {
 			c.batch.QueueLimit = n
 		}
-	}
+	})
 }

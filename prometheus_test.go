@@ -1,0 +1,84 @@
+package distwalk_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"distwalk"
+)
+
+// TestMetricsHandler drives the Prometheus text endpoint over real
+// traffic: a hit/miss pair, a mutation, and a stale abort, then asserts
+// the exposition carries the matching series with the matching values.
+func TestMetricsHandler(t *testing.T) {
+	g, err := distwalk.Torus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := distwalk.NewService(g, 42, distwalk.WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	if _, err := svc.SingleRandomWalk(ctx, 1, 0, 512); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := svc.SingleRandomWalk(ctx, 1, 0, 512); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := svc.ApplyMutations(ctx, distwalk.Mutations{
+		AddEdges: []distwalk.EdgeMutation{{U: 0, V: 20}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	svc.MetricsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("MetricsHandler status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	body := rr.Body.String()
+
+	wantLines := []string{
+		"distwalk_topology_generation 2",
+		"distwalk_mutations_applied_total 1",
+		`distwalk_mutation_edges_total{op="add"} 1`,
+		`distwalk_mutation_edges_total{op="remove"} 0`,
+		`distwalk_cache_lookups_total{outcome="hit"} 1`,
+		`distwalk_cache_lookups_total{outcome="miss"} 1`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("exposition missing line %q", want)
+		}
+	}
+
+	// Every sample line must parse as the text format: name{labels} value.
+	sampleRE := regexp.MustCompile(`^[a-z_]+(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+	families := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			families[strings.Fields(line)[2]] = true
+			continue
+		}
+		if !sampleRE.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		if !families[name] {
+			t.Errorf("sample %q precedes its # HELP/# TYPE header", name)
+		}
+	}
+	if families["distwalk_cluster_engine_healthy"] {
+		t.Error("cluster families present on a clusterless service")
+	}
+}

@@ -45,12 +45,25 @@ import (
 // simulated run aborts promptly. Failures wrap the exported sentinel
 // errors (see errors.go).
 //
-// A Service is safe for concurrent use. The graph must not be mutated
-// while the service is alive.
+// A Service is safe for concurrent use. The graph must never be mutated
+// directly while the service is alive; topology changes go through
+// ApplyMutations, which publishes a copy-on-write successor under the
+// next generation.
 type Service struct {
-	g    *Graph
 	seed uint64
 	cfg  config
+
+	// topo is the current topology epoch: the graph served, its
+	// generation, and the stale channel closed when it is superseded.
+	// Requests capture the pointer at admission (epoch pinning); mutMu
+	// serializes the publishers (ApplyMutations, InvalidateCache).
+	topo  atomic.Pointer[topology]
+	mutMu sync.Mutex
+
+	// clusterPlan pins the graph/bounds the remote engines currently
+	// serve (nil unless WithCluster); rotated by ApplyMutations before
+	// the supervisors' handshakes, never after (see executeCluster).
+	clusterPlan atomic.Pointer[clusterPlan]
 
 	jobs chan func(*poolWorker)
 	quit chan struct{}
@@ -62,11 +75,18 @@ type Service struct {
 	batch *sched.Scheduler
 
 	// cache is the deterministic result cache (nil unless WithResultCache
-	// was given); cacheGen the graph generation folded into every cache
-	// digest — InvalidateCache bumps it, making all prior keys
-	// unreachable. See internal/cache.
-	cache    *cache.Cache
-	cacheGen atomic.Uint64
+	// was given). Every cache digest folds the topology generation, so a
+	// published mutation makes all prior keys unreachable. See
+	// internal/cache.
+	cache *cache.Cache
+
+	// mutation counters (see MutationStats).
+	mutApplied      atomic.Int64
+	mutEdgesAdded   atomic.Int64
+	mutEdgesRemoved atomic.Int64
+	mutStaleAborts  atomic.Int64
+	mutReshardsInc  atomic.Int64
+	mutReshardsFull atomic.Int64
 
 	// shardMu guards shardAgg, the per-shard occupancy and barrier-wait
 	// counters aggregated across all workers' sharded networks (each worker
@@ -76,12 +96,11 @@ type Service struct {
 
 	// Cluster mode (empty unless WithCluster): one supervisor per engine
 	// address (dial policy, reconnect backoff, circuit breaker, health),
-	// the pinned shard bounds of the cluster plan, the per-engine traffic
-	// aggregate (guarded by clusterMu, folded in by workers like
-	// shardAgg), and the failover counter. workers is kept for Close
-	// teardown of per-worker engine sessions.
+	// the per-engine traffic aggregate (guarded by clusterMu, folded in
+	// by workers like shardAgg), and the failover counter. workers is
+	// kept for Close teardown of per-worker engine sessions. The shard
+	// bounds live in clusterPlan (they rotate with mutations).
 	clusterSup       []*wire.Supervisor
-	clusterBounds    []int32
 	clusterMu        sync.Mutex
 	clusterAgg       []ClusterEngineStats
 	clusterFailovers atomic.Int64
@@ -101,7 +120,7 @@ type Service struct {
 // the walker reused (via Reset) across every request the worker serves.
 type poolWorker struct {
 	net *congest.Network
-	wkr *Walker
+	wkr *core.Walker
 	// lastShard is the network's shard-stat snapshot after the previous
 	// request, for computing per-request deltas to fold into the service
 	// aggregate.
@@ -115,6 +134,10 @@ type poolWorker struct {
 	conns       []*wire.EngineConn
 	lastCluster []ClusterEngineStats
 	attached    bool
+	// clusterTopo is the graph the worker's current engine sessions were
+	// handshaken for; when it trails the cluster plan the sessions hold
+	// engines built from a dead topology and must be re-dialed.
+	clusterTopo *Graph
 }
 
 // NewService builds a service over g. seed drives all randomness: together
@@ -145,12 +168,12 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 		}
 	}
 	s := &Service{
-		g:    g,
 		seed: seed,
 		cfg:  cfg,
 		jobs: make(chan func(*poolWorker)),
 		quit: make(chan struct{}),
 	}
+	s.topo.Store(&topology{gen: 1, g: g, stale: make(chan struct{})})
 	if cfg.cacheBytes > 0 {
 		cc, err := cache.New(cache.Config{MaxBytes: cfg.cacheBytes, Admit: cfg.cacheAdmit})
 		if err != nil {
@@ -164,6 +187,7 @@ func NewService(g *Graph, seed uint64, opts ...Option) (*Service, error) {
 	nets := make([]*congest.Network, cfg.workers)
 	for i := range nets {
 		n := congest.NewNetwork(g, seed, congest.WithShards(cfg.shards))
+		n.SetGeneration(1)
 		if cfg.fplan != nil {
 			if err := n.SetFaultPlan(cfg.fplan); err != nil {
 				return nil, err
@@ -247,12 +271,14 @@ func (c *config) clusterHeartbeatInterval() time.Duration {
 // reconnected sessions to the same graph digest.
 func (s *Service) initCluster(workers []*poolWorker) error {
 	engines := len(s.cfg.cluster)
-	base := wire.HelloFor(s.g, engines, 0, 1, s.seed, s.cfg.fplan)
+	g := s.topo.Load().g
+	base := wire.HelloFor(g, engines, 0, 1, s.seed, s.cfg.fplan)
+	base.Gen = s.topo.Load().gen
 	if len(base.Bounds) != engines+1 {
 		return fmt.Errorf("%w: shard plan has %d ranges for %d engines",
 			ErrClusterConfig, len(base.Bounds)-1, engines)
 	}
-	s.clusterBounds = base.Bounds
+	s.clusterPlan.Store(&clusterPlan{g: g, bounds: base.Bounds})
 	dial := wire.DialConfig{
 		HandshakeTimeout:  s.cfg.clusterHandshake,
 		RoundTimeout:      s.cfg.clusterRoundTimeout(),
@@ -270,8 +296,9 @@ func (s *Service) initCluster(workers []*poolWorker) error {
 			BackoffMax:  s.cfg.clusterBackoffMax,
 		})
 	}
+	plan := s.clusterPlan.Load()
 	for _, pw := range workers {
-		if err := s.ensureCluster(context.Background(), pw); err != nil {
+		if err := s.ensureCluster(context.Background(), pw, plan); err != nil {
 			return err
 		}
 	}
@@ -282,8 +309,11 @@ func (s *Service) initCluster(workers []*poolWorker) error {
 // broken sessions are closed (dropping their stat baselines), missing
 // ones are re-acquired from their supervisors (fail-fast inside a backoff
 // or quarantine window), and the worker network is re-attached to the
-// session group. With every session healthy it is a no-op.
-func (s *Service) ensureCluster(ctx context.Context, pw *poolWorker) error {
+// session group under plan's shard bounds. With every session healthy it
+// is a no-op. Callers that loaded plan before acquiring must re-check it
+// afterwards: a mutation rotating the handshake mid-ensure can hand out
+// sessions for a newer topology (see executeCluster).
+func (s *Service) ensureCluster(ctx context.Context, pw *poolWorker, plan *clusterPlan) error {
 	if pw.conns == nil {
 		pw.conns = make([]*wire.EngineConn, len(s.clusterSup))
 	}
@@ -320,11 +350,12 @@ func (s *Service) ensureCluster(ctx context.Context, pw *poolWorker) error {
 		for i, c := range pw.conns {
 			group[i] = c
 		}
-		if err := pw.net.ConnectRemote(group, s.clusterBounds); err != nil {
+		if err := pw.net.ConnectRemote(group, plan.bounds); err != nil {
 			return err
 		}
 		pw.attached = true
 	}
+	pw.clusterTopo = plan.g
 	return nil
 }
 
@@ -437,8 +468,9 @@ func (s *Service) Cluster() int { return len(s.cfg.cluster) }
 // Shards returns the per-worker network shard count (1 = sequential).
 func (s *Service) Shards() int { return s.cfg.shards }
 
-// Graph returns the served topology.
-func (s *Service) Graph() *Graph { return s.g }
+// Graph returns the currently served topology (the current generation's
+// graph; see ApplyMutations). The returned graph is immutable.
+func (s *Service) Graph() *Graph { return s.topo.Load().g }
 
 // Close shuts the pool down. The batching scheduler (if any) closes
 // first: members still queued fail with ErrBatchAborted, and in-flight
@@ -480,6 +512,30 @@ type ServiceStats struct {
 	// waiters, evictions, byte footprint (zero value when built without
 	// WithResultCache).
 	Cache CacheStats
+	// Mutation reports the dynamic-topology activity (see ApplyMutations).
+	Mutation MutationStats
+}
+
+// MutationStats counts the service's dynamic-topology activity.
+type MutationStats struct {
+	// Generation is the current topology generation (starts at 1; every
+	// ApplyMutations and InvalidateCache advances it).
+	Generation uint64
+	// Applied counts published mutation batches; EdgesAdded/EdgesRemoved
+	// the edits they carried.
+	Applied      int64
+	EdgesAdded   int64
+	EdgesRemoved int64
+	// StaleAborts counts requests failed with ErrStaleGeneration —
+	// queued batch members evicted at publish plus abort-mode executions
+	// cancelled or fast-failed.
+	StaleAborts int64
+	// ReshardsIncremental/ReshardsFull count worker-network reshapes by
+	// kind: incremental kept the existing shard partition (the mutation
+	// left the per-shard edge balance within tolerance), full re-planned
+	// it (or the network was unsharded).
+	ReshardsIncremental int64
+	ReshardsFull        int64
 }
 
 // ClusterStats is the cluster-mode slice of a service's counters:
@@ -555,6 +611,15 @@ func (s *Service) Stats() ServiceStats {
 		Recovered: s.retryRecovered.Load(),
 		Exhausted: s.retryExhausted.Load(),
 		Faults:    s.retryFaults.Load(),
+	}
+	out.Mutation = MutationStats{
+		Generation:          s.topo.Load().gen,
+		Applied:             s.mutApplied.Load(),
+		EdgesAdded:          s.mutEdgesAdded.Load(),
+		EdgesRemoved:        s.mutEdgesRemoved.Load(),
+		StaleAborts:         s.mutStaleAborts.Load(),
+		ReshardsIncremental: s.mutReshardsInc.Load(),
+		ReshardsFull:        s.mutReshardsFull.Load(),
 	}
 	return out
 }
@@ -663,18 +728,26 @@ func attemptSeed(seed, key uint64, attempt int) uint64 {
 
 // submit runs fn on a pool worker and waits for it (or for ctx/closure),
 // re-executing up to cfg.retries times on retryable failures (see
-// Retryable) with attempt-salted seeds and exponential backoff.
-func (s *Service) submit(ctx context.Context, key uint64, opts []Option, fn func(w *Walker, cfg config) error) error {
+// Retryable) with attempt-salted seeds and exponential backoff. The
+// topology snapshot is captured once at admission and kept across fault
+// retries (pin semantics); a stale-generation failure instead refreshes
+// the snapshot without consuming attempt salting, so the retry is
+// bit-identical to a request freshly admitted after the mutation.
+func (s *Service) submit(ctx context.Context, key uint64, opts []Option, fn func(w *core.Walker, cfg config) error) error {
 	cfg := s.cfg
-	cfg.apply(opts)
+	if err := cfg.applyRequest(opts); err != nil {
+		return fmt.Errorf("distwalk: request %d: %w", key, err)
+	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
-	for attempt := 0; ; attempt++ {
-		err := s.submitOnce(ctx, key, cfg, attempt, fn)
+	snap := s.topo.Load()
+	attempt, tries := 0, 0
+	for {
+		err := s.submitOnce(ctx, key, cfg, attempt, snap, fn)
 		s.retryAttempts.Add(1)
 		if err == nil {
-			if attempt > 0 {
+			if tries > 0 {
 				s.retryRecovered.Add(1)
 			}
 			return nil
@@ -685,17 +758,23 @@ func (s *Service) submit(ctx context.Context, key uint64, opts []Option, fn func
 		if !Retryable(err) {
 			return err
 		}
-		if attempt >= cfg.retries {
+		if tries >= cfg.retries {
 			if cfg.retries > 0 {
 				s.retryExhausted.Add(1)
-				return fmt.Errorf("distwalk: request %d failed after %d attempts: %w", key, attempt+1, err)
+				return fmt.Errorf("distwalk: request %d failed after %d attempts: %w", key, tries+1, err)
 			}
 			return err
 		}
-		if werr := s.backoffWait(ctx, cfg.backoff, attempt); werr != nil {
+		if werr := s.backoffWait(ctx, cfg.backoff, tries); werr != nil {
 			return fmt.Errorf("distwalk: request %d retry abandoned: %w (last attempt: %w)", key, werr, err)
 		}
+		tries++
 		s.retryRetries.Add(1)
+		if errors.Is(err, ErrStaleGeneration) {
+			snap = s.topo.Load()
+		} else {
+			attempt++
+		}
 	}
 }
 
@@ -728,10 +807,10 @@ func (s *Service) backoffWait(ctx context.Context, base time.Duration, attempt i
 }
 
 // submitOnce runs one attempt of fn on a pool worker and waits for it.
-func (s *Service) submitOnce(ctx context.Context, key uint64, cfg config, attempt int, fn func(w *Walker, cfg config) error) error {
+func (s *Service) submitOnce(ctx context.Context, key uint64, cfg config, attempt int, snap *topology, fn func(w *core.Walker, cfg config) error) error {
 	done := make(chan error, 1)
 	job := func(pw *poolWorker) {
-		done <- s.execute(ctx, key, cfg, attempt, pw, fn)
+		done <- s.execute(ctx, key, cfg, attempt, snap, pw, fn)
 	}
 	select {
 	case s.jobs <- job:
@@ -751,22 +830,69 @@ func (s *Service) submitOnce(ctx context.Context, key uint64, cfg config, attemp
 }
 
 // execute prepares the worker's warm state for this request and runs fn:
-// reseed the network from (service seed, key, attempt), Reset the pooled
+// reseed the network from (service seed, key, attempt), reshape it when
+// its warm topology trails the request's snapshot, Reset the pooled
 // walker (first request builds it), and apply per-request knobs. Nothing
 // here depends on what the worker served before — that is the per-key
 // determinism contract. On failure the error is faultized: if the run
 // lost a token to an injected fault, the typed fault error replaces
 // protocol-level detection noise even for drivers (spanning, mixing)
 // that run congest primitives outside the Walker methods.
-func (s *Service) execute(ctx context.Context, key uint64, cfg config, attempt int, pw *poolWorker, fn func(w *Walker, cfg config) error) error {
+//
+// In abort mode (WithStaleAbort) execution races the snapshot's stale
+// channel: a mutation published before the run starts fails fast, one
+// published mid-run cancels the engine at its next round check; both
+// surface as a *StaleGenerationError. A caller-initiated cancellation is
+// never translated — context.Cause distinguishes the two.
+func (s *Service) execute(ctx context.Context, key uint64, cfg config, attempt int, snap *topology, pw *poolWorker, fn func(w *core.Walker, cfg config) error) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("distwalk: request %d not started: %w", key, err)
 	}
+	if !cfg.staleAbort {
+		return s.executeOn(ctx, key, cfg, attempt, snap, pw, fn)
+	}
+	select {
+	case <-snap.stale:
+		s.mutStaleAborts.Add(1)
+		return s.staleErr(key, snap)
+	default:
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-snap.stale:
+			cancel(s.staleErr(key, snap))
+		case <-done:
+		case <-cctx.Done():
+		}
+	}()
+	err := s.executeOn(cctx, key, cfg, attempt, snap, pw, fn)
+	if err != nil {
+		if cause := context.Cause(cctx); cause != nil && errors.Is(cause, ErrStaleGeneration) {
+			s.mutStaleAborts.Add(1)
+			return cause
+		}
+	}
+	return err
+}
+
+// staleErr builds the typed stale-generation failure for a request
+// admitted under snap.
+func (s *Service) staleErr(key uint64, snap *topology) error {
+	return fmt.Errorf("distwalk: request %d: %w", key,
+		&StaleGenerationError{Old: Generation(snap.gen), New: Generation(s.topo.Load().gen)})
+}
+
+// executeOn is execute's epoch-resolved body.
+func (s *Service) executeOn(ctx context.Context, key uint64, cfg config, attempt int, snap *topology, pw *poolWorker, fn func(w *core.Walker, cfg config) error) error {
 	seed := attemptSeed(s.seed, key, attempt)
 	if len(s.clusterSup) > 0 {
-		return s.executeCluster(ctx, key, cfg, seed, pw, fn)
+		return s.executeCluster(ctx, key, cfg, seed, snap, pw, fn)
 	}
-	w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds)
+	w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds, snap)
 	if err != nil {
 		return err
 	}
@@ -783,28 +909,62 @@ func (s *Service) execute(ctx context.Context, key uint64, cfg config, attempt i
 // is bit-identical to cluster execution per (graph, seed, request), so
 // the failed-over result is exactly what the fault-free cluster run
 // would have produced.
-func (s *Service) executeCluster(ctx context.Context, key uint64, cfg config, seed uint64, pw *poolWorker, fn func(w *Walker, cfg config) error) error {
-	runErr := func() error {
-		if err := s.ensureCluster(ctx, pw); err != nil {
-			return err
-		}
-		s.armCluster(ctx, pw, cfg)
-		reserved := append([]*wire.EngineConn(nil), pw.conns...)
-		reserveConns(reserved)
-		defer releaseConns(reserved)
-		w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds)
-		if err != nil {
-			return err
-		}
-		pw.net.SetContext(ctx)
-		err = core.Faultize(w, fn(w, cfg))
-		pw.net.SetContext(nil)
-		s.collectStats(pw)
-		if clusterBroken(pw) {
-			s.dropClusterConns(pw, err)
-		}
+//
+// Topology epochs interact with the cluster in three ways. A request
+// pinned to a graph the remote engines no longer serve runs in-process
+// on equivalent shards (same bit-identity argument, no failover
+// counted). A worker whose sessions were handshaken for a superseded
+// graph drops them so the supervisors re-dial with the rotated Hello —
+// the server re-pins to the strictly newer generation. And a mutation
+// racing the re-dial is detected by re-loading the plan after
+// ensureCluster: ApplyMutations stores the successor plan before
+// rotating any handshake, so sessions dialed with the rotated Hello
+// imply a visible plan change.
+func (s *Service) executeCluster(ctx context.Context, key uint64, cfg config, seed uint64, snap *topology, pw *poolWorker, fn func(w *core.Walker, cfg config) error) error {
+	plan := s.clusterPlan.Load()
+	if plan.g != snap.g {
+		// Pinned to a topology the cluster does not serve: run
+		// in-process, keeping any healthy sessions for later requests.
+		return s.executeLocalShards(ctx, cfg, seed, snap, pw, fn)
+	}
+	if pw.clusterTopo != nil && pw.clusterTopo != plan.g {
+		// The sessions hold per-session engines built from a dead
+		// topology; drop them so ensureCluster re-dials fresh.
+		s.dropClusterConns(pw, nil)
+		pw.clusterTopo = nil
+	}
+	if err := s.syncWarm(pw, snap); err != nil {
 		return err
-	}()
+	}
+	runErr := s.ensureCluster(ctx, pw, plan)
+	if runErr == nil && s.clusterPlan.Load() != plan {
+		// The cluster rotated while we dialed: freshly acquired sessions
+		// may already serve the successor topology. Drop them and run
+		// this request in-process against its own snapshot.
+		s.dropClusterConns(pw, nil)
+		pw.clusterTopo = nil
+		return s.executeLocalShards(ctx, cfg, seed, snap, pw, fn)
+	}
+	if runErr == nil {
+		runErr = func() error {
+			s.armCluster(ctx, pw, cfg)
+			reserved := append([]*wire.EngineConn(nil), pw.conns...)
+			reserveConns(reserved)
+			defer releaseConns(reserved)
+			w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds, snap)
+			if err != nil {
+				return err
+			}
+			pw.net.SetContext(ctx)
+			err = core.Faultize(w, fn(w, cfg))
+			pw.net.SetContext(nil)
+			s.collectStats(pw)
+			if clusterBroken(pw) {
+				s.dropClusterConns(pw, err)
+			}
+			return err
+		}()
+	}
 	if runErr == nil || !errors.Is(runErr, ErrClusterEngine) || !cfg.clusterFallback {
 		return runErr
 	}
@@ -817,9 +977,26 @@ func (s *Service) executeCluster(ctx context.Context, key uint64, cfg config, se
 		s.dropClusterConns(pw, runErr)
 	}
 	s.clusterFailovers.Add(1)
+	return s.executeLocalShards(ctx, cfg, seed, snap, pw, fn)
+}
+
+// executeLocalShards runs a cluster-mode request on in-process shards —
+// the WithShards(len(cluster)) path, bit-identical to the cluster run by
+// the identity contract. Serves both failover after a lost cluster run
+// and requests pinned to a topology generation the remote engines have
+// rotated past; in the pinned case healthy sessions are kept (detached)
+// for the next current-generation request.
+func (s *Service) executeLocalShards(ctx context.Context, cfg config, seed uint64, snap *topology, pw *poolWorker, fn func(w *core.Walker, cfg config) error) error {
+	if pw.attached {
+		pw.attached = false
+		pw.net.ConnectRemote(nil, nil)
+	}
+	if err := s.syncWarm(pw, snap); err != nil {
+		return err
+	}
 	pw.net.SetShards(len(s.cfg.cluster))
 	defer pw.net.SetShards(1)
-	w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds)
+	w, err := s.prepare(pw, seed, cfg.params, cfg.maxRounds, snap)
 	if err != nil {
 		return err
 	}
@@ -829,12 +1006,42 @@ func (s *Service) executeCluster(ctx context.Context, key uint64, cfg config, se
 	return core.Faultize(w, fn(w, cfg))
 }
 
+// syncWarm reshapes a worker network whose warm state trails the
+// request's topology snapshot, restamping it and discarding the pooled
+// walker when the graph actually changed (the walker's degree-sized
+// slabs describe the dead topology). A pure generation bump over the
+// same graph (InvalidateCache) restamps without rebuilding anything.
+// The network must be detached unless the graph is unchanged.
+func (s *Service) syncWarm(pw *poolWorker, snap *topology) error {
+	if pw.net.Generation() == snap.gen {
+		return nil
+	}
+	kind, err := pw.net.Reshape(snap.g)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case congest.ReshapeIncremental:
+		s.mutReshardsInc.Add(1)
+		pw.wkr = nil
+	case congest.ReshapeFull:
+		s.mutReshardsFull.Add(1)
+		pw.wkr = nil
+	}
+	pw.net.SetGeneration(snap.gen)
+	return nil
+}
+
 // prepare readies a worker's warm state for a run under the given seed
-// and knobs: reseed the private network, restore the round budget, and
-// Reset the pooled walker (the first request builds it). Shared by the
-// per-key path (seed derived from the request key) and the batched path
-// (seed derived from the batch composition).
-func (s *Service) prepare(pw *poolWorker, seed uint64, params Params, maxRounds int) (*Walker, error) {
+// and knobs: sync the warm topology to the request's snapshot, reseed
+// the private network, restore the round budget, and Reset the pooled
+// walker (the first request builds it; a reshaped graph forces a
+// rebuild). Shared by the per-key path (seed derived from the request
+// key) and the batched path (seed derived from the batch composition).
+func (s *Service) prepare(pw *poolWorker, seed uint64, params Params, maxRounds int, snap *topology) (*core.Walker, error) {
+	if err := s.syncWarm(pw, snap); err != nil {
+		return nil, err
+	}
 	pw.net.Reseed(seed)
 	if maxRounds > 0 {
 		pw.net.SetMaxRounds(maxRounds)
@@ -860,6 +1067,10 @@ func (s *Service) prepare(pw *poolWorker, seed uint64, params Params, maxRounds 
 // must not abort its batchmates, so post-flush cancellation is not
 // observed (see internal/sched's determinism notes).
 func (s *Service) runBatch(b *sched.Batch) {
+	snap, ok := b.Topo.(*topology)
+	if !ok || snap == nil {
+		snap = s.topo.Load()
+	}
 	done := make(chan struct{})
 	job := func(pw *poolWorker) {
 		defer close(done)
@@ -869,8 +1080,30 @@ func (s *Service) runBatch(b *sched.Batch) {
 			// retryable error, so the unbatched retry path recovers and
 			// can fall over in-process), but a loss must still drop the
 			// desynced session group here.
-			if err := s.ensureCluster(context.Background(), pw); err != nil {
+			plan := s.clusterPlan.Load()
+			if plan.g != snap.g {
+				// The batch is pinned to a topology the cluster does not
+				// serve: abort retryably; members re-execute unbatched
+				// against their own snapshots.
+				b.Abort(fmt.Errorf("batch pinned to topology generation %d, cluster serves another", snap.gen))
+				return
+			}
+			if pw.clusterTopo != nil && pw.clusterTopo != plan.g {
+				s.dropClusterConns(pw, nil)
+				pw.clusterTopo = nil
+			}
+			if err := s.syncWarm(pw, snap); err != nil {
 				b.Abort(err)
+				return
+			}
+			if err := s.ensureCluster(context.Background(), pw, plan); err != nil {
+				b.Abort(err)
+				return
+			}
+			if s.clusterPlan.Load() != plan {
+				s.dropClusterConns(pw, nil)
+				pw.clusterTopo = nil
+				b.Abort(fmt.Errorf("cluster rotated to a new topology generation mid-dial"))
 				return
 			}
 			s.armCluster(context.Background(), pw, s.cfg)
@@ -884,7 +1117,7 @@ func (s *Service) runBatch(b *sched.Batch) {
 			}()
 		}
 		defer s.collectStats(pw)
-		w, err := s.prepare(pw, b.Seed, b.Params, b.MaxRounds)
+		w, err := s.prepare(pw, b.Seed, b.Params, b.MaxRounds, snap)
 		if err != nil {
 			b.Abort(err)
 			return
@@ -916,7 +1149,7 @@ func (s *Service) SingleRandomWalk(ctx context.Context, key uint64, source NodeI
 // singleRandomWalk is the uncached per-key execution body.
 func (s *Service) singleRandomWalk(ctx context.Context, key uint64, source NodeID, ell int, opts []Option) (*WalkResult, error) {
 	var out *WalkResult
-	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
+	err := s.submit(ctx, key, opts, func(w *core.Walker, _ config) error {
 		res, err := w.SingleRandomWalk(source, ell)
 		out = res
 		return err
@@ -939,7 +1172,7 @@ func (s *Service) NaiveWalk(ctx context.Context, key uint64, source NodeID, ell 
 
 func (s *Service) naiveWalk(ctx context.Context, key uint64, source NodeID, ell int, opts []Option) (*WalkResult, error) {
 	var out *WalkResult
-	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
+	err := s.submit(ctx, key, opts, func(w *core.Walker, _ config) error {
 		res, err := w.NaiveWalk(source, ell)
 		out = res
 		return err
@@ -964,7 +1197,7 @@ func (s *Service) ManyRandomWalks(ctx context.Context, key uint64, sources []Nod
 
 func (s *Service) manyRandomWalks(ctx context.Context, key uint64, sources []NodeID, ell int, opts []Option) (*ManyResult, error) {
 	var out *ManyResult
-	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
+	err := s.submit(ctx, key, opts, func(w *core.Walker, cfg config) error {
 		res, _, err := sched.ExecGroup(w, sources, ell, nil, cfg.partial)
 		out = res
 		return err
@@ -993,7 +1226,7 @@ func (s *Service) walkTrace(ctx context.Context, key uint64, source NodeID, ell 
 		walk  *WalkResult
 		trace *Trace
 	)
-	err := s.submit(ctx, key, opts, func(w *Walker, _ config) error {
+	err := s.submit(ctx, key, opts, func(w *core.Walker, _ config) error {
 		res, err := w.SingleRandomWalk(source, ell)
 		if err != nil {
 			return err
@@ -1022,7 +1255,7 @@ func (s *Service) RandomSpanningTree(ctx context.Context, key uint64, root NodeI
 
 func (s *Service) randomSpanningTree(ctx context.Context, key uint64, root NodeID, opts []Option) (*RSTResult, error) {
 	var out *RSTResult
-	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
+	err := s.submit(ctx, key, opts, func(w *core.Walker, cfg config) error {
 		res, err := spanning.RandomSpanningTree(w, root, cfg.rst)
 		out = res
 		return err
@@ -1044,7 +1277,7 @@ func (s *Service) EstimateMixingTime(ctx context.Context, key uint64, x NodeID, 
 
 func (s *Service) estimateMixingTime(ctx context.Context, key uint64, x NodeID, opts []Option) (*MixingEstimate, error) {
 	var out *MixingEstimate
-	err := s.submit(ctx, key, opts, func(w *Walker, cfg config) error {
+	err := s.submit(ctx, key, opts, func(w *core.Walker, cfg config) error {
 		res, err := mixing.EstimateTau(w, x, cfg.mix)
 		out = res
 		return err

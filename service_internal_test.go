@@ -3,12 +3,15 @@ package distwalk
 import (
 	"context"
 	"testing"
+
+	"distwalk/internal/core"
 )
 
 // TestServiceMatchesDerivedSeedWalker pins the sharding contract: a
 // request served by a pooled, reseeded network is bit-identical to a
-// fresh legacy Walker built with the request's derived seed. This is what
-// makes the deprecated shim and the service the same algorithm, not two.
+// fresh single-threaded Walker built with the request's derived seed.
+// This is what makes the low-level engine and the service the same
+// algorithm, not two.
 func TestServiceMatchesDerivedSeedWalker(t *testing.T) {
 	g, err := Torus(8, 8)
 	if err != nil {
@@ -24,7 +27,7 @@ func TestServiceMatchesDerivedSeedWalker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := NewWalker(g, deriveSeed(seed, key), DefaultParams())
+	w, err := core.NewWalker(g, deriveSeed(seed, key), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

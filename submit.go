@@ -120,12 +120,15 @@ func (s *Service) submitAsync(ctx context.Context, key uint64, source NodeID, el
 		ctx = context.Background()
 	}
 	cfg := s.cfg
-	cfg.apply(opts)
+	if err := cfg.applyRequest(opts); err != nil {
+		return nil, fmt.Errorf("distwalk: request %d: %w", key, err)
+	}
 	if err := cfg.params.Validate(); err != nil {
 		return nil, err
 	}
-	if source < 0 || int(source) >= s.g.N() {
-		return nil, fmt.Errorf("%w: node %d not in [0,%d)", ErrBadNode, source, s.g.N())
+	g := s.topo.Load().g
+	if source < 0 || int(source) >= g.N() {
+		return nil, fmt.Errorf("%w: node %d not in [0,%d)", ErrBadNode, source, g.N())
 	}
 	if ell < 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadLength, ell)
@@ -143,8 +146,9 @@ func (s *Service) submitAsync(ctx context.Context, key uint64, source NodeID, el
 		// points.
 		ch := make(chan sched.Result, 1)
 		if s.cache != nil {
-			k := s.submitDigest(key, source, ell, trace, cfg)
-			go func() { ch <- s.cachedSubmit(ctx, k, key, source, ell, trace, opts) }()
+			gen := s.topo.Load().gen
+			k := s.submitDigest(gen, key, source, ell, trace, cfg)
+			go func() { ch <- s.cachedSubmit(ctx, k, gen, key, source, ell, trace, opts) }()
 		} else {
 			go func() { ch <- s.unbatchedWalk(ctx, key, source, ell, trace, opts) }()
 		}
@@ -156,7 +160,7 @@ func (s *Service) submitAsync(ctx context.Context, key uint64, source NodeID, el
 		// but a batch execution never leads a flight, because its result
 		// is deterministic per batch composition, not per key, and must
 		// not be published to per-key waiters (or the store).
-		k := s.submitDigest(key, source, ell, trace, cfg)
+		k := s.submitDigest(s.topo.Load().gen, key, source, ell, trace, cfg)
 		if v, f, o := s.cache.Attach(k); o != cache.Miss {
 			ch := make(chan sched.Result, 1)
 			if o == cache.Hit {
@@ -193,13 +197,20 @@ func (s *Service) submitAsync(ctx context.Context, key uint64, source NodeID, el
 // pre-cache submitAsync body, kept fail-fast (ErrQueueFull at submit
 // time) and wrapped with the abort-fallback when retries are on.
 func (s *Service) submitBatched(ctx context.Context, key uint64, source NodeID, ell int, trace bool, cfg config, opts []Option) (*WalkHandle, error) {
+	// The admission epoch is captured here, at queue time: it joins the
+	// batch-compatibility group (no batch ever mixes generations) and, in
+	// abort mode, marks the member for eviction should a mutation publish
+	// while it is still queued.
+	snap := s.topo.Load()
 	req := sched.Request{
-		Key:       key,
-		Source:    source,
-		Ell:       ell,
-		Trace:     trace,
-		Params:    cfg.params,
-		MaxRounds: cfg.maxRounds,
+		Key:        key,
+		Source:     source,
+		Ell:        ell,
+		Trace:      trace,
+		Params:     cfg.params,
+		MaxRounds:  cfg.maxRounds,
+		Topo:       snap,
+		StaleAbort: cfg.staleAbort,
 	}
 	ch, err := s.batch.Submit(ctx, req)
 	// Backpressure retry: a full admission queue drains as batches flush,
@@ -273,12 +284,12 @@ func (s *Service) unbatchedWalk(ctx context.Context, key uint64, source NodeID, 
 // the SingleRandomWalk digest space and trace=true the WalkTrace one —
 // they are the same pure functions, so a submitted walk hits entries the
 // synchronous entry points stored and vice versa.
-func (s *Service) submitDigest(key uint64, source NodeID, ell int, trace bool, cfg config) cache.Key {
+func (s *Service) submitDigest(gen, key uint64, source NodeID, ell int, trace bool, cfg config) cache.Key {
 	kind := cacheKindSingle
 	if trace {
 		kind = cacheKindTrace
 	}
-	return s.requestDigest(kind, key, cfg, func(d *cache.Digest) {
+	return s.requestDigest(gen, kind, key, cfg, func(d *cache.Digest) {
 		d.I64(int64(source))
 		d.I64(int64(ell))
 	})
@@ -312,7 +323,7 @@ func (s *Service) cachedSchedResult(v any, key uint64, trace bool) sched.Result 
 // leader (sync or async), or lead the per-key execution and publish it.
 // Mirrors cache.Do, with the leader path returning the execution's real
 // BatchInfo instead of a synthesized one.
-func (s *Service) cachedSubmit(ctx context.Context, k cache.Key, key uint64, source NodeID, ell int, trace bool, opts []Option) sched.Result {
+func (s *Service) cachedSubmit(ctx context.Context, k cache.Key, gen, key uint64, source NodeID, ell int, trace bool, opts []Option) sched.Result {
 	for {
 		v, f, o := s.cache.Begin(k)
 		switch o {
@@ -347,6 +358,9 @@ func (s *Service) cachedSubmit(ctx context.Context, k cache.Key, key uint64, sou
 					Rounds: int64(r.Walk.Cost.Rounds),
 				}
 			}
+			// Epoch-pinned results of retired generations are shared with
+			// waiters but never stored (see the cached bodies).
+			ex.NoStore = s.topo.Load().gen != gen
 			s.cache.Finish(k, f, ex, nil)
 			// The masters are frozen now; the leader's own return is a
 			// copy too (uniform copy-on-return), under its real BatchInfo.
